@@ -1,0 +1,31 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one table/figure-equivalent of the paper's
+evaluation (see DESIGN.md section 4 and EXPERIMENTS.md).  Each experiment
+writes its rows both to stdout and to ``benchmarks/results/<experiment>.txt``
+so the regenerated numbers survive pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_report(experiment_id: str, text: str) -> str:
+    """Print an experiment report and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "%s.txt" % experiment_id)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print("\n" + text)
+    return path
+
+
+@pytest.fixture
+def report_writer():
+    """Fixture exposing :func:`emit_report`."""
+    return emit_report

@@ -1,0 +1,66 @@
+"""E3 -- FPGA area and frequency (paper §6.2).
+
+Regenerates the published resource figures for the prototype configuration
+(n=4 indirect-target bits, l=16 branches per loop path, 3 nested loops on a
+Virtex-7 XC7Z020): ~6% of LUTs, ~4% of registers, 49 36-Kbit BRAMs (16 per
+tracked loop plus one for the branches memory), ~20% additional logic over
+the Pulpino SoC and an 80 MHz maximum clock.  Also sweeps the configuration
+space to show how memory scales with the tracking granularity.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import area_sweep
+from repro.lofat.area_model import AreaModel, VIRTEX7_XC7Z020
+from repro.lofat.config import LoFatConfig
+
+
+def test_e3_paper_configuration_point(benchmark, report_writer):
+    model = AreaModel(LoFatConfig())
+    estimate = benchmark(model.estimate)
+    utilization = estimate.utilization(VIRTEX7_XC7Z020)
+
+    rows = [{
+        "metric": "LUTs", "estimate": estimate.luts,
+        "device_%": 100.0 * utilization["luts"], "paper": "~6%",
+    }, {
+        "metric": "registers", "estimate": estimate.registers,
+        "device_%": 100.0 * utilization["registers"], "paper": "~4%",
+    }, {
+        "metric": "BRAM36", "estimate": estimate.bram36,
+        "device_%": 100.0 * utilization["bram36"], "paper": "49",
+    }, {
+        "metric": "logic overhead vs Pulpino", "estimate": "",
+        "device_%": 100.0 * estimate.logic_overhead_vs_pulpino(), "paper": "~20%",
+    }, {
+        "metric": "max clock (MHz)", "estimate": estimate.max_clock_mhz,
+        "device_%": "", "paper": "80",
+    }]
+    table = format_table(rows, title="E3: area/frequency at the paper's configuration")
+    report_writer("e3_area_paper_point", table)
+
+    assert estimate.bram36 == 49
+    assert AreaModel(LoFatConfig()).loop_counter_brams_per_loop() == 16
+    assert AreaModel(LoFatConfig()).loop_counter_brams_total() == 48
+    assert 0.04 <= utilization["luts"] <= 0.08
+    assert 0.03 <= utilization["registers"] <= 0.05
+    assert 0.15 <= estimate.logic_overhead_vs_pulpino() <= 0.25
+    assert estimate.max_clock_mhz == 80.0
+
+
+def test_e3_area_configuration_sweep(benchmark, report_writer):
+    rows = benchmark(area_sweep)
+    table = format_table(
+        rows,
+        columns=["nested_loops", "path_bits", "bram36", "loop_mem_kbits",
+                 "luts", "registers", "lut_util_%", "reg_util_%"],
+        title="E3b: resource scaling across tracking-granularity configurations",
+    )
+    report_writer("e3b_area_sweep", table)
+
+    # Memory grows monotonically with both nesting depth and path-ID width.
+    by_key = {(row["nested_loops"], row["path_bits"]): row for row in rows}
+    assert by_key[(3, 16)]["bram36"] == 49
+    assert by_key[(1, 16)]["bram36"] < by_key[(3, 16)]["bram36"] < by_key[(4, 16)]["bram36"]
+    assert by_key[(3, 8)]["loop_mem_kbits"] < by_key[(3, 16)]["loop_mem_kbits"]

@@ -1,0 +1,64 @@
+"""E6 -- Hash-engine throughput and input buffering (paper §5.3 / §6.1).
+
+The SHA-3 engine absorbs one 64-bit (Src, Dest) pair per cycle but stalls for
+3 cycles after every 9 absorbed words; a small input cache buffer hides those
+stalls.  This bench measures, across workloads and synthetic branch-density
+sweeps, the engine utilisation, the buffer high-water mark and the minimum
+buffer depth that avoids drops -- confirming the design point that the
+default configuration never loses a pair and never stalls the core.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import buffer_depth_sweep, hash_density_sweep
+from repro.lofat.config import LoFatConfig
+from repro.lofat.hash_engine import HashEngine
+from repro.workloads import all_workloads, get_workload
+from repro.workloads.generator import density_sweep
+
+
+def test_e6_engine_utilisation_per_workload(benchmark, report_writer):
+    def absorb_stream():
+        engine = HashEngine(LoFatConfig())
+        for index in range(1000):
+            engine.absorb_pair(index * 4, index * 4 + 8, arrival_cycle=index * 2)
+        engine.flush_cycle_model()
+        return engine
+
+    benchmark(absorb_stream)
+
+    workloads = all_workloads() + density_sweep([0, 2, 6], iterations=25)
+    rows = hash_density_sweep(workloads)
+    table = format_table(
+        rows,
+        columns=["workload", "instructions", "cycles", "cf_events", "density",
+                 "pairs_absorbed", "engine_busy_%", "max_buffer", "dropped"],
+        title="E6: hash-engine load vs branch density (real + synthetic workloads)",
+    )
+    report_writer("e6_hash_density", table)
+
+    assert all(row["dropped"] == 0 for row in rows)
+    # Denser branch streams load the engine more heavily.
+    synthetic = [row for row in rows if row["workload"].startswith("synthetic")]
+    busiest = max(synthetic, key=lambda row: row["density"])
+    calmest = min(synthetic, key=lambda row: row["density"])
+    assert busiest["engine_busy_%"] >= calmest["engine_busy_%"]
+
+
+def test_e6_required_buffer_depth(benchmark, report_writer):
+    workloads = [get_workload("crc32"), get_workload("bubble_sort"),
+                 get_workload("matmul")] + density_sweep([0], iterations=20)
+    benchmark(lambda: buffer_depth_sweep(workloads[:1], buffer_depths=(8,)))
+
+    rows = buffer_depth_sweep(workloads, buffer_depths=(1, 2, 4, 8, 16))
+    table = format_table(
+        rows,
+        title="E6b: input-buffer occupancy and drops vs configured depth",
+    )
+    report_writer("e6b_buffer_depth", table)
+
+    # The default depth (8) never drops a pair on any workload.
+    assert all(row["dropped_pairs"] == 0 for row in rows if row["buffer_depth"] >= 8)
+    # Occupancy is bounded by the configured depth.
+    assert all(row["max_occupancy"] <= row["buffer_depth"] for row in rows)

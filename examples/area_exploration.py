@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""FPGA resource exploration of the LO-FAT configuration space (E3/E8).
+
+Reproduces the paper's area evaluation (§6.2) for the published configuration
+point (n=4 indirect-target bits, l=16 branches per path, 3 nested loops on a
+Virtex-7 XC7Z020) and sweeps the granularity knobs to show the memory/logic
+trade-off the paper describes.
+
+Usage::
+
+    python examples/area_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import area_sweep, format_table
+from repro.lofat import AreaModel, LoFatConfig, VIRTEX7_XC7Z020
+
+
+def main() -> int:
+    # --- the paper's configuration point -----------------------------------
+    config = LoFatConfig()
+    estimate = AreaModel(config).estimate()
+    utilization = estimate.utilization(VIRTEX7_XC7Z020)
+    print("Paper configuration (n=4, l=16, depth 3) on %s" % VIRTEX7_XC7Z020.name)
+    print("  LUTs      : %5d  (%.1f%% of device; paper reports ~6%%)"
+          % (estimate.luts, 100 * utilization["luts"]))
+    print("  Registers : %5d  (%.1f%% of device; paper reports ~4%%)"
+          % (estimate.registers, 100 * utilization["registers"]))
+    print("  BRAM36    : %5d  (paper reports 49: 16 per loop level + 1)"
+          % estimate.bram36)
+    print("  Logic overhead vs Pulpino SoC: %.0f%% (paper reports ~20%%)"
+          % (100 * estimate.logic_overhead_vs_pulpino()))
+    print("  Max clock : %.0f MHz (paper reports 80 MHz)" % estimate.max_clock_mhz)
+    print("\nPer-component logic estimate:")
+    for component, numbers in estimate.per_component.items():
+        print("  %-14s LUTs %5d   registers %5d"
+              % (component, numbers["luts"], numbers["registers"]))
+
+    # --- configuration sweep ------------------------------------------------
+    print("\n" + format_table(
+        area_sweep(),
+        columns=["nested_loops", "path_bits", "bram36", "loop_mem_kbits",
+                 "luts", "registers", "lut_util_%", "reg_util_%",
+                 "logic_overhead_%"],
+        title="Resource usage across tracking-granularity configurations",
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

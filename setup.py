@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The pyproject.toml carries all metadata; this file exists so that the package
+can be installed in environments without the ``wheel`` package (where PEP 660
+editable installs are unavailable), e.g. ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""LO-FAT reproduction: hardware control-flow attestation, simulated in Python.
+
+This package reproduces *LO-FAT: Low-Overhead Control Flow ATtestation in
+Hardware* (Dessouky et al., DAC 2017) as a trace-based simulation:
+
+* :mod:`repro.isa` / :mod:`repro.cpu` -- an RV32IM assembler and a Pulpino-like
+  embedded core model that produces the retired-instruction trace LO-FAT snoops.
+* :mod:`repro.cfg` -- the verifier's offline static analysis (CFG, loops).
+* :mod:`repro.lofat` -- the paper's contribution: branch filter, loop monitor,
+  path encoder, loop counter memory, SHA-3 hash engine, metadata generator and
+  the FPGA area model.
+* :mod:`repro.attestation` -- the challenge-response protocol (prover/verifier).
+* :mod:`repro.baselines` -- C-FLAT (software CFA) and static attestation.
+* :mod:`repro.attacks` -- the three run-time attack classes of Figure 1.
+* :mod:`repro.workloads` -- embedded evaluation workloads (syringe pump, ...).
+* :mod:`repro.analysis` -- experiment drivers and report formatting.
+
+Quickstart::
+
+    from repro import attest_workload
+    result, measurement = attest_workload("syringe_pump")
+    print(measurement.measurement_hex)
+"""
+
+from repro.attestation import Prover, Verifier
+from repro.lofat import AttestationMeasurement, LoFatConfig, LoFatEngine
+from repro.lofat.engine import attest_execution
+from repro.workloads import Workload, all_workloads, get_workload
+
+__version__ = "1.0.0"
+
+
+def attest_workload(name: str, inputs=None, config=None):
+    """Run a registered workload under LO-FAT and return (result, measurement).
+
+    ``inputs`` overrides the workload's default input vector; ``config`` is an
+    optional :class:`repro.lofat.LoFatConfig`.
+    """
+    workload = get_workload(name)
+    program = workload.build()
+    run_inputs = list(workload.inputs) if inputs is None else list(inputs)
+    return attest_execution(program, inputs=run_inputs, config=config)
+
+
+__all__ = [
+    "Prover",
+    "Verifier",
+    "AttestationMeasurement",
+    "LoFatConfig",
+    "LoFatEngine",
+    "attest_execution",
+    "attest_workload",
+    "Workload",
+    "all_workloads",
+    "get_workload",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Experiment drivers: performance accounting, parameter sweeps, reporting.
+
+* :mod:`repro.analysis.performance` -- runs workloads with and without
+  attestation and produces the LO-FAT vs C-FLAT overhead comparison (E1) and
+  related per-workload statistics.
+* :mod:`repro.analysis.sweep` -- parameter sweeps over the LO-FAT
+  configuration space (area, buffer depth, granularity) used by E3, E6, E8.
+* :mod:`repro.analysis.report` -- plain-text table rendering shared by the
+  benchmarks and examples so every experiment prints the same style of rows
+  the paper reports.
+"""
+
+from repro.analysis.performance import WorkloadComparison, compare_all_workloads, compare_workload
+from repro.analysis.report import format_table
+from repro.analysis.sweep import (
+    area_sweep,
+    buffer_depth_sweep,
+    granularity_sweep,
+    hash_density_sweep,
+)
+
+__all__ = [
+    "WorkloadComparison",
+    "compare_all_workloads",
+    "compare_workload",
+    "format_table",
+    "area_sweep",
+    "buffer_depth_sweep",
+    "granularity_sweep",
+    "hash_density_sweep",
+]

@@ -1,0 +1,31 @@
+"""Run-time attack models (paper §2, Figure 1).
+
+The paper distinguishes three classes of run-time attacks, all of which leave
+the program binary untouched:
+
+* **Class 1 -- non-control-data attacks**: corrupt a data variable used in a
+  security decision, steering execution onto a *legal but unintended* path
+  (:mod:`repro.attacks.noncontrol_data`).
+* **Class 2 -- loop-counter corruption**: change how often a loop executes
+  (the syringe-pump overdose example, :mod:`repro.attacks.loop_counter`).
+* **Class 3 -- code-pointer overwrites**: corrupt a return address or function
+  pointer to divert control to code never reachable on a benign path
+  (:mod:`repro.attacks.rop` and the function-pointer variant in
+  :mod:`repro.attacks.code_pointer`).
+
+Every attack is expressed as a :class:`repro.attacks.injector.MemoryCorruption`
+installed on the CPU through the same read-write data interface the program
+uses, matching the adversary model (full control of data memory, no control of
+code memory or LO-FAT state).
+"""
+
+from repro.attacks.injector import AttackScenario, MemoryCorruption, ATTACK_REGISTRY, all_attacks, get_attack
+from repro.attacks import loop_counter, noncontrol_data, rop, code_pointer  # noqa: F401
+
+__all__ = [
+    "AttackScenario",
+    "MemoryCorruption",
+    "ATTACK_REGISTRY",
+    "all_attacks",
+    "get_attack",
+]

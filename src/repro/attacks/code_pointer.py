@@ -1,0 +1,51 @@
+"""Attack class 3 (variant): function-pointer table overwrite.
+
+The dispatcher workload calls handlers through a function-pointer table in
+data memory.  The attack redirects the first table entry to
+``privileged_maintenance``, a routine that exists in the binary (so the
+indirect call still lands on a function entry and would satisfy a
+coarse-grained CFI policy) but is never invoked by benign executions.  The
+hashed (Src, Dest) stream changes, so golden-replay verification rejects the
+report even though each individual edge looks "plausible" to a conservative
+static policy -- illustrating why the paper attests the *whole path* rather
+than checking edges in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.attacks.injector import AttackScenario, MemoryCorruption, register_attack
+from repro.isa.assembler import Program
+
+#: Inputs supplied by the verifier's challenge (dispatch handlers 1, 2, finish).
+CHALLENGE_INPUTS = [1, 2, 0]
+
+
+def _build(program: Program) -> List[MemoryCorruption]:
+    return [
+        MemoryCorruption(
+            # Fire before the first command is dispatched.
+            trigger_pc=program.symbol("main_loop"),
+            address=program.symbol("handlers"),
+            value=program.symbol("privileged_maintenance"),
+        )
+    ]
+
+
+@register_attack
+def function_pointer_hijack() -> AttackScenario:
+    """Redirect a dispatch-table entry to a privileged routine."""
+    return AttackScenario(
+        name="function_pointer_hijack",
+        description=(
+            "Overwrite the first entry of the dispatcher's function-pointer "
+            "table so command 1 invokes privileged_maintenance instead of "
+            "handler_status."
+        ),
+        attack_class=3,
+        workload_name="dispatcher",
+        build_corruptions=_build,
+        challenge_inputs=list(CHALLENGE_INPUTS),
+        changes_output=True,
+    )

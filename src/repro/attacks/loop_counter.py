@@ -1,0 +1,52 @@
+"""Attack class 2: loop-counter corruption (the syringe-pump overdose).
+
+The syringe-pump firmware keeps the requested quantity in data memory and
+re-reads it as the dispense-loop bound on every iteration.  The attack
+overwrites that variable after the loop has started, so the pump dispenses
+more units than the verifier requested.  No CFG edge is violated -- only the
+*number of iterations* changes -- which is why plain CFI misses it while the
+iteration counts in LO-FAT's metadata ``L`` expose it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.attacks.injector import AttackScenario, MemoryCorruption, register_attack
+from repro.isa.assembler import Program
+
+#: Quantity the attacker forces the pump to dispense.
+ATTACKER_QUANTITY = 9
+#: Inputs the verifier challenges with: dispense 5 units, then shut down.
+CHALLENGE_INPUTS = [1, 5, 0]
+
+
+def _build(program: Program) -> List[MemoryCorruption]:
+    return [
+        MemoryCorruption(
+            # Fire at the top of the dispense loop, on its second iteration
+            # (after the benign bound has already been used once).
+            trigger_pc=program.symbol("dispense_loop"),
+            address=program.symbol("quantity"),
+            value=ATTACKER_QUANTITY,
+            occurrence=2,
+        )
+    ]
+
+
+@register_attack
+def syringe_overdose() -> AttackScenario:
+    """Corrupt the dispense-loop bound of the syringe pump."""
+    return AttackScenario(
+        name="syringe_overdose",
+        description=(
+            "Overwrite the in-memory dispense quantity while the motor loop is "
+            "running, making the pump dispense %d units instead of the "
+            "requested %d." % (ATTACKER_QUANTITY, CHALLENGE_INPUTS[1])
+        ),
+        attack_class=2,
+        workload_name="syringe_pump",
+        build_corruptions=_build,
+        challenge_inputs=list(CHALLENGE_INPUTS),
+        changes_output=True,
+    )

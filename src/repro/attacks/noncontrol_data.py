@@ -1,0 +1,48 @@
+"""Attack class 1: non-control-data corruption of a security decision.
+
+The authentication workload stores the authorisation result in data memory
+and branches on it.  The attack flips that flag between the store and the
+load, so the *privileged* path executes even though the password was wrong.
+Both paths are legal CFG paths, so control-flow integrity is never violated;
+only control-flow *attestation* lets the verifier see that the path taken is
+not the one implied by the input it supplied.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.attacks.injector import AttackScenario, MemoryCorruption, register_attack
+from repro.isa.assembler import Program
+
+#: The (wrong) password attempt the verifier's challenge supplies.
+CHALLENGE_INPUTS = [1000]
+
+
+def _build(program: Program) -> List[MemoryCorruption]:
+    return [
+        MemoryCorruption(
+            # Fire right before the flag is re-loaded for the branch decision.
+            trigger_pc=program.symbol("check_done"),
+            address=program.symbol("auth_flag"),
+            value=1,
+        )
+    ]
+
+
+@register_attack
+def auth_flag_flip() -> AttackScenario:
+    """Flip the authorisation flag after a failed password check."""
+    return AttackScenario(
+        name="auth_flag_flip",
+        description=(
+            "Corrupt the auth_flag data variable between the password check "
+            "and the privilege decision, steering execution onto the "
+            "privileged (but CFG-legal) path."
+        ),
+        attack_class=1,
+        workload_name="auth_check",
+        build_corruptions=_build,
+        challenge_inputs=list(CHALLENGE_INPUTS),
+        changes_output=True,
+    )

@@ -1,0 +1,58 @@
+"""Attack class 3: return-address overwrite (minimal ROP/code-reuse attack).
+
+The victim function spills its return address to the stack next to a
+caller-controlled buffer slot.  The attack overwrites the saved return
+address with the address of ``secret_gadget`` -- code present in the binary
+but unreachable on any benign path -- so the function "returns" into the
+gadget.  The resulting return edge is not an edge of the CFG, so LO-FAT's
+measurement diverges and (independently) the verifier's edge-validity check
+flags the transfer.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.attacks.injector import AttackScenario, MemoryCorruption, register_attack
+from repro.cpu.core import Cpu
+from repro.isa.assembler import Program
+
+#: Input supplied by the verifier's challenge.
+CHALLENGE_INPUTS = [21]
+#: Offset of the triggering instruction (``lw t0, 8(sp)``) inside ``process``.
+TRIGGER_OFFSET = 12
+#: Offset of the saved return address relative to the callee stack pointer.
+SAVED_RA_OFFSET = 12
+
+
+def _build(program: Program) -> List[MemoryCorruption]:
+    gadget = program.symbol("secret_gadget")
+
+    def saved_return_address_slot(cpu: Cpu) -> int:
+        return cpu.registers["sp"] + SAVED_RA_OFFSET
+
+    return [
+        MemoryCorruption(
+            trigger_pc=program.symbol("process") + TRIGGER_OFFSET,
+            address=saved_return_address_slot,
+            value=gadget,
+        )
+    ]
+
+
+@register_attack
+def return_address_overwrite() -> AttackScenario:
+    """Overwrite a saved return address with the secret gadget's address."""
+    return AttackScenario(
+        name="return_address_overwrite",
+        description=(
+            "Stack smash: overwrite the return address saved by process() so "
+            "that it returns into secret_gadget, which is unreachable on any "
+            "benign path."
+        ),
+        attack_class=3,
+        workload_name="vulnerable_process",
+        build_corruptions=_build,
+        challenge_inputs=list(CHALLENGE_INPUTS),
+        changes_output=True,
+    )

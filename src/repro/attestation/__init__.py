@@ -1,0 +1,30 @@
+"""The LO-FAT challenge-response attestation protocol (paper §3, Figure 2).
+
+* :mod:`repro.attestation.crypto` -- the prover's hardware-protected signing
+  key and the signature scheme (HMAC-based, see DESIGN.md for the
+  substitution rationale).
+* :mod:`repro.attestation.protocol` -- the wire messages exchanged between
+  verifier and prover (challenge, report).
+* :mod:`repro.attestation.prover` -- the prover device: executes the program
+  under LO-FAT and produces the signed report.
+* :mod:`repro.attestation.verifier` -- the verifier: nonce management,
+  signature checking, and control-flow path validation against the CFG
+  (golden replay, measurement database and structural CFG checks).
+"""
+
+from repro.attestation.crypto import SecureKeyStore, sign_report, verify_signature
+from repro.attestation.protocol import AttestationChallenge, AttestationReport
+from repro.attestation.prover import Prover
+from repro.attestation.verifier import VerificationResult, Verifier, VerdictReason
+
+__all__ = [
+    "SecureKeyStore",
+    "sign_report",
+    "verify_signature",
+    "AttestationChallenge",
+    "AttestationReport",
+    "Prover",
+    "VerificationResult",
+    "Verifier",
+    "VerdictReason",
+]

@@ -1,0 +1,79 @@
+"""Wire messages of the attestation protocol (paper Figure 2).
+
+The verifier sends a challenge ``(id_S, i, N)`` naming the attested program,
+supplying the program input ``i`` and a fresh nonce ``N``.  The prover runs
+``S`` under LO-FAT and answers with the program path ``P = (A, L)`` and the
+report signature ``R = sign(P || N; sk)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.lofat.metadata import LoopMetadata
+
+
+@dataclass(frozen=True)
+class AttestationChallenge:
+    """Verifier -> prover: attest program ``program_id`` on input ``inputs``."""
+
+    program_id: str
+    inputs: Tuple[int, ...]
+    nonce: bytes
+
+    def to_bytes(self) -> bytes:
+        """Canonical serialisation (useful for transcripts and logging)."""
+        blob = self.program_id.encode("utf-8")
+        blob = len(blob).to_bytes(2, "little") + blob
+        blob += len(self.inputs).to_bytes(2, "little")
+        for value in self.inputs:
+            blob += (value & 0xFFFFFFFF).to_bytes(4, "little")
+        blob += len(self.nonce).to_bytes(1, "little") + self.nonce
+        return blob
+
+
+@dataclass
+class AttestationReport:
+    """Prover -> verifier: the measured path ``P = (A, L)`` plus signature ``R``.
+
+    Attributes:
+        program_id: identifier of the attested program (echoed from the
+            challenge).
+        measurement: the cumulative SHA3-512 hash ``A`` (64 bytes).
+        metadata: the loop metadata ``L``.
+        nonce: the challenge nonce the report responds to.
+        signature: ``R = sign(A || L || N; sk)``.
+        exit_code: program exit status (reported for operational visibility;
+            not part of the signed payload in the paper's protocol).
+        output: program output (idem).
+    """
+
+    program_id: str
+    measurement: bytes
+    metadata: LoopMetadata
+    nonce: bytes
+    signature: bytes
+    exit_code: int = 0
+    output: str = ""
+
+    @property
+    def payload(self) -> bytes:
+        """The byte string covered by the signature: ``A || L``."""
+        return self.measurement + self.metadata.to_bytes()
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate report size on the wire (measurement + L + signature)."""
+        return len(self.measurement) + self.metadata.size_bytes + len(self.signature)
+
+    def describe(self) -> dict:
+        """Summary dictionary used by reports and the protocol experiment."""
+        return {
+            "program_id": self.program_id,
+            "measurement": self.measurement.hex()[:32] + "...",
+            "metadata_bytes": self.metadata.size_bytes,
+            "loop_executions": len(self.metadata),
+            "report_bytes": self.size_bytes,
+            "exit_code": self.exit_code,
+        }

@@ -1,0 +1,110 @@
+"""The prover device.
+
+The prover P holds the program binary ``S``, the LO-FAT hardware and the
+hardware-protected signing key.  On receiving a challenge it executes ``S``
+with the verifier-chosen input ``i`` (plus any locally-arriving, possibly
+adversarial inputs ``I``), lets LO-FAT capture the control flow, and returns
+the signed attestation report.
+
+The :class:`Prover` also exposes hooks for the attack injectors so the
+security experiments can model a compromised program *on the device* while
+the attestation hardware itself stays trustworthy, exactly matching the
+paper's adversary model (full control over data memory, no control over
+LO-FAT state or the signing key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.attestation.crypto import SecureKeyStore, sign_report
+from repro.attestation.protocol import AttestationChallenge, AttestationReport
+from repro.cpu.core import Cpu, CpuConfig
+from repro.isa.assembler import Program
+from repro.lofat.config import LoFatConfig
+from repro.lofat.engine import LoFatEngine
+
+
+@dataclass
+class ProverRunInfo:
+    """Operational data about the last attested execution (not signed)."""
+
+    instructions: int = 0
+    cycles: int = 0
+    engine_stats: dict = field(default_factory=dict)
+
+
+class Prover:
+    """An embedded device with LO-FAT attestation hardware."""
+
+    def __init__(
+        self,
+        programs: Dict[str, Program],
+        keystore: Optional[SecureKeyStore] = None,
+        lofat_config: Optional[LoFatConfig] = None,
+        cpu_config: Optional[CpuConfig] = None,
+        device_id: str = "prover-0",
+    ) -> None:
+        self.programs = dict(programs)
+        self.keystore = keystore or SecureKeyStore(device_id=device_id)
+        self.lofat_config = lofat_config or LoFatConfig()
+        self.cpu_config = cpu_config
+        self.device_id = device_id
+        #: Adversary-controlled inputs appended after the verifier's inputs
+        #: (the ``I`` of the protocol figure).
+        self.adversary_inputs: List[int] = []
+        #: Attack hooks installed by a compromised environment; they receive
+        #: the CPU before execution starts and may register memory-corruption
+        #: triggers.  The attestation hardware is unaffected by them.
+        self.attack_hooks: List[Callable[[Cpu], None]] = []
+        self.last_run: Optional[ProverRunInfo] = None
+
+    # -------------------------------------------------------------- device
+    def add_program(self, program_id: str, program: Program) -> None:
+        """Provision another attestable program."""
+        self.programs[program_id] = program
+
+    def install_attack(self, hook: Callable[[Cpu], None]) -> None:
+        """Install an adversarial hook (used by the security experiments)."""
+        self.attack_hooks.append(hook)
+
+    def clear_attacks(self) -> None:
+        """Remove all adversarial hooks."""
+        self.attack_hooks = []
+        self.adversary_inputs = []
+
+    # ------------------------------------------------------------ protocol
+    def attest(self, challenge: AttestationChallenge) -> AttestationReport:
+        """Execute the requested program under LO-FAT and sign the result."""
+        if challenge.program_id not in self.programs:
+            raise KeyError("unknown program id: %r" % challenge.program_id)
+        program = self.programs[challenge.program_id]
+
+        inputs = list(challenge.inputs) + list(self.adversary_inputs)
+        cpu = Cpu(program, inputs=inputs, config=self.cpu_config)
+        engine = LoFatEngine(self.lofat_config)
+        cpu.attach_monitor(engine.observe)
+        for hook in self.attack_hooks:
+            hook(cpu)
+
+        result = cpu.run()
+        measurement = engine.finalize()
+
+        self.last_run = ProverRunInfo(
+            instructions=result.instructions,
+            cycles=result.cycles,
+            engine_stats=measurement.stats,
+        )
+
+        payload = measurement.measurement + measurement.metadata.to_bytes()
+        signature = sign_report(payload, challenge.nonce, self.keystore)
+        return AttestationReport(
+            program_id=challenge.program_id,
+            measurement=measurement.measurement,
+            metadata=measurement.metadata,
+            nonce=challenge.nonce,
+            signature=signature,
+            exit_code=result.exit_code,
+            output=result.output,
+        )

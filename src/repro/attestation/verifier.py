@@ -1,0 +1,307 @@
+"""The verifier.
+
+Per the protocol (paper §3), the verifier:
+
+1. performs a one-time offline analysis of the program (CFG + loop
+   information),
+2. issues challenges containing the program input ``i`` and a fresh nonce,
+3. on receiving the report, checks the signature and the nonce, and
+4. checks that the reported path ``P = (A, L)`` corresponds to a valid
+   execution of the program's CFG under input ``i``.
+
+Step 4 is implemented in three complementary modes:
+
+* **Golden replay** (the default): the verifier, who owns the program binary
+  and chose the input, re-executes the program in its own trusted simulator
+  with an identical LO-FAT model and compares the resulting ``(A, L)``.  This
+  is the strongest check and mirrors how C-FLAT/LO-FAT verifiers are
+  evaluated in practice (known-input attestation).
+* **Measurement database**: expected measurements for a set of inputs are
+  precomputed and looked up; useful when the verifier wants O(1) verification
+  cost online.
+* **Structural CFG checks**: independent of the input, the metadata ``L`` is
+  validated against the static CFG (every reported loop entry must be the
+  target of a backward edge; path encodings must be consistent with the loop
+  body).  These checks catch malformed metadata and are also applied in the
+  two modes above.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.attestation.crypto import fresh_nonce, verify_signature
+from repro.attestation.protocol import AttestationChallenge, AttestationReport
+from repro.cfg.builder import ControlFlowGraph, build_cfg
+from repro.cfg.loops import NaturalLoop, find_natural_loops
+from repro.cfg.paths import PathChecker
+from repro.cpu.core import Cpu, CpuConfig
+from repro.isa.assembler import Program
+from repro.lofat.config import LoFatConfig
+from repro.lofat.engine import LoFatEngine
+from repro.lofat.metadata import LoopMetadata
+
+
+class VerdictReason(enum.Enum):
+    """Why a report was accepted or rejected."""
+
+    ACCEPTED = "accepted"
+    UNKNOWN_PROGRAM = "unknown_program"
+    UNKNOWN_NONCE = "unknown_nonce"
+    NONCE_REUSED = "nonce_reused"
+    BAD_SIGNATURE = "bad_signature"
+    MEASUREMENT_MISMATCH = "measurement_mismatch"
+    METADATA_MISMATCH = "metadata_mismatch"
+    METADATA_CFG_VIOLATION = "metadata_cfg_violation"
+    NO_REFERENCE = "no_reference_measurement"
+
+
+@dataclass
+class VerificationResult:
+    """The verifier's verdict on one attestation report."""
+
+    accepted: bool
+    reason: VerdictReason
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+
+@dataclass
+class ProgramKnowledge:
+    """Everything the verifier precomputes offline for one program."""
+
+    program: Program
+    cfg: ControlFlowGraph
+    loops: List[NaturalLoop]
+    path_checker: PathChecker
+    #: Addresses that are plausible run-time loop entries: targets of
+    #: backward CFG edges (the heuristic LO-FAT applies in hardware).
+    backward_edge_targets: frozenset
+
+
+class Verifier:
+    """The remote verifier V."""
+
+    def __init__(
+        self,
+        lofat_config: Optional[LoFatConfig] = None,
+        cpu_config: Optional[CpuConfig] = None,
+    ) -> None:
+        self.lofat_config = lofat_config or LoFatConfig()
+        self.cpu_config = cpu_config
+        self._programs: Dict[str, ProgramKnowledge] = {}
+        self._verification_keys: Dict[str, bytes] = {}
+        self._outstanding_nonces: Dict[bytes, AttestationChallenge] = {}
+        self._used_nonces: set = set()
+        self._measurement_db: Dict[Tuple[str, Tuple[int, ...]], Tuple[bytes, bytes]] = {}
+
+    # ------------------------------------------------------- provisioning
+    def register_program(self, program_id: str, program: Program) -> ProgramKnowledge:
+        """Offline pre-processing: build and store the program's CFG."""
+        cfg = build_cfg(program)
+        loops = find_natural_loops(cfg)
+        backward_targets = set()
+        for block in cfg.blocks:
+            terminator = block.terminator
+            if terminator.is_conditional_branch or terminator.is_direct_jump:
+                target = terminator.address + terminator.imm
+                if target <= terminator.address:
+                    backward_targets.add(target)
+        knowledge = ProgramKnowledge(
+            program=program,
+            cfg=cfg,
+            loops=loops,
+            path_checker=PathChecker(cfg),
+            backward_edge_targets=frozenset(backward_targets),
+        )
+        self._programs[program_id] = knowledge
+        return knowledge
+
+    def register_device_key(self, device_id: str, verification_key: bytes) -> None:
+        """Provision the verification key of a prover device."""
+        self._verification_keys[device_id] = verification_key
+
+    def precompute_measurement(
+        self, program_id: str, inputs: Sequence[int]
+    ) -> Tuple[bytes, bytes]:
+        """Populate the measurement database for (program, input).
+
+        Returns the expected ``(A, serialized L)`` pair.
+        """
+        measurement, metadata = self._reference_measurement(program_id, inputs)
+        key = (program_id, tuple(inputs))
+        self._measurement_db[key] = (measurement, metadata.to_bytes())
+        return self._measurement_db[key]
+
+    def export_measurement_database(self) -> str:
+        """Serialise the measurement database to JSON (for persistence).
+
+        The database contains only public reference values (expected A and L
+        per known input), so it can be stored or shared freely.
+        """
+        entries = [
+            {
+                "program_id": program_id,
+                "inputs": list(inputs),
+                "measurement": measurement.hex(),
+                "metadata": metadata.hex(),
+            }
+            for (program_id, inputs), (measurement, metadata)
+            in sorted(self._measurement_db.items())
+        ]
+        return json.dumps({"version": 1, "entries": entries}, indent=2)
+
+    def import_measurement_database(self, payload: str) -> int:
+        """Load a database previously produced by :meth:`export_measurement_database`.
+
+        Returns the number of imported entries.  Entries for unregistered
+        programs are imported as well (the program may be registered later);
+        existing entries with the same key are overwritten.
+        """
+        document = json.loads(payload)
+        if document.get("version") != 1:
+            raise ValueError("unsupported measurement database version")
+        count = 0
+        for entry in document.get("entries", []):
+            key = (entry["program_id"], tuple(int(v) for v in entry["inputs"]))
+            self._measurement_db[key] = (
+                bytes.fromhex(entry["measurement"]),
+                bytes.fromhex(entry["metadata"]),
+            )
+            count += 1
+        return count
+
+    # ----------------------------------------------------------- protocol
+    def challenge(self, program_id: str, inputs: Sequence[int]) -> AttestationChallenge:
+        """Create a fresh challenge for ``program_id`` with input ``inputs``."""
+        if program_id not in self._programs:
+            raise KeyError("program %r is not registered" % program_id)
+        nonce = fresh_nonce()
+        challenge = AttestationChallenge(
+            program_id=program_id, inputs=tuple(inputs), nonce=nonce
+        )
+        self._outstanding_nonces[nonce] = challenge
+        return challenge
+
+    def verify(
+        self,
+        report: AttestationReport,
+        device_id: str = "prover-0",
+        mode: str = "replay",
+    ) -> VerificationResult:
+        """Check an attestation report.
+
+        ``mode`` selects how the measurement itself is validated:
+        ``"replay"`` (golden replay), ``"database"`` (precomputed
+        measurements) or ``"structural"`` (CFG checks only).
+        """
+        if report.program_id not in self._programs:
+            return VerificationResult(False, VerdictReason.UNKNOWN_PROGRAM)
+
+        challenge = self._outstanding_nonces.get(report.nonce)
+        if challenge is None:
+            reason = (
+                VerdictReason.NONCE_REUSED
+                if report.nonce in self._used_nonces
+                else VerdictReason.UNKNOWN_NONCE
+            )
+            return VerificationResult(False, reason)
+
+        key = self._verification_keys.get(device_id)
+        if key is None or not verify_signature(
+            report.payload, report.nonce, report.signature, key
+        ):
+            return VerificationResult(False, VerdictReason.BAD_SIGNATURE)
+
+        # The nonce is consumed whether or not the path checks pass: replaying
+        # the same report later must be rejected as stale.
+        del self._outstanding_nonces[report.nonce]
+        self._used_nonces.add(report.nonce)
+
+        structural = self._check_metadata_structure(report.program_id, report.metadata)
+        if not structural.accepted:
+            return structural
+
+        if mode == "structural":
+            return VerificationResult(True, VerdictReason.ACCEPTED,
+                                      "structural checks only")
+        if mode == "database":
+            expected = self._measurement_db.get(
+                (report.program_id, tuple(challenge.inputs))
+            )
+            if expected is None:
+                return VerificationResult(False, VerdictReason.NO_REFERENCE)
+            expected_measurement, expected_metadata = expected
+            if expected_measurement != report.measurement:
+                return VerificationResult(False, VerdictReason.MEASUREMENT_MISMATCH)
+            if expected_metadata != report.metadata.to_bytes():
+                return VerificationResult(False, VerdictReason.METADATA_MISMATCH)
+            return VerificationResult(True, VerdictReason.ACCEPTED)
+
+        # Golden replay.
+        expected_measurement, expected_metadata = self._reference_measurement(
+            report.program_id, challenge.inputs
+        )
+        if expected_measurement != report.measurement:
+            return VerificationResult(
+                False, VerdictReason.MEASUREMENT_MISMATCH,
+                "reported A does not match the verifier's replay",
+            )
+        if expected_metadata.to_bytes() != report.metadata.to_bytes():
+            return VerificationResult(
+                False, VerdictReason.METADATA_MISMATCH,
+                "reported loop metadata L does not match the verifier's replay",
+            )
+        return VerificationResult(True, VerdictReason.ACCEPTED)
+
+    # -------------------------------------------------------------- internals
+    def _reference_measurement(
+        self, program_id: str, inputs: Sequence[int]
+    ) -> Tuple[bytes, LoopMetadata]:
+        """Replay the program in the verifier's trusted simulator."""
+        knowledge = self._programs[program_id]
+        cpu = Cpu(knowledge.program, inputs=list(inputs), config=self.cpu_config)
+        engine = LoFatEngine(self.lofat_config)
+        cpu.attach_monitor(engine.observe)
+        cpu.run()
+        measurement = engine.finalize()
+        return measurement.measurement, measurement.metadata
+
+    def _check_metadata_structure(
+        self, program_id: str, metadata: LoopMetadata
+    ) -> VerificationResult:
+        """Validate the loop metadata against the static CFG."""
+        knowledge = self._programs[program_id]
+        instruction_addresses = {
+            instr.address for instr in knowledge.program.instructions
+        }
+        for record in metadata:
+            if record.entry not in instruction_addresses:
+                return VerificationResult(
+                    False, VerdictReason.METADATA_CFG_VIOLATION,
+                    "loop entry %#x is not a program address" % record.entry,
+                )
+            if record.entry not in knowledge.backward_edge_targets:
+                return VerificationResult(
+                    False, VerdictReason.METADATA_CFG_VIOLATION,
+                    "loop entry %#x is not the target of any backward edge"
+                    % record.entry,
+                )
+            if record.iterations < len(record.paths):
+                return VerificationResult(
+                    False, VerdictReason.METADATA_CFG_VIOLATION,
+                    "loop at %#x reports fewer iterations than distinct paths"
+                    % record.entry,
+                )
+            iteration_sum = sum(path.iterations for path in record.paths)
+            if iteration_sum != record.iterations:
+                return VerificationResult(
+                    False, VerdictReason.METADATA_CFG_VIOLATION,
+                    "loop at %#x iteration counts are inconsistent" % record.entry,
+                )
+        return VerificationResult(True, VerdictReason.ACCEPTED)

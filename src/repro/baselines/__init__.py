@@ -1,0 +1,22 @@
+"""Baseline attestation schemes LO-FAT is compared against.
+
+* :mod:`repro.baselines.cflat` -- C-FLAT (Abera et al., CCS 2016), the
+  software control-flow attestation scheme whose instrumentation overhead
+  motivates LO-FAT.  Modelled as a per-control-flow-event cycle cost added to
+  the uninstrumented execution (the overhead is linear in the number of
+  control-flow events, which is the paper's comparison point).
+* :mod:`repro.baselines.static_attestation` -- conventional static (binary)
+  attestation, which measures the program image at load time and therefore
+  cannot observe run-time control-flow attacks.
+"""
+
+from repro.baselines.cflat import CFlatCostModel, CFlatResult, CFlatAttestation
+from repro.baselines.static_attestation import StaticAttestation, StaticMeasurement
+
+__all__ = [
+    "CFlatCostModel",
+    "CFlatResult",
+    "CFlatAttestation",
+    "StaticAttestation",
+    "StaticMeasurement",
+]

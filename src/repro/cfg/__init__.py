@@ -1,0 +1,35 @@
+"""Static control-flow analysis of assembled programs.
+
+The verifier in the LO-FAT protocol performs "a one-time offline
+pre-processing step to generate the CFG of S (including expected loop
+execution information) by means of static or dynamic analysis" (paper §3).
+This package is that pre-processing step:
+
+* :mod:`repro.cfg.basic_blocks` -- basic-block partitioning of a program.
+* :mod:`repro.cfg.builder` -- control-flow graph construction.
+* :mod:`repro.cfg.dominators` -- dominator-tree computation.
+* :mod:`repro.cfg.loops` -- natural-loop detection and nesting analysis.
+* :mod:`repro.cfg.paths` -- edge/path validity queries used during
+  attestation verification.
+"""
+
+from repro.cfg.basic_blocks import BasicBlock, split_basic_blocks
+from repro.cfg.builder import CfgEdge, ControlFlowGraph, EdgeKind, build_cfg
+from repro.cfg.dominators import compute_dominators, dominator_tree
+from repro.cfg.loops import NaturalLoop, find_natural_loops
+from repro.cfg.paths import EdgeValidity, PathChecker
+
+__all__ = [
+    "BasicBlock",
+    "split_basic_blocks",
+    "CfgEdge",
+    "ControlFlowGraph",
+    "EdgeKind",
+    "build_cfg",
+    "compute_dominators",
+    "dominator_tree",
+    "NaturalLoop",
+    "find_natural_loops",
+    "EdgeValidity",
+    "PathChecker",
+]

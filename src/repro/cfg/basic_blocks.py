@@ -1,0 +1,115 @@
+"""Basic-block partitioning.
+
+A basic block is a maximal straight-line instruction sequence with a single
+entry (its first instruction) and a single exit (its last instruction).  Block
+leaders are: the program entry point, every target of a direct control-flow
+transfer, every instruction that follows a control-flow instruction, and every
+function symbol (so that indirectly-called functions start a block even when
+no direct reference exists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.assembler import Program
+from repro.isa.instructions import Instruction
+
+
+@dataclass
+class BasicBlock:
+    """A single basic block.
+
+    Attributes:
+        index: dense block id in address order.
+        start: address of the first instruction.
+        end: address one past the last instruction.
+        instructions: the decoded instructions of the block, in order.
+        label: symbol name attached to the start address, if any.
+    """
+
+    index: int
+    start: int
+    end: int
+    instructions: List[Instruction] = field(default_factory=list)
+    label: Optional[str] = None
+
+    @property
+    def terminator(self) -> Instruction:
+        """The last instruction of the block."""
+        return self.instructions[-1]
+
+    @property
+    def terminator_address(self) -> int:
+        """Address of the last instruction of the block."""
+        return self.end - 4
+
+    @property
+    def size(self) -> int:
+        """Number of instructions in the block."""
+        return len(self.instructions)
+
+    def contains(self, address: int) -> bool:
+        """True if ``address`` is the address of an instruction in the block."""
+        return self.start <= address < self.end
+
+    def __repr__(self) -> str:
+        name = self.label or ("bb_%d" % self.index)
+        return "BasicBlock(%s, %#x..%#x, %d instrs)" % (
+            name, self.start, self.end, self.size,
+        )
+
+
+def split_basic_blocks(program: Program) -> List[BasicBlock]:
+    """Partition ``program`` into basic blocks in address order."""
+    if not program.instructions:
+        return []
+
+    addresses = [instr.address for instr in program.instructions]
+    address_set = set(addresses)
+    leaders = {program.entry, program.code_base}
+
+    for instr in program.instructions:
+        if not instr.is_control_flow:
+            continue
+        # The instruction following any control-flow instruction is a leader.
+        follower = instr.address + 4
+        if follower in address_set:
+            leaders.add(follower)
+        # Direct targets are leaders.
+        if instr.is_conditional_branch or instr.is_direct_jump:
+            target = instr.address + instr.imm
+            if target in address_set:
+                leaders.add(target)
+
+    # Every code symbol starts a block; this covers indirect call targets.
+    for name, value in program.symbols.items():
+        if value in address_set:
+            leaders.add(value)
+
+    symbol_by_address: Dict[int, str] = {}
+    for name, value in sorted(program.symbols.items()):
+        symbol_by_address.setdefault(value, name)
+
+    sorted_leaders = sorted(leader for leader in leaders if leader in address_set)
+    blocks: List[BasicBlock] = []
+    leader_set = set(sorted_leaders)
+
+    current: Optional[BasicBlock] = None
+    for instr in program.instructions:
+        address = instr.address
+        if address in leader_set or current is None:
+            current = BasicBlock(
+                index=len(blocks),
+                start=address,
+                end=address,
+                label=symbol_by_address.get(address),
+            )
+            blocks.append(current)
+        current.instructions.append(instr)
+        current.end = address + 4
+        if instr.is_control_flow:
+            current = None
+
+    return blocks

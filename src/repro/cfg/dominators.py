@@ -1,0 +1,98 @@
+"""Dominator analysis.
+
+Dominators are needed to identify natural loops: an edge ``u -> v`` is a back
+edge (and therefore forms a loop with header ``v``) exactly when ``v``
+dominates ``u``.  We use the classic iterative data-flow formulation, which is
+simple and fast enough for the small embedded programs the paper targets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.cfg.builder import ControlFlowGraph
+
+
+def compute_dominators(cfg: ControlFlowGraph) -> Dict[int, Set[int]]:
+    """Return, for every reachable block start, the set of its dominators.
+
+    The entry block is dominated only by itself.  Unreachable blocks are not
+    included in the result.
+    """
+    entry = cfg.entry_block.start
+    # Restrict the analysis to blocks reachable from the entry.
+    reachable: Set[int] = set()
+    worklist = [entry]
+    while worklist:
+        node = worklist.pop()
+        if node in reachable:
+            continue
+        reachable.add(node)
+        for edge in cfg.successors(node):
+            if edge.dst not in reachable:
+                worklist.append(edge.dst)
+
+    dominators: Dict[int, Set[int]] = {node: set(reachable) for node in reachable}
+    dominators[entry] = {entry}
+
+    changed = True
+    order = sorted(reachable)
+    while changed:
+        changed = False
+        for node in order:
+            if node == entry:
+                continue
+            preds = [
+                edge.src for edge in cfg.predecessors(node) if edge.src in reachable
+            ]
+            if not preds:
+                new_set = {node}
+            else:
+                new_set = set(reachable)
+                for pred in preds:
+                    new_set &= dominators[pred]
+                new_set.add(node)
+            if new_set != dominators[node]:
+                dominators[node] = new_set
+                changed = True
+    return dominators
+
+
+def immediate_dominators(cfg: ControlFlowGraph) -> Dict[int, Optional[int]]:
+    """Return the immediate dominator of every reachable block.
+
+    The entry block maps to ``None``.
+    """
+    dominators = compute_dominators(cfg)
+    entry = cfg.entry_block.start
+    idoms: Dict[int, Optional[int]] = {entry: None}
+    for node, dom_set in dominators.items():
+        if node == entry:
+            continue
+        strict = dom_set - {node}
+        # The immediate dominator is the strict dominator that is dominated by
+        # every other strict dominator.
+        idom = None
+        for candidate in strict:
+            if all(candidate in dominators[other] for other in strict):
+                idom = candidate
+                break
+        idoms[node] = idom
+    return idoms
+
+
+def dominator_tree(cfg: ControlFlowGraph) -> Dict[int, List[int]]:
+    """Return the dominator tree as a parent -> children adjacency map."""
+    idoms = immediate_dominators(cfg)
+    tree: Dict[int, List[int]] = {}
+    for node, idom in idoms.items():
+        if idom is not None:
+            tree.setdefault(idom, []).append(node)
+    for children in tree.values():
+        children.sort()
+    return tree
+
+
+def dominates(dominators: Dict[int, Set[int]], a: int, b: int) -> bool:
+    """True if block ``a`` dominates block ``b`` (given a dominator map)."""
+    return a in dominators.get(b, set())

@@ -1,0 +1,209 @@
+"""Command-line interface for the LO-FAT reproduction.
+
+Installed as the ``lofat-repro`` console script (see pyproject.toml), the CLI
+exposes the most common interactions without writing any Python:
+
+* ``lofat-repro list`` -- list the registered workloads and attack scenarios.
+* ``lofat-repro run <workload> [--inputs 1 2 3]`` -- execute a workload on the
+  core model (no attestation) and print its output and cycle count.
+* ``lofat-repro attest <workload>`` -- run the workload under LO-FAT and print
+  the measurement ``A`` and a summary of the loop metadata ``L``.
+* ``lofat-repro protocol <workload>`` -- play the full challenge-response
+  protocol and print the verifier's verdict.
+* ``lofat-repro attack <scenario>`` -- run an attack scenario end to end and
+  show that the verifier rejects the attacked execution.
+* ``lofat-repro overhead`` -- print the E1 LO-FAT vs C-FLAT overhead table.
+* ``lofat-repro area`` -- print the E3 FPGA resource estimate and sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.performance import compare_all_workloads
+from repro.analysis.report import format_table
+from repro.analysis.sweep import area_sweep
+from repro.attacks import all_attacks, get_attack
+from repro.attestation import Prover, Verifier
+from repro.cpu.core import run_program
+from repro.lofat.area_model import AreaModel, VIRTEX7_XC7Z020
+from repro.lofat.config import LoFatConfig
+from repro.lofat.engine import attest_execution
+from repro.workloads import all_workloads, get_workload
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("Workloads:")
+    for workload in all_workloads():
+        print("  %-20s %s" % (workload.name, workload.description))
+    print("\nAttack scenarios:")
+    for scenario in all_attacks():
+        print("  %-26s class %d, targets %s"
+              % (scenario.name, scenario.attack_class, scenario.workload_name))
+    return 0
+
+
+def _resolve_inputs(args: argparse.Namespace, workload) -> List[int]:
+    return list(workload.inputs) if args.inputs is None else list(args.inputs)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    inputs = _resolve_inputs(args, workload)
+    result = run_program(workload.build(), inputs=inputs)
+    print("output      : %s" % result.output)
+    print("exit code   : %d" % result.exit_code)
+    print("instructions: %d" % result.instructions)
+    print("cycles      : %d" % result.cycles)
+    print("cf events   : %d" % result.trace.control_flow_events)
+    return result.exit_code
+
+
+def _cmd_attest(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    inputs = _resolve_inputs(args, workload)
+    result, measurement = attest_execution(workload.build(), inputs=inputs)
+    print("output        : %s" % result.output)
+    print("cycles        : %d (zero attestation overhead)" % result.cycles)
+    print("measurement A : %s" % measurement.measurement_hex)
+    print("pairs hashed  : %d / %d control-flow events"
+          % (measurement.stats["pairs_hashed"], measurement.stats["control_flow_events"]))
+    print("metadata L    : %d loop executions, %d bytes"
+          % (len(measurement.metadata), measurement.metadata.size_bytes))
+    for loop in measurement.metadata:
+        paths = ", ".join("%s x%d" % (path.encoding.bits or "-", path.iterations)
+                          for path in loop.paths)
+        print("  loop @%#06x depth %d iterations %d: %s"
+              % (loop.entry, loop.depth, loop.iterations, paths))
+    return 0
+
+
+def _make_protocol(workload):
+    program = workload.build()
+    prover = Prover({workload.name: program})
+    verifier = Verifier()
+    verifier.register_program(workload.name, program)
+    verifier.register_device_key("prover-0", prover.keystore.export_for_verifier())
+    return program, prover, verifier
+
+
+def _cmd_protocol(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    inputs = _resolve_inputs(args, workload)
+    _, prover, verifier = _make_protocol(workload)
+    challenge = verifier.challenge(workload.name, inputs)
+    report = prover.attest(challenge)
+    verdict = verifier.verify(report)
+    print("nonce     : %s" % challenge.nonce.hex())
+    print("output    : %s" % report.output)
+    print("report    : %d bytes (A=64, L=%d, sig=%d)"
+          % (report.size_bytes, report.metadata.size_bytes, len(report.signature)))
+    print("verdict   : %s (%s)" % ("ACCEPTED" if verdict.accepted else "REJECTED",
+                                   verdict.reason.value))
+    return 0 if verdict.accepted else 1
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    scenario = get_attack(args.scenario)
+    workload = get_workload(scenario.workload_name)
+    program, prover, verifier = _make_protocol(workload)
+
+    benign = prover.attest(verifier.challenge(workload.name, scenario.challenge_inputs))
+    benign_verdict = verifier.verify(benign)
+
+    prover.install_attack(scenario.prover_hook(program))
+    attacked = prover.attest(verifier.challenge(workload.name, scenario.challenge_inputs))
+    attacked_verdict = verifier.verify(attacked)
+
+    print("attack      : %s (class %d)" % (scenario.name, scenario.attack_class))
+    print("description : %s" % scenario.description)
+    print("benign run  : output=%r verdict=%s" % (benign.output, benign_verdict.reason.value))
+    print("attacked run: output=%r verdict=%s" % (attacked.output, attacked_verdict.reason.value))
+    print("detected    : %s" % (not attacked_verdict.accepted))
+    return 0 if not attacked_verdict.accepted else 1
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    comparisons = compare_all_workloads(all_workloads())
+    print(format_table(
+        [comparison.as_row() for comparison in comparisons],
+        columns=["workload", "instructions", "cycles", "cf_events",
+                 "lofat_overhead_%", "cflat_overhead_%", "hashed_pairs",
+                 "compression", "metadata_B"],
+        title="LO-FAT vs C-FLAT attestation overhead",
+    ))
+    return 0
+
+
+def _cmd_area(args: argparse.Namespace) -> int:
+    estimate = AreaModel(LoFatConfig()).estimate()
+    utilization = estimate.utilization(VIRTEX7_XC7Z020)
+    print("Paper configuration point (n=4, l=16, depth 3):")
+    print("  LUTs %d (%.1f%%), registers %d (%.1f%%), BRAM36 %d, %.0f MHz"
+          % (estimate.luts, 100 * utilization["luts"],
+             estimate.registers, 100 * utilization["registers"],
+             estimate.bram36, estimate.max_clock_mhz))
+    print()
+    print(format_table(
+        area_sweep(),
+        columns=["nested_loops", "path_bits", "bram36", "loop_mem_kbits",
+                 "luts", "registers"],
+        title="Configuration sweep",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="lofat-repro",
+        description="LO-FAT hardware control-flow attestation reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list workloads and attack scenarios")
+
+    for name, help_text in (
+        ("run", "run a workload without attestation"),
+        ("attest", "run a workload under LO-FAT and print (A, L)"),
+        ("protocol", "play the full challenge-response protocol"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument("workload", help="workload name (see 'list')")
+        sub.add_argument("--inputs", type=int, nargs="*", default=None,
+                         help="override the workload's default input values")
+
+    attack = subparsers.add_parser("attack", help="demonstrate an attack scenario")
+    attack.add_argument("scenario", help="attack scenario name (see 'list')")
+
+    subparsers.add_parser("overhead", help="print the LO-FAT vs C-FLAT overhead table")
+    subparsers.add_parser("area", help="print the FPGA resource estimates")
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "attest": _cmd_attest,
+    "protocol": _cmd_protocol,
+    "attack": _cmd_attack,
+    "overhead": _cmd_overhead,
+    "area": _cmd_area,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""A Pulpino-like RV32IM embedded core model.
+
+The CPU package provides the prover-side execution substrate that the paper's
+RTL/ModelSim environment provided:
+
+* :mod:`repro.cpu.memory` -- byte-addressable memory with read-execute /
+  read-write region protection (the paper's ``rx`` code and ``rw`` data).
+* :mod:`repro.cpu.core` -- a functional RV32IM interpreter with a
+  cycle-cost model approximating Pulpino's 4-stage pipeline, producing a
+  retired-instruction trace.
+* :mod:`repro.cpu.trace` -- the per-retired-instruction records consumed by
+  the LO-FAT branch filter.
+* :mod:`repro.cpu.syscalls` -- a tiny ``ecall`` environment for program I/O.
+* :mod:`repro.cpu.exceptions` -- machine-level fault types.
+"""
+
+from repro.cpu.exceptions import (
+    CpuError,
+    IllegalInstructionError,
+    MemoryProtectionError,
+    MisalignedAccessError,
+    OutOfFuelError,
+)
+from repro.cpu.memory import Memory, MemoryRegion, Permissions
+from repro.cpu.trace import BranchKind, ExecutionTrace, TraceRecord
+from repro.cpu.syscalls import SyscallHandler, SyscallResult
+from repro.cpu.core import Cpu, CpuConfig, ExecutionResult, run_program
+from repro.cpu.tracefile import (
+    dumps_trace,
+    loads_trace,
+    open_trace,
+    replay_trace,
+    save_trace,
+)
+
+__all__ = [
+    "CpuError",
+    "IllegalInstructionError",
+    "MemoryProtectionError",
+    "MisalignedAccessError",
+    "OutOfFuelError",
+    "Memory",
+    "MemoryRegion",
+    "Permissions",
+    "BranchKind",
+    "ExecutionTrace",
+    "TraceRecord",
+    "SyscallHandler",
+    "SyscallResult",
+    "Cpu",
+    "CpuConfig",
+    "ExecutionResult",
+    "run_program",
+    "dumps_trace",
+    "loads_trace",
+    "open_trace",
+    "replay_trace",
+    "save_trace",
+]

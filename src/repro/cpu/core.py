@@ -1,0 +1,391 @@
+"""Functional RV32IM interpreter with a Pulpino-style cycle-cost model.
+
+The LO-FAT prototype attaches to Pulpino, a single 32-bit 4-stage in-order
+RISC-V core.  For the reproduction we do not need register-transfer-level
+fidelity -- LO-FAT only observes the *retired instruction stream* -- so the
+core here executes instructions functionally and charges cycles according to
+a simple in-order pipeline cost model:
+
+* 1 cycle per retired instruction,
+* +1 cycle for every taken control-flow transfer (fetch redirect in a short
+  in-order pipeline),
+* +1 cycle per load (load-use bubble, charged pessimistically),
+* +4 cycles for multiplications and +32 for divisions/remainders (iterative
+  multiplier/divider typical of small cores).
+
+The absolute numbers are configurable; the experiments only rely on the fact
+that the *same* cost model is used with and without attestation, so that the
+LO-FAT-vs-C-FLAT overhead comparison is apples to apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.cpu.exceptions import IllegalInstructionError, OutOfFuelError
+from repro.cpu.memory import Memory, MemoryRegion, Permissions
+from repro.cpu.syscalls import SyscallHandler
+from repro.cpu.trace import BranchKind, ExecutionTrace, TraceRecord, classify_branch
+from repro.isa.assembler import Program
+from repro.isa.encoding import EncodingError, decode
+from repro.isa.instructions import Instruction
+from repro.isa.registers import RegisterFile, to_signed, to_unsigned
+
+#: Type of the per-retired-instruction monitor callbacks (e.g. LO-FAT).
+Monitor = Callable[[TraceRecord], None]
+
+#: Type of the pre-execution hooks used by the attack injectors.
+PreInstructionHook = Callable[["Cpu", int, int], None]
+
+
+@dataclass
+class CpuConfig:
+    """Cycle-cost and environment parameters of the core model."""
+
+    #: Extra cycles charged when a control-flow transfer is taken.
+    taken_branch_penalty: int = 1
+    #: Extra cycles charged per memory load.
+    load_latency: int = 1
+    #: Extra cycles charged per multiplication.
+    mul_latency: int = 4
+    #: Extra cycles charged per division / remainder.
+    div_latency: int = 32
+    #: Size of the read-write data + stack region in bytes.
+    data_region_size: int = 0x2_0000
+    #: Maximum number of retired instructions before aborting.
+    max_instructions: int = 2_000_000
+    #: Clock frequency of the core in MHz (Pulpino/LO-FAT run at 80 MHz on
+    #: the Zedboard prototype); used only to convert cycles to wall time in
+    #: reports.
+    clock_mhz: float = 80.0
+
+
+@dataclass
+class ExecutionResult:
+    """Everything produced by one program run."""
+
+    trace: ExecutionTrace
+    exit_code: int
+    output: str
+    instructions: int
+    cycles: int
+    registers: List[int] = field(default_factory=list)
+
+    @property
+    def runtime_us(self) -> float:
+        """Wall-clock run time implied by the cycle count (at the model clock)."""
+        return self.cycles  # filled in properly by Cpu.run (per-config clock)
+
+
+class Cpu:
+    """The embedded core: fetch/decode/execute loop plus the cost model.
+
+    Monitors attached via :meth:`attach_monitor` receive every retired
+    instruction as a :class:`TraceRecord`; this is the interface the LO-FAT
+    engine uses, mirroring the hardware's parallel observation of the pipeline
+    (the monitors cannot slow the core down -- they are invoked after the
+    instruction has retired and cannot alter architectural state).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        inputs: Optional[List[int]] = None,
+        config: Optional[CpuConfig] = None,
+    ) -> None:
+        self.program = program
+        self.config = config or CpuConfig()
+        self.registers = RegisterFile()
+        self.memory = Memory()
+        self.syscalls = SyscallHandler(inputs)
+        self.trace = ExecutionTrace()
+        self.pc = program.entry
+        self.cycle = 0
+        self.retired = 0
+        self.halted = False
+        self._monitors: List[Monitor] = []
+        self._pre_hooks: List[PreInstructionHook] = []
+        self._setup_memory()
+        self._setup_registers()
+
+    # ----------------------------------------------------------- plumbing
+    def _setup_memory(self) -> None:
+        program = self.program
+        code_size = max(len(program.code), 4)
+        # Round the code region up to a word boundary.
+        code_size = (code_size + 3) & ~3
+        self.memory.add_region(
+            MemoryRegion("code", program.code_base, code_size, Permissions.rx())
+        )
+        data_size = self.config.data_region_size
+        self.memory.add_region(
+            MemoryRegion("data", program.data_base, data_size, Permissions.rw())
+        )
+        self.memory.load_image(program.code_base, program.code)
+        if program.data:
+            self.memory.load_image(program.data_base, program.data)
+
+    def _setup_registers(self) -> None:
+        stack_top = self.program.data_base + self.config.data_region_size
+        self.registers["sp"] = stack_top
+        self.registers["gp"] = self.program.data_base
+
+    def attach_monitor(self, monitor: Monitor) -> None:
+        """Attach a retired-instruction observer (e.g. the LO-FAT engine)."""
+        self._monitors.append(monitor)
+
+    def add_pre_instruction_hook(self, hook: PreInstructionHook) -> None:
+        """Attach a hook invoked before each instruction executes.
+
+        Hooks receive ``(cpu, pc, retired_count)`` and may modify data memory;
+        the attack injectors use this to model memory-corruption exploits
+        triggered at a particular execution point.
+        """
+        self._pre_hooks.append(hook)
+
+    # ----------------------------------------------------------- execution
+    def run(self) -> ExecutionResult:
+        """Run the program to completion and return the execution result."""
+        while not self.halted:
+            self.step()
+        return ExecutionResult(
+            trace=self.trace,
+            exit_code=self.syscalls.exit_code or 0,
+            output=self.syscalls.output_text,
+            instructions=self.retired,
+            cycles=self.cycle,
+            registers=self.registers.snapshot(),
+        )
+
+    def step(self) -> Optional[TraceRecord]:
+        """Fetch, decode and execute a single instruction."""
+        if self.halted:
+            return None
+        if self.retired >= self.config.max_instructions:
+            raise OutOfFuelError(self.config.max_instructions)
+
+        for hook in self._pre_hooks:
+            hook(self, self.pc, self.retired)
+
+        pc = self.pc
+        word = self.memory.fetch_word(pc)
+        try:
+            instruction = decode(word, address=pc)
+        except EncodingError:
+            raise IllegalInstructionError(pc, word) from None
+
+        next_pc, taken, extra_cycles = self._execute(instruction, pc)
+        kind = classify_branch(instruction)
+
+        self.cycle += 1 + extra_cycles
+        if kind.is_control_flow and taken:
+            self.cycle += self.config.taken_branch_penalty
+
+        record = TraceRecord(
+            index=self.retired,
+            cycle=self.cycle,
+            pc=pc,
+            word=word,
+            instruction=instruction,
+            next_pc=next_pc,
+            kind=kind,
+            taken=taken if kind.is_control_flow else False,
+        )
+        self.trace.append(record)
+        self.retired += 1
+        self.pc = next_pc
+
+        for monitor in self._monitors:
+            monitor(record)
+        return record
+
+    # ------------------------------------------------------------ semantics
+    def _execute(self, instr: Instruction, pc: int) -> tuple:
+        """Execute ``instr``; return (next_pc, taken, extra_cycles)."""
+        regs = self.registers
+        mem = self.memory
+        mnem = instr.mnemonic
+        next_pc = pc + 4
+        taken = False
+        extra = 0
+
+        if mnem == "lui":
+            regs.write(instr.rd, instr.imm << 12)
+        elif mnem == "auipc":
+            regs.write(instr.rd, pc + (instr.imm << 12))
+        elif mnem == "jal":
+            regs.write(instr.rd, pc + 4)
+            next_pc = to_unsigned(pc + instr.imm)
+            taken = True
+        elif mnem == "jalr":
+            target = to_unsigned(regs.read(instr.rs1) + instr.imm) & ~1
+            regs.write(instr.rd, pc + 4)
+            next_pc = target
+            taken = True
+        elif instr.is_conditional_branch:
+            taken = self._branch_condition(instr)
+            if taken:
+                next_pc = to_unsigned(pc + instr.imm)
+        elif instr.spec.is_load:
+            address = to_unsigned(regs.read(instr.rs1) + instr.imm)
+            if mnem == "lb":
+                regs.write(instr.rd, mem.load(address, 1, signed=True))
+            elif mnem == "lbu":
+                regs.write(instr.rd, mem.load(address, 1, signed=False))
+            elif mnem == "lh":
+                regs.write(instr.rd, mem.load(address, 2, signed=True))
+            elif mnem == "lhu":
+                regs.write(instr.rd, mem.load(address, 2, signed=False))
+            else:  # lw
+                regs.write(instr.rd, mem.load(address, 4, signed=False))
+            extra += self.config.load_latency
+        elif instr.spec.is_store:
+            address = to_unsigned(regs.read(instr.rs1) + instr.imm)
+            value = regs.read(instr.rs2)
+            size = {"sb": 1, "sh": 2, "sw": 4}[mnem]
+            mem.store(address, value, size)
+        elif mnem == "ecall":
+            result = self.syscalls.handle(regs, mem)
+            if result.exited:
+                self.halted = True
+        elif mnem == "ebreak":
+            self.halted = True
+        elif mnem == "fence":
+            pass
+        else:
+            extra += self._execute_alu(instr)
+        return next_pc, taken, extra
+
+    def _branch_condition(self, instr: Instruction) -> bool:
+        regs = self.registers
+        lhs_s = regs.read_signed(instr.rs1)
+        rhs_s = regs.read_signed(instr.rs2)
+        lhs_u = regs.read(instr.rs1)
+        rhs_u = regs.read(instr.rs2)
+        mnem = instr.mnemonic
+        if mnem == "beq":
+            return lhs_u == rhs_u
+        if mnem == "bne":
+            return lhs_u != rhs_u
+        if mnem == "blt":
+            return lhs_s < rhs_s
+        if mnem == "bge":
+            return lhs_s >= rhs_s
+        if mnem == "bltu":
+            return lhs_u < rhs_u
+        if mnem == "bgeu":
+            return lhs_u >= rhs_u
+        raise IllegalInstructionError(instr.address or 0, 0)  # pragma: no cover
+
+    def _execute_alu(self, instr: Instruction) -> int:
+        """Execute ALU / M-extension instructions; return extra cycles."""
+        regs = self.registers
+        mnem = instr.mnemonic
+        rs1_u = regs.read(instr.rs1)
+        rs1_s = regs.read_signed(instr.rs1)
+        extra = 0
+
+        if mnem in ("addi", "slti", "sltiu", "xori", "ori", "andi",
+                    "slli", "srli", "srai"):
+            imm = instr.imm
+            if mnem == "addi":
+                value = rs1_u + imm
+            elif mnem == "slti":
+                value = 1 if rs1_s < imm else 0
+            elif mnem == "sltiu":
+                value = 1 if rs1_u < to_unsigned(imm) else 0
+            elif mnem == "xori":
+                value = rs1_u ^ to_unsigned(imm)
+            elif mnem == "ori":
+                value = rs1_u | to_unsigned(imm)
+            elif mnem == "andi":
+                value = rs1_u & to_unsigned(imm)
+            elif mnem == "slli":
+                value = rs1_u << (imm & 0x1F)
+            elif mnem == "srli":
+                value = rs1_u >> (imm & 0x1F)
+            else:  # srai
+                value = rs1_s >> (imm & 0x1F)
+            regs.write(instr.rd, value)
+            return extra
+
+        rs2_u = regs.read(instr.rs2)
+        rs2_s = regs.read_signed(instr.rs2)
+        shamt = rs2_u & 0x1F
+
+        if mnem == "add":
+            value = rs1_u + rs2_u
+        elif mnem == "sub":
+            value = rs1_u - rs2_u
+        elif mnem == "sll":
+            value = rs1_u << shamt
+        elif mnem == "slt":
+            value = 1 if rs1_s < rs2_s else 0
+        elif mnem == "sltu":
+            value = 1 if rs1_u < rs2_u else 0
+        elif mnem == "xor":
+            value = rs1_u ^ rs2_u
+        elif mnem == "srl":
+            value = rs1_u >> shamt
+        elif mnem == "sra":
+            value = rs1_s >> shamt
+        elif mnem == "or":
+            value = rs1_u | rs2_u
+        elif mnem == "and":
+            value = rs1_u & rs2_u
+        elif mnem == "mul":
+            value = rs1_s * rs2_s
+            extra = self.config.mul_latency
+        elif mnem == "mulh":
+            value = (rs1_s * rs2_s) >> 32
+            extra = self.config.mul_latency
+        elif mnem == "mulhu":
+            value = (rs1_u * rs2_u) >> 32
+            extra = self.config.mul_latency
+        elif mnem == "mulhsu":
+            value = (rs1_s * rs2_u) >> 32
+            extra = self.config.mul_latency
+        elif mnem == "div":
+            extra = self.config.div_latency
+            if rs2_s == 0:
+                value = -1
+            elif rs1_s == -(1 << 31) and rs2_s == -1:
+                value = rs1_s
+            else:
+                value = int(rs1_s / rs2_s)  # truncating division
+        elif mnem == "divu":
+            extra = self.config.div_latency
+            value = 0xFFFFFFFF if rs2_u == 0 else rs1_u // rs2_u
+        elif mnem == "rem":
+            extra = self.config.div_latency
+            if rs2_s == 0:
+                value = rs1_s
+            elif rs1_s == -(1 << 31) and rs2_s == -1:
+                value = 0
+            else:
+                value = rs1_s - int(rs1_s / rs2_s) * rs2_s
+        elif mnem == "remu":
+            extra = self.config.div_latency
+            value = rs1_u if rs2_u == 0 else rs1_u % rs2_u
+        else:  # pragma: no cover - every supported mnemonic is handled above
+            raise IllegalInstructionError(instr.address or 0, 0)
+
+        regs.write(instr.rd, value)
+        return extra
+
+
+def run_program(
+    program: Program,
+    inputs: Optional[List[int]] = None,
+    config: Optional[CpuConfig] = None,
+    monitors: Optional[List[Monitor]] = None,
+    pre_hooks: Optional[List[PreInstructionHook]] = None,
+) -> ExecutionResult:
+    """Convenience wrapper: build a :class:`Cpu`, attach monitors, run."""
+    cpu = Cpu(program, inputs=inputs, config=config)
+    for monitor in monitors or []:
+        cpu.attach_monitor(monitor)
+    for hook in pre_hooks or []:
+        cpu.add_pre_instruction_hook(hook)
+    return cpu.run()

@@ -1,0 +1,46 @@
+"""Machine-level fault types raised by the CPU model."""
+
+from __future__ import annotations
+
+
+class CpuError(Exception):
+    """Base class for all CPU execution faults."""
+
+
+class IllegalInstructionError(CpuError):
+    """Raised when the core fetches a word that does not decode."""
+
+    def __init__(self, address: int, word: int) -> None:
+        super().__init__(
+            "illegal instruction %#010x at pc=%#010x" % (word, address)
+        )
+        self.address = address
+        self.word = word
+
+
+class MemoryProtectionError(CpuError):
+    """Raised on an access that violates region permissions (e.g. write to rx)."""
+
+    def __init__(self, address: int, access: str) -> None:
+        super().__init__("%s access violation at address %#010x" % (access, address))
+        self.address = address
+        self.access = access
+
+
+class MisalignedAccessError(CpuError):
+    """Raised on a misaligned fetch, load or store."""
+
+    def __init__(self, address: int, width: int) -> None:
+        super().__init__(
+            "misaligned %d-byte access at address %#010x" % (width, address)
+        )
+        self.address = address
+        self.width = width
+
+
+class OutOfFuelError(CpuError):
+    """Raised when execution exceeds the configured instruction/cycle budget."""
+
+    def __init__(self, limit: int) -> None:
+        super().__init__("execution exceeded the budget of %d retired instructions" % limit)
+        self.limit = limit

@@ -1,0 +1,167 @@
+"""Byte-addressable memory with region permissions.
+
+The LO-FAT threat model assumes code memory is read-execute (``rx``) and data
+memory is read-write (``rw``): the adversary may corrupt arbitrary writable
+memory but cannot modify program code at run time.  The memory model enforces
+exactly that separation; the attack injectors in :mod:`repro.attacks` corrupt
+memory through the same interface the program uses, so they are subject to the
+same W^X restriction the paper assumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cpu.exceptions import MemoryProtectionError, MisalignedAccessError
+
+
+class Permissions(enum.Flag):
+    """Access permissions of a memory region."""
+
+    NONE = 0
+    READ = enum.auto()
+    WRITE = enum.auto()
+    EXECUTE = enum.auto()
+
+    @classmethod
+    def rx(cls) -> "Permissions":
+        return cls.READ | cls.EXECUTE
+
+    @classmethod
+    def rw(cls) -> "Permissions":
+        return cls.READ | cls.WRITE
+
+
+@dataclass
+class MemoryRegion:
+    """A contiguous address range with fixed permissions."""
+
+    name: str
+    base: int
+    size: int
+    permissions: Permissions
+
+    @property
+    def end(self) -> int:
+        """First address past the region."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        """True if ``address`` lies inside the region."""
+        return self.base <= address < self.end
+
+
+class Memory:
+    """Sparse byte-addressable memory with permission-checked accesses.
+
+    Accesses must fall entirely within a single registered region.  Natural
+    alignment is enforced for halfword and word accesses, matching the
+    behaviour of the simple embedded cores the paper targets.
+    """
+
+    def __init__(self, enforce_protection: bool = True) -> None:
+        self._bytes: Dict[int, int] = {}
+        self._regions: List[MemoryRegion] = []
+        self.enforce_protection = enforce_protection
+
+    # ------------------------------------------------------------- regions
+    def add_region(self, region: MemoryRegion) -> None:
+        """Register a region.  Overlapping regions are rejected."""
+        for existing in self._regions:
+            if region.base < existing.end and existing.base < region.end:
+                raise ValueError(
+                    "region %r overlaps existing region %r" % (region.name, existing.name)
+                )
+        self._regions.append(region)
+
+    def region_for(self, address: int) -> Optional[MemoryRegion]:
+        """Return the region containing ``address`` or None."""
+        for region in self._regions:
+            if region.contains(address):
+                return region
+        return None
+
+    @property
+    def regions(self) -> List[MemoryRegion]:
+        """All registered regions (copy)."""
+        return list(self._regions)
+
+    def _check(self, address: int, size: int, needed: Permissions, access: str) -> None:
+        if not self.enforce_protection:
+            return
+        region = self.region_for(address)
+        if region is None or not region.contains(address + size - 1):
+            raise MemoryProtectionError(address, access)
+        if needed not in region.permissions:
+            raise MemoryProtectionError(address, access)
+
+    def _check_alignment(self, address: int, size: int) -> None:
+        if size > 1 and address % size != 0:
+            raise MisalignedAccessError(address, size)
+
+    # ------------------------------------------------------------ raw bytes
+    def load_bytes(self, address: int, size: int, check: bool = True) -> bytes:
+        """Read ``size`` raw bytes (optionally skipping permission checks)."""
+        if check:
+            self._check(address, size, Permissions.READ, "read")
+        return bytes(self._bytes.get(address + i, 0) for i in range(size))
+
+    def store_bytes(self, address: int, data: bytes, check: bool = True) -> None:
+        """Write raw bytes (optionally skipping permission checks)."""
+        if check:
+            self._check(address, len(data), Permissions.WRITE, "write")
+        for i, value in enumerate(data):
+            self._bytes[address + i] = value
+
+    def load_image(self, address: int, data: bytes) -> None:
+        """Load an image (code or initialised data) ignoring permissions.
+
+        Image loading models the boot-time flashing of the device, which is
+        outside the software adversary's capabilities.
+        """
+        self.store_bytes(address, data, check=False)
+
+    # -------------------------------------------------------------- typed
+    def fetch_word(self, address: int) -> int:
+        """Fetch a 32-bit instruction word (requires EXECUTE permission)."""
+        self._check_alignment(address, 4)
+        self._check(address, 4, Permissions.EXECUTE, "execute")
+        return int.from_bytes(self.load_bytes(address, 4, check=False), "little")
+
+    def load(self, address: int, size: int, signed: bool = False) -> int:
+        """Load a ``size``-byte value (1, 2 or 4 bytes)."""
+        self._check_alignment(address, size)
+        self._check(address, size, Permissions.READ, "read")
+        raw = self.load_bytes(address, size, check=False)
+        return int.from_bytes(raw, "little", signed=signed)
+
+    def store(self, address: int, value: int, size: int) -> None:
+        """Store the low ``size`` bytes of ``value``."""
+        self._check_alignment(address, size)
+        self._check(address, size, Permissions.WRITE, "write")
+        mask = (1 << (8 * size)) - 1
+        self.store_bytes(address, (value & mask).to_bytes(size, "little"), check=False)
+
+    def load_word(self, address: int, signed: bool = False) -> int:
+        """Convenience 32-bit load."""
+        return self.load(address, 4, signed=signed)
+
+    def store_word(self, address: int, value: int) -> None:
+        """Convenience 32-bit store."""
+        self.store(address, value, 4)
+
+    def read_cstring(self, address: int, limit: int = 4096) -> str:
+        """Read a NUL-terminated string (used by the print-string syscall)."""
+        chars = []
+        for offset in range(limit):
+            byte = self._bytes.get(address + offset, 0)
+            if byte == 0:
+                break
+            chars.append(chr(byte))
+        return "".join(chars)
+
+    def snapshot(self) -> Dict[int, int]:
+        """Copy of all populated bytes (tests / debugging)."""
+        return dict(self._bytes)

@@ -1,0 +1,165 @@
+"""Retired-instruction trace records.
+
+The LO-FAT branch filter is "tightly coupled to the processor" and observes,
+for every clock cycle, the current program counter and the executed
+instruction (paper §4/§5.1).  :class:`TraceRecord` is the Python equivalent of
+those pipeline signals: one record per retired instruction, carrying the PC,
+the raw instruction word, the decoded instruction, the next PC and the branch
+outcome.  The records are produced by :class:`repro.cpu.core.Cpu` and consumed
+by :class:`repro.lofat.branch_filter.BranchFilter`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.isa.instructions import Instruction
+
+
+class BranchKind(enum.Enum):
+    """Classification of a retired control-flow instruction."""
+
+    NOT_CONTROL_FLOW = "none"
+    CONDITIONAL = "conditional"
+    DIRECT_JUMP = "direct_jump"
+    DIRECT_CALL = "direct_call"
+    INDIRECT_JUMP = "indirect_jump"
+    INDIRECT_CALL = "indirect_call"
+    RETURN = "return"
+
+    @property
+    def is_control_flow(self) -> bool:
+        return self is not BranchKind.NOT_CONTROL_FLOW
+
+    @property
+    def is_indirect(self) -> bool:
+        return self in (
+            BranchKind.INDIRECT_JUMP,
+            BranchKind.INDIRECT_CALL,
+            BranchKind.RETURN,
+        )
+
+    @property
+    def is_linking(self) -> bool:
+        """True if the transfer writes the link register (a subroutine call)."""
+        return self in (BranchKind.DIRECT_CALL, BranchKind.INDIRECT_CALL)
+
+
+def classify_branch(instruction: Instruction) -> BranchKind:
+    """Classify ``instruction`` the way the branch filter does in hardware."""
+    if instruction.is_conditional_branch:
+        return BranchKind.CONDITIONAL
+    if instruction.is_direct_jump:
+        if instruction.writes_link_register:
+            return BranchKind.DIRECT_CALL
+        return BranchKind.DIRECT_JUMP
+    if instruction.is_indirect_jump:
+        if instruction.is_return:
+            return BranchKind.RETURN
+        if instruction.writes_link_register:
+            return BranchKind.INDIRECT_CALL
+        return BranchKind.INDIRECT_JUMP
+    return BranchKind.NOT_CONTROL_FLOW
+
+
+@dataclass
+class TraceRecord:
+    """One retired instruction as observed on the pipeline interface.
+
+    Attributes:
+        index: retirement order (0-based).
+        cycle: cycle at which the instruction retired under the cost model.
+        pc: address of the instruction (the branch *source*).
+        word: raw 32-bit instruction word.
+        instruction: decoded instruction.
+        next_pc: address of the next retired instruction (the branch *dest*).
+        kind: control-flow classification.
+        taken: for conditional branches, whether the branch was taken; for
+            unconditional transfers always True; for non-control-flow False.
+    """
+
+    index: int
+    cycle: int
+    pc: int
+    word: int
+    instruction: Instruction
+    next_pc: int
+    kind: BranchKind
+    taken: bool
+
+    @property
+    def is_control_flow(self) -> bool:
+        """True if this record should reach the branch filter's output."""
+        return self.kind.is_control_flow
+
+    @property
+    def src_dest(self) -> tuple:
+        """The (Src, Dest) address pair hashed by LO-FAT."""
+        return (self.pc, self.next_pc)
+
+    @property
+    def is_backward(self) -> bool:
+        """True for a taken transfer whose destination precedes its source."""
+        return self.taken and self.next_pc <= self.pc
+
+
+@dataclass
+class ExecutionTrace:
+    """A full retired-instruction trace plus summary statistics."""
+
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def append(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        return self.records[index]
+
+    @property
+    def control_flow_records(self) -> List[TraceRecord]:
+        """Only the records the branch filter lets through."""
+        return [r for r in self.records if r.is_control_flow]
+
+    @property
+    def control_flow_events(self) -> int:
+        """Number of retired control-flow instructions."""
+        return sum(1 for r in self.records if r.is_control_flow)
+
+    @property
+    def taken_control_flow_events(self) -> int:
+        """Number of control-flow instructions that actually redirected the PC."""
+        return sum(1 for r in self.records if r.is_control_flow and r.taken)
+
+    @property
+    def executed_edges(self) -> List[tuple]:
+        """The sequence of (Src, Dest) pairs of all control-flow instructions."""
+        return [r.src_dest for r in self.records if r.is_control_flow]
+
+    @property
+    def cycles(self) -> int:
+        """Total cycles consumed (cycle of the last retired instruction)."""
+        if not self.records:
+            return 0
+        return self.records[-1].cycle
+
+    def summary(self) -> dict:
+        """A small dictionary of trace statistics used in reports."""
+        kinds = {}
+        for record in self.records:
+            if record.is_control_flow:
+                kinds[record.kind.value] = kinds.get(record.kind.value, 0) + 1
+        return {
+            "instructions": len(self.records),
+            "cycles": self.cycles,
+            "control_flow_events": self.control_flow_events,
+            "taken_control_flow_events": self.taken_control_flow_events,
+            "by_kind": kinds,
+        }

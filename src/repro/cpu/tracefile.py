@@ -1,0 +1,140 @@
+"""Serialisation of execution traces (capture once, attest offline).
+
+The LO-FAT hardware consumes the retired-instruction stream live, but for
+development, debugging and regression archiving it is convenient to capture a
+trace once and re-run the attestation engine over it offline -- exactly what
+the authors did with their ModelSim dumps.  This module provides a compact,
+versioned binary format for :class:`repro.cpu.trace.ExecutionTrace` plus a
+helper that replays a stored trace through any monitor (e.g. a
+:class:`repro.lofat.engine.LoFatEngine`).
+
+Format (little-endian):
+
+* header: magic ``LFTR``, format version (u16), record count (u32)
+* per record: index (u32), cycle (u32), pc (u32), word (u32), next_pc (u32),
+  kind (u8), taken (u8)
+
+The decoded instruction is reconstructed from the stored instruction word, so
+round-tripping a trace preserves everything the LO-FAT engine needs.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO, Callable, Iterable, Union
+
+from repro.cpu.trace import BranchKind, ExecutionTrace, TraceRecord
+from repro.isa.encoding import decode
+
+#: File magic and current format version.
+MAGIC = b"LFTR"
+VERSION = 1
+
+_HEADER = struct.Struct("<4sHI")
+_RECORD = struct.Struct("<IIIIIBB")
+
+#: Stable numeric codes for the branch kinds.
+_KIND_TO_CODE = {
+    BranchKind.NOT_CONTROL_FLOW: 0,
+    BranchKind.CONDITIONAL: 1,
+    BranchKind.DIRECT_JUMP: 2,
+    BranchKind.DIRECT_CALL: 3,
+    BranchKind.INDIRECT_JUMP: 4,
+    BranchKind.INDIRECT_CALL: 5,
+    BranchKind.RETURN: 6,
+}
+_CODE_TO_KIND = {code: kind for kind, code in _KIND_TO_CODE.items()}
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed or has an unsupported version."""
+
+
+def dump_trace(trace: ExecutionTrace, stream: BinaryIO) -> int:
+    """Write ``trace`` to a binary ``stream``; returns the number of bytes."""
+    written = stream.write(_HEADER.pack(MAGIC, VERSION, len(trace)))
+    for record in trace:
+        written += stream.write(_RECORD.pack(
+            record.index,
+            record.cycle,
+            record.pc,
+            record.word,
+            record.next_pc,
+            _KIND_TO_CODE[record.kind],
+            1 if record.taken else 0,
+        ))
+    return written
+
+
+def dumps_trace(trace: ExecutionTrace) -> bytes:
+    """Serialise ``trace`` to bytes."""
+    buffer = io.BytesIO()
+    dump_trace(trace, buffer)
+    return buffer.getvalue()
+
+
+def load_trace(stream: BinaryIO) -> ExecutionTrace:
+    """Read an :class:`ExecutionTrace` from a binary ``stream``."""
+    header = stream.read(_HEADER.size)
+    if len(header) != _HEADER.size:
+        raise TraceFormatError("truncated trace header")
+    magic, version, count = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise TraceFormatError("bad magic: %r" % magic)
+    if version != VERSION:
+        raise TraceFormatError("unsupported trace version: %d" % version)
+
+    trace = ExecutionTrace()
+    for _ in range(count):
+        raw = stream.read(_RECORD.size)
+        if len(raw) != _RECORD.size:
+            raise TraceFormatError("truncated trace record")
+        index, cycle, pc, word, next_pc, kind_code, taken = _RECORD.unpack(raw)
+        if kind_code not in _CODE_TO_KIND:
+            raise TraceFormatError("unknown branch-kind code: %d" % kind_code)
+        trace.append(TraceRecord(
+            index=index,
+            cycle=cycle,
+            pc=pc,
+            word=word,
+            instruction=decode(word, address=pc),
+            next_pc=next_pc,
+            kind=_CODE_TO_KIND[kind_code],
+            taken=bool(taken),
+        ))
+    return trace
+
+
+def loads_trace(data: bytes) -> ExecutionTrace:
+    """Deserialise a trace from bytes."""
+    return load_trace(io.BytesIO(data))
+
+
+def save_trace(trace: ExecutionTrace, path: str) -> int:
+    """Write ``trace`` to ``path``; returns the number of bytes written."""
+    with open(path, "wb") as handle:
+        return dump_trace(trace, handle)
+
+
+def open_trace(path: str) -> ExecutionTrace:
+    """Load a trace previously written by :func:`save_trace`."""
+    with open(path, "rb") as handle:
+        return load_trace(handle)
+
+
+def replay_trace(
+    trace: Union[ExecutionTrace, Iterable[TraceRecord]],
+    monitor: Callable[[TraceRecord], None],
+) -> int:
+    """Feed every record of ``trace`` to ``monitor``; returns the record count.
+
+    This is the offline-attestation path: replaying a stored trace through a
+    fresh :class:`repro.lofat.engine.LoFatEngine` yields exactly the same
+    measurement and metadata as live observation did.
+    """
+    count = 0
+    for record in trace:
+        monitor(record)
+        count += 1
+    return count

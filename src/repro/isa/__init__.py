@@ -1,0 +1,56 @@
+"""RV32IM instruction-set architecture support.
+
+This package provides everything needed to turn textual RISC-V assembly into a
+binary program image and back again:
+
+* :mod:`repro.isa.registers` -- integer register file and ABI register names.
+* :mod:`repro.isa.instructions` -- instruction specifications (formats, opcodes,
+  control-flow classification) and the :class:`Instruction` container.
+* :mod:`repro.isa.encoding` -- 32-bit instruction word encoding and decoding.
+* :mod:`repro.isa.assembler` -- a two-pass assembler with the usual
+  pseudo-instructions, sections and data directives.
+* :mod:`repro.isa.disassembler` -- instruction word to text conversion.
+
+The ISA model intentionally covers the subset used by the Pulpino core targeted
+in the LO-FAT paper: RV32I base plus the M extension, which is enough to run
+realistic embedded workloads (loops, recursion, indirect calls) while remaining
+small enough to reason about.
+"""
+
+from repro.isa.registers import (
+    ABI_NAMES,
+    NUM_REGISTERS,
+    RegisterFile,
+    register_name,
+    register_number,
+)
+from repro.isa.instructions import (
+    Instruction,
+    InstructionFormat,
+    InstructionSpec,
+    SPECS,
+    spec_for,
+)
+from repro.isa.encoding import EncodingError, decode, encode
+from repro.isa.assembler import AssemblerError, Program, assemble
+from repro.isa.disassembler import disassemble
+
+__all__ = [
+    "ABI_NAMES",
+    "NUM_REGISTERS",
+    "RegisterFile",
+    "register_name",
+    "register_number",
+    "Instruction",
+    "InstructionFormat",
+    "InstructionSpec",
+    "SPECS",
+    "spec_for",
+    "EncodingError",
+    "decode",
+    "encode",
+    "AssemblerError",
+    "Program",
+    "assemble",
+    "disassemble",
+]

@@ -1,0 +1,661 @@
+"""A two-pass RV32IM assembler.
+
+The assembler turns textual assembly (a practical subset of what GNU ``as``
+accepts for RV32) into a :class:`Program` image containing the encoded code
+section, the initialised data section and a symbol table.  It supports the
+common pseudo-instructions emitted by compilers for embedded code (``li``,
+``la``, ``mv``, ``call``, ``ret``, conditional-branch aliases, ...), the
+``%hi``/``%lo`` relocation operators and the usual data directives.
+
+The produced :class:`Program` is what both the prover-side CPU model and the
+verifier-side static analysis consume, mirroring the paper's assumption that
+the verifier holds the program binary.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.encoding import encode
+from repro.isa.instructions import Instruction, spec_for
+from repro.isa.registers import register_number
+
+#: Default base address of the (read-execute) code section.
+DEFAULT_CODE_BASE = 0x0000_0000
+#: Default base address of the (read-write) data section.
+DEFAULT_DATA_BASE = 0x0001_0000
+
+
+class AssemblerError(ValueError):
+    """Raised for any syntax or semantic error in the assembly source."""
+
+    def __init__(self, message: str, lineno: Optional[int] = None) -> None:
+        if lineno is not None:
+            message = "line %d: %s" % (lineno, message)
+        super().__init__(message)
+        self.lineno = lineno
+
+
+@dataclass
+class Program:
+    """An assembled program image.
+
+    Attributes:
+        code: encoded instruction bytes (little-endian 32-bit words).
+        data: initialised data bytes.
+        code_base: load address of the code section.
+        data_base: load address of the data section.
+        symbols: label name -> absolute address.
+        entry: address of the entry point (``_start`` or ``main`` if present,
+            otherwise the start of the code section).
+        instructions: decoded instructions with addresses, in layout order.
+        source: the original assembly text (kept for diagnostics and reports).
+    """
+
+    code: bytes
+    data: bytes
+    code_base: int = DEFAULT_CODE_BASE
+    data_base: int = DEFAULT_DATA_BASE
+    symbols: Dict[str, int] = field(default_factory=dict)
+    entry: int = DEFAULT_CODE_BASE
+    instructions: List[Instruction] = field(default_factory=list)
+    source: str = ""
+
+    @property
+    def code_end(self) -> int:
+        """First address past the code section."""
+        return self.code_base + len(self.code)
+
+    @property
+    def data_end(self) -> int:
+        """First address past the initialised data section."""
+        return self.data_base + len(self.data)
+
+    def instruction_at(self, address: int) -> Instruction:
+        """Return the decoded instruction at ``address``."""
+        offset = address - self.code_base
+        if offset < 0 or offset + 4 > len(self.code) or offset % 4 != 0:
+            raise ValueError("no instruction at address %#x" % address)
+        return self.instructions[offset // 4]
+
+    def word_at(self, address: int) -> int:
+        """Return the raw 32-bit instruction word at ``address``."""
+        offset = address - self.code_base
+        return int.from_bytes(self.code[offset:offset + 4], "little")
+
+    def symbol(self, name: str) -> int:
+        """Return the address of label ``name``."""
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise KeyError("unknown symbol: %r" % name) from None
+
+
+@dataclass
+class _Statement:
+    """One parsed source statement (after label extraction)."""
+
+    lineno: int
+    section: str
+    mnemonic: str
+    operands: List[str]
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*:\s*(.*)$")
+_CHAR_RE = re.compile(r"^'(\\?.)'$")
+
+_ESCAPES = {
+    "\\n": "\n", "\\t": "\t", "\\0": "\0", "\\r": "\r",
+    "\\\\": "\\", "\\'": "'", '\\"': '"',
+}
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand list on commas, respecting parentheses and quotes."""
+    operands: List[str] = []
+    depth = 0
+    current = ""
+    in_string = False
+    for ch in text:
+        if ch == '"':
+            in_string = not in_string
+            current += ch
+        elif in_string:
+            current += ch
+        elif ch == "(":
+            depth += 1
+            current += ch
+        elif ch == ")":
+            depth -= 1
+            current += ch
+        elif ch == "," and depth == 0:
+            operands.append(current.strip())
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        operands.append(current.strip())
+    return operands
+
+
+def _strip_comment(line: str) -> str:
+    """Remove ``#`` and ``//`` comments (outside of string literals)."""
+    result = []
+    in_string = False
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if ch == '"':
+            in_string = not in_string
+            result.append(ch)
+        elif not in_string and ch == "#":
+            break
+        elif not in_string and ch == "/" and i + 1 < len(line) and line[i + 1] == "/":
+            break
+        elif not in_string and ch == ";":
+            break
+        else:
+            result.append(ch)
+        i += 1
+    return "".join(result)
+
+
+class _Symbols:
+    """Symbol table shared by both assembler passes."""
+
+    def __init__(self) -> None:
+        self.values: Dict[str, int] = {}
+
+    def define(self, name: str, value: int, lineno: int) -> None:
+        if name in self.values and self.values[name] != value:
+            raise AssemblerError("symbol redefined: %r" % name, lineno)
+        self.values[name] = value
+
+    def lookup(self, name: str, lineno: int) -> int:
+        if name not in self.values:
+            raise AssemblerError("undefined symbol: %r" % name, lineno)
+        return self.values[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.values
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`Program`.
+
+    The first pass computes section layout and the symbol table; the second
+    pass expands pseudo-instructions, resolves symbols and encodes machine
+    words.
+    """
+
+    def __init__(
+        self,
+        code_base: int = DEFAULT_CODE_BASE,
+        data_base: int = DEFAULT_DATA_BASE,
+    ) -> None:
+        self.code_base = code_base
+        self.data_base = data_base
+
+    # ------------------------------------------------------------------ API
+    def assemble(self, source: str) -> Program:
+        """Assemble ``source`` text into a :class:`Program`."""
+        statements, symbols = self._first_pass(source)
+        return self._second_pass(source, statements, symbols)
+
+    # ------------------------------------------------------------- pass one
+    def _first_pass(self, source: str) -> Tuple[List[_Statement], _Symbols]:
+        symbols = _Symbols()
+        statements: List[_Statement] = []
+        section = "text"
+        counters = {"text": self.code_base, "data": self.data_base}
+
+        for lineno, raw_line in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw_line).strip()
+            # Peel off any leading labels.
+            while True:
+                match = _LABEL_RE.match(line)
+                if not match:
+                    break
+                label, line = match.group(1), match.group(2).strip()
+                symbols.define(label, counters[section], lineno)
+            if not line:
+                continue
+
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = _split_operands(parts[1]) if len(parts) > 1 else []
+            stmt = _Statement(lineno, section, mnemonic, operands)
+
+            if mnemonic.startswith("."):
+                section = self._layout_directive(stmt, counters, symbols, section)
+                statements.append(stmt)
+                continue
+
+            if section != "text":
+                raise AssemblerError(
+                    "instruction %r outside .text section" % mnemonic, lineno
+                )
+            size = 4 * self._instruction_count(mnemonic, operands, lineno)
+            counters["text"] += size
+            statements.append(stmt)
+
+        return statements, symbols
+
+    def _layout_directive(
+        self,
+        stmt: _Statement,
+        counters: Dict[str, int],
+        symbols: _Symbols,
+        section: str,
+    ) -> str:
+        """Apply a directive's effect on layout; return the (new) section."""
+        name = stmt.mnemonic
+        operands = stmt.operands
+        lineno = stmt.lineno
+        stmt.section = section
+
+        if name in (".text",):
+            return "text"
+        if name in (".data", ".bss", ".rodata"):
+            return "data"
+        if name == ".section":
+            target = operands[0] if operands else ".text"
+            return "text" if target.startswith(".text") else "data"
+        if name in (".globl", ".global", ".type", ".size", ".option", ".file",
+                    ".ident", ".attribute", ".p2align"):
+            return section
+        if name in (".equ", ".set"):
+            if len(operands) != 2:
+                raise AssemblerError("%s requires name, value" % name, lineno)
+            symbols.define(operands[0], self._parse_integer(operands[1], lineno), lineno)
+            return section
+        if name == ".align":
+            alignment = 1 << self._parse_integer(operands[0], lineno)
+            counters[section] = -(-counters[section] // alignment) * alignment
+            return section
+        if name == ".balign":
+            alignment = self._parse_integer(operands[0], lineno)
+            counters[section] = -(-counters[section] // alignment) * alignment
+            return section
+        if name == ".word":
+            counters[section] += 4 * len(operands)
+            return section
+        if name == ".half" or name == ".short":
+            counters[section] += 2 * len(operands)
+            return section
+        if name == ".byte":
+            counters[section] += len(operands)
+            return section
+        if name in (".space", ".zero", ".skip"):
+            counters[section] += self._parse_integer(operands[0], lineno)
+            return section
+        if name in (".asciz", ".asciiz", ".string"):
+            counters[section] += len(self._parse_string(operands[0], lineno)) + 1
+            return section
+        if name == ".ascii":
+            counters[section] += len(self._parse_string(operands[0], lineno))
+            return section
+        raise AssemblerError("unsupported directive: %r" % name, lineno)
+
+    def _instruction_count(
+        self, mnemonic: str, operands: Sequence[str], lineno: int
+    ) -> int:
+        """How many 32-bit words the (possibly pseudo) instruction expands to."""
+        if mnemonic == "li":
+            if len(operands) != 2:
+                raise AssemblerError("li requires rd, imm", lineno)
+            value = self._parse_integer(operands[1], lineno)
+            return 1 if -2048 <= value <= 2047 else 2
+        if mnemonic == "la":
+            return 2
+        if mnemonic == "call" and len(operands) == 1:
+            return 1
+        return 1
+
+    # ------------------------------------------------------------- pass two
+    def _second_pass(
+        self, source: str, statements: List[_Statement], symbols: _Symbols
+    ) -> Program:
+        code = bytearray()
+        data = bytearray()
+        instructions: List[Instruction] = []
+        section = "text"
+
+        for stmt in statements:
+            if stmt.mnemonic.startswith("."):
+                section = self._emit_directive(stmt, code, data, symbols, section)
+                continue
+            address = self.code_base + len(code)
+            for instr in self._expand(stmt, address, symbols):
+                instr.address = self.code_base + len(code)
+                word = encode(instr)
+                code.extend(word.to_bytes(4, "little"))
+                instructions.append(instr)
+
+        entry = self.code_base
+        for candidate in ("_start", "main"):
+            if candidate in symbols:
+                entry = symbols.values[candidate]
+                break
+
+        return Program(
+            code=bytes(code),
+            data=bytes(data),
+            code_base=self.code_base,
+            data_base=self.data_base,
+            symbols=dict(symbols.values),
+            entry=entry,
+            instructions=instructions,
+            source=source,
+        )
+
+    def _emit_directive(
+        self,
+        stmt: _Statement,
+        code: bytearray,
+        data: bytearray,
+        symbols: _Symbols,
+        section: str,
+    ) -> str:
+        name = stmt.mnemonic
+        operands = stmt.operands
+        lineno = stmt.lineno
+        buffer = code if section == "text" else data
+        base = self.code_base if section == "text" else self.data_base
+
+        if name in (".text",):
+            return "text"
+        if name in (".data", ".bss", ".rodata"):
+            return "data"
+        if name == ".section":
+            target = operands[0] if operands else ".text"
+            return "text" if target.startswith(".text") else "data"
+        if name in (".globl", ".global", ".type", ".size", ".option", ".file",
+                    ".ident", ".attribute", ".p2align", ".equ", ".set"):
+            return section
+        if name == ".align":
+            alignment = 1 << self._parse_integer(operands[0], lineno)
+            self._pad(buffer, base, alignment)
+            return section
+        if name == ".balign":
+            alignment = self._parse_integer(operands[0], lineno)
+            self._pad(buffer, base, alignment)
+            return section
+        if name == ".word":
+            for op in operands:
+                value = self._parse_value(op, symbols, lineno)
+                buffer.extend((value & 0xFFFFFFFF).to_bytes(4, "little"))
+            return section
+        if name in (".half", ".short"):
+            for op in operands:
+                value = self._parse_value(op, symbols, lineno)
+                buffer.extend((value & 0xFFFF).to_bytes(2, "little"))
+            return section
+        if name == ".byte":
+            for op in operands:
+                value = self._parse_value(op, symbols, lineno)
+                buffer.append(value & 0xFF)
+            return section
+        if name in (".space", ".zero", ".skip"):
+            buffer.extend(b"\x00" * self._parse_integer(operands[0], lineno))
+            return section
+        if name in (".asciz", ".asciiz", ".string"):
+            buffer.extend(self._parse_string(operands[0], lineno).encode("latin-1"))
+            buffer.append(0)
+            return section
+        if name == ".ascii":
+            buffer.extend(self._parse_string(operands[0], lineno).encode("latin-1"))
+            return section
+        raise AssemblerError("unsupported directive: %r" % name, lineno)
+
+    @staticmethod
+    def _pad(buffer: bytearray, base: int, alignment: int) -> None:
+        while (base + len(buffer)) % alignment != 0:
+            buffer.append(0)
+
+    # ------------------------------------------------------ operand parsing
+    def _parse_integer(self, text: str, lineno: int) -> int:
+        text = text.strip()
+        match = _CHAR_RE.match(text)
+        if match:
+            token = match.group(1)
+            return ord(_ESCAPES.get(token, token[-1]))
+        try:
+            return int(text, 0)
+        except ValueError:
+            raise AssemblerError("expected integer, got %r" % text, lineno) from None
+
+    def _parse_string(self, text: str, lineno: int) -> str:
+        text = text.strip()
+        if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+            raise AssemblerError("expected string literal, got %r" % text, lineno)
+        body = text[1:-1]
+        for escape, replacement in _ESCAPES.items():
+            body = body.replace(escape, replacement)
+        return body
+
+    def _parse_value(self, text: str, symbols: _Symbols, lineno: int) -> int:
+        """Parse an integer literal, character or symbol reference."""
+        text = text.strip()
+        if text in symbols:
+            return symbols.lookup(text, lineno)
+        return self._parse_integer(text, lineno)
+
+    def _parse_register(self, text: str, lineno: int) -> int:
+        try:
+            return register_number(text)
+        except ValueError as exc:
+            raise AssemblerError(str(exc), lineno) from None
+
+    def _parse_immediate(self, text: str, symbols: _Symbols, lineno: int) -> int:
+        """Parse an immediate operand with optional %hi/%lo relocations."""
+        text = text.strip()
+        if text.startswith("%hi(") and text.endswith(")"):
+            value = self._parse_value(text[4:-1], symbols, lineno)
+            return ((value + 0x800) >> 12) & 0xFFFFF
+        if text.startswith("%lo(") and text.endswith(")"):
+            value = self._parse_value(text[4:-1], symbols, lineno)
+            lo = value & 0xFFF
+            return lo - 0x1000 if lo >= 0x800 else lo
+        return self._parse_value(text, symbols, lineno)
+
+    def _parse_mem_operand(
+        self, text: str, symbols: _Symbols, lineno: int
+    ) -> Tuple[int, int]:
+        """Parse ``offset(base)`` into (offset, base register)."""
+        text = text.strip()
+        match = re.match(r"^(.*)\(\s*([\w$]+)\s*\)$", text)
+        if not match:
+            raise AssemblerError("expected offset(base) operand, got %r" % text, lineno)
+        offset_text = match.group(1).strip()
+        offset = self._parse_immediate(offset_text, symbols, lineno) if offset_text else 0
+        base = self._parse_register(match.group(2), lineno)
+        return offset, base
+
+    def _branch_offset(
+        self, target: str, address: int, symbols: _Symbols, lineno: int
+    ) -> int:
+        """Resolve a branch/jump target (label or literal) to a PC offset."""
+        target = target.strip()
+        if target in symbols:
+            return symbols.lookup(target, lineno) - address
+        return self._parse_integer(target, lineno)
+
+    # ------------------------------------------------------- expansion
+    def _expand(
+        self, stmt: _Statement, address: int, symbols: _Symbols
+    ) -> List[Instruction]:
+        """Expand a (possibly pseudo) instruction into real instructions."""
+        mnemonic = stmt.mnemonic
+        ops = stmt.operands
+        lineno = stmt.lineno
+
+        def reg(index: int) -> int:
+            return self._parse_register(ops[index], lineno)
+
+        def imm(index: int) -> int:
+            return self._parse_immediate(ops[index], symbols, lineno)
+
+        def offset(index: int, at: int = address) -> int:
+            return self._branch_offset(ops[index], at, symbols, lineno)
+
+        def need(count: int) -> None:
+            if len(ops) != count:
+                raise AssemblerError(
+                    "%s expects %d operands, got %d" % (mnemonic, count, len(ops)),
+                    lineno,
+                )
+
+        # ---- real instructions --------------------------------------------
+        try:
+            spec = spec_for(mnemonic)
+        except KeyError:
+            spec = None
+
+        if spec is not None:
+            fmt = spec.fmt.value
+            if mnemonic in ("ecall", "ebreak", "fence"):
+                return [Instruction(mnemonic, imm=1 if mnemonic == "ebreak" else 0)]
+            if fmt == "R":
+                need(3)
+                return [Instruction(mnemonic, rd=reg(0), rs1=reg(1), rs2=reg(2))]
+            if fmt == "U":
+                need(2)
+                return [Instruction(mnemonic, rd=reg(0), imm=imm(1) & 0xFFFFF)]
+            if fmt == "J":  # jal rd, target  |  jal target
+                if len(ops) == 1:
+                    return [Instruction("jal", rd=1, imm=offset(0))]
+                need(2)
+                return [Instruction("jal", rd=reg(0), imm=offset(1))]
+            if fmt == "B":
+                need(3)
+                return [Instruction(mnemonic, rs1=reg(0), rs2=reg(1), imm=offset(2))]
+            if fmt == "S":
+                need(2)
+                off, base = self._parse_mem_operand(ops[1], symbols, lineno)
+                return [Instruction(mnemonic, rs2=reg(0), rs1=base, imm=off)]
+            if fmt == "I":
+                if spec.is_load:
+                    need(2)
+                    off, base = self._parse_mem_operand(ops[1], symbols, lineno)
+                    return [Instruction(mnemonic, rd=reg(0), rs1=base, imm=off)]
+                if mnemonic == "jalr":
+                    # Forms: jalr rs | jalr rd, rs, imm | jalr rd, imm(rs)
+                    if len(ops) == 1:
+                        return [Instruction("jalr", rd=1, rs1=reg(0), imm=0)]
+                    if len(ops) == 2 and "(" in ops[1]:
+                        off, base = self._parse_mem_operand(ops[1], symbols, lineno)
+                        return [Instruction("jalr", rd=reg(0), rs1=base, imm=off)]
+                    need(3)
+                    return [Instruction("jalr", rd=reg(0), rs1=reg(1), imm=imm(2))]
+                need(3)
+                return [Instruction(mnemonic, rd=reg(0), rs1=reg(1), imm=imm(2))]
+
+        # ---- pseudo-instructions -------------------------------------------
+        if mnemonic == "nop":
+            return [Instruction("addi", rd=0, rs1=0, imm=0)]
+        if mnemonic == "li":
+            need(2)
+            rd = reg(0)
+            value = self._parse_integer(ops[1], lineno)
+            if -2048 <= value <= 2047:
+                return [Instruction("addi", rd=rd, rs1=0, imm=value)]
+            unsigned = value & 0xFFFFFFFF
+            lo = unsigned & 0xFFF
+            if lo >= 0x800:
+                lo -= 0x1000
+            hi = ((unsigned - lo) >> 12) & 0xFFFFF
+            return [
+                Instruction("lui", rd=rd, imm=hi),
+                Instruction("addi", rd=rd, rs1=rd, imm=lo),
+            ]
+        if mnemonic == "la":
+            need(2)
+            rd = reg(0)
+            value = self._parse_value(ops[1], symbols, lineno)
+            lo = value & 0xFFF
+            if lo >= 0x800:
+                lo -= 0x1000
+            hi = ((value - lo) >> 12) & 0xFFFFF
+            return [
+                Instruction("lui", rd=rd, imm=hi),
+                Instruction("addi", rd=rd, rs1=rd, imm=lo),
+            ]
+        if mnemonic == "mv":
+            need(2)
+            return [Instruction("addi", rd=reg(0), rs1=reg(1), imm=0)]
+        if mnemonic == "not":
+            need(2)
+            return [Instruction("xori", rd=reg(0), rs1=reg(1), imm=-1)]
+        if mnemonic == "neg":
+            need(2)
+            return [Instruction("sub", rd=reg(0), rs1=0, rs2=reg(1))]
+        if mnemonic == "seqz":
+            need(2)
+            return [Instruction("sltiu", rd=reg(0), rs1=reg(1), imm=1)]
+        if mnemonic == "snez":
+            need(2)
+            return [Instruction("sltu", rd=reg(0), rs1=0, rs2=reg(1))]
+        if mnemonic == "sltz":
+            need(2)
+            return [Instruction("slt", rd=reg(0), rs1=reg(1), rs2=0)]
+        if mnemonic == "sgtz":
+            need(2)
+            return [Instruction("slt", rd=reg(0), rs1=0, rs2=reg(1))]
+        if mnemonic == "beqz":
+            need(2)
+            return [Instruction("beq", rs1=reg(0), rs2=0, imm=offset(1))]
+        if mnemonic == "bnez":
+            need(2)
+            return [Instruction("bne", rs1=reg(0), rs2=0, imm=offset(1))]
+        if mnemonic == "blez":
+            need(2)
+            return [Instruction("bge", rs1=0, rs2=reg(0), imm=offset(1))]
+        if mnemonic == "bgez":
+            need(2)
+            return [Instruction("bge", rs1=reg(0), rs2=0, imm=offset(1))]
+        if mnemonic == "bltz":
+            need(2)
+            return [Instruction("blt", rs1=reg(0), rs2=0, imm=offset(1))]
+        if mnemonic == "bgtz":
+            need(2)
+            return [Instruction("blt", rs1=0, rs2=reg(0), imm=offset(1))]
+        if mnemonic == "bgt":
+            need(3)
+            return [Instruction("blt", rs1=reg(1), rs2=reg(0), imm=offset(2))]
+        if mnemonic == "ble":
+            need(3)
+            return [Instruction("bge", rs1=reg(1), rs2=reg(0), imm=offset(2))]
+        if mnemonic == "bgtu":
+            need(3)
+            return [Instruction("bltu", rs1=reg(1), rs2=reg(0), imm=offset(2))]
+        if mnemonic == "bleu":
+            need(3)
+            return [Instruction("bgeu", rs1=reg(1), rs2=reg(0), imm=offset(2))]
+        if mnemonic == "j":
+            need(1)
+            return [Instruction("jal", rd=0, imm=offset(0))]
+        if mnemonic == "jr":
+            need(1)
+            return [Instruction("jalr", rd=0, rs1=reg(0), imm=0)]
+        if mnemonic == "ret":
+            return [Instruction("jalr", rd=0, rs1=1, imm=0)]
+        if mnemonic == "call":
+            need(1)
+            return [Instruction("jal", rd=1, imm=offset(0))]
+        if mnemonic == "tail":
+            need(1)
+            return [Instruction("jal", rd=0, imm=offset(0))]
+
+        raise AssemblerError("unknown instruction or directive: %r" % mnemonic, lineno)
+
+
+def assemble(
+    source: str,
+    code_base: int = DEFAULT_CODE_BASE,
+    data_base: int = DEFAULT_DATA_BASE,
+) -> Program:
+    """Assemble ``source`` and return the resulting :class:`Program`."""
+    return Assembler(code_base=code_base, data_base=data_base).assemble(source)

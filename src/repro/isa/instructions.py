@@ -1,0 +1,257 @@
+"""Instruction specifications and the :class:`Instruction` container.
+
+Each supported RV32IM instruction has an :class:`InstructionSpec` describing
+its encoding format, opcode/funct fields and its control-flow classification.
+The classification is what LO-FAT's branch filter cares about: whether an
+instruction can redirect control flow, whether it is direct or indirect, and
+whether it writes the link register (which distinguishes subroutine calls from
+plain jumps and loop back-edges).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+class InstructionFormat(enum.Enum):
+    """RV32 instruction encoding formats."""
+
+    R = "R"
+    I = "I"
+    S = "S"
+    B = "B"
+    U = "U"
+    J = "J"
+
+
+# Base opcodes (bits [6:0]).
+OPCODE_LUI = 0b0110111
+OPCODE_AUIPC = 0b0010111
+OPCODE_JAL = 0b1101111
+OPCODE_JALR = 0b1100111
+OPCODE_BRANCH = 0b1100011
+OPCODE_LOAD = 0b0000011
+OPCODE_STORE = 0b0100011
+OPCODE_OP_IMM = 0b0010011
+OPCODE_OP = 0b0110011
+OPCODE_MISC_MEM = 0b0001111
+OPCODE_SYSTEM = 0b1110011
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Static description of one instruction mnemonic.
+
+    Attributes:
+        mnemonic: lower-case assembly mnemonic, e.g. ``"beq"``.
+        fmt: encoding format.
+        opcode: 7-bit major opcode.
+        funct3: 3-bit minor opcode, or None if unused.
+        funct7: 7-bit minor opcode, or None if unused.
+        is_branch: True for conditional branches (B-format).
+        is_jump: True for unconditional jumps (``jal``/``jalr``).
+        is_indirect: True when the target comes from a register (``jalr``).
+        is_load: True for memory loads.
+        is_store: True for memory stores.
+        is_system: True for ``ecall``/``ebreak``.
+        is_mul_div: True for M-extension instructions (longer latency).
+    """
+
+    mnemonic: str
+    fmt: InstructionFormat
+    opcode: int
+    funct3: Optional[int] = None
+    funct7: Optional[int] = None
+    is_branch: bool = False
+    is_jump: bool = False
+    is_indirect: bool = False
+    is_load: bool = False
+    is_store: bool = False
+    is_system: bool = False
+    is_mul_div: bool = False
+
+    @property
+    def is_control_flow(self) -> bool:
+        """True if the instruction may redirect the program counter."""
+        return self.is_branch or self.is_jump
+
+
+def _r(mnemonic: str, funct3: int, funct7: int, **flags) -> InstructionSpec:
+    return InstructionSpec(mnemonic, InstructionFormat.R, OPCODE_OP, funct3, funct7, **flags)
+
+
+def _i(mnemonic: str, opcode: int, funct3: int, funct7: Optional[int] = None, **flags) -> InstructionSpec:
+    return InstructionSpec(mnemonic, InstructionFormat.I, opcode, funct3, funct7, **flags)
+
+
+def _b(mnemonic: str, funct3: int) -> InstructionSpec:
+    return InstructionSpec(mnemonic, InstructionFormat.B, OPCODE_BRANCH, funct3, is_branch=True)
+
+
+def _s(mnemonic: str, funct3: int) -> InstructionSpec:
+    return InstructionSpec(mnemonic, InstructionFormat.S, OPCODE_STORE, funct3, is_store=True)
+
+
+#: Every supported instruction, keyed by mnemonic.
+SPECS: Dict[str, InstructionSpec] = {}
+
+
+def _register(spec: InstructionSpec) -> None:
+    SPECS[spec.mnemonic] = spec
+
+
+# --- RV32I: upper immediates and jumps -------------------------------------
+_register(InstructionSpec("lui", InstructionFormat.U, OPCODE_LUI))
+_register(InstructionSpec("auipc", InstructionFormat.U, OPCODE_AUIPC))
+_register(InstructionSpec("jal", InstructionFormat.J, OPCODE_JAL, is_jump=True))
+_register(InstructionSpec(
+    "jalr", InstructionFormat.I, OPCODE_JALR, funct3=0b000,
+    is_jump=True, is_indirect=True,
+))
+
+# --- RV32I: conditional branches --------------------------------------------
+_register(_b("beq", 0b000))
+_register(_b("bne", 0b001))
+_register(_b("blt", 0b100))
+_register(_b("bge", 0b101))
+_register(_b("bltu", 0b110))
+_register(_b("bgeu", 0b111))
+
+# --- RV32I: loads and stores -------------------------------------------------
+_register(_i("lb", OPCODE_LOAD, 0b000, is_load=True))
+_register(_i("lh", OPCODE_LOAD, 0b001, is_load=True))
+_register(_i("lw", OPCODE_LOAD, 0b010, is_load=True))
+_register(_i("lbu", OPCODE_LOAD, 0b100, is_load=True))
+_register(_i("lhu", OPCODE_LOAD, 0b101, is_load=True))
+_register(_s("sb", 0b000))
+_register(_s("sh", 0b001))
+_register(_s("sw", 0b010))
+
+# --- RV32I: register-immediate ALU -------------------------------------------
+_register(_i("addi", OPCODE_OP_IMM, 0b000))
+_register(_i("slti", OPCODE_OP_IMM, 0b010))
+_register(_i("sltiu", OPCODE_OP_IMM, 0b011))
+_register(_i("xori", OPCODE_OP_IMM, 0b100))
+_register(_i("ori", OPCODE_OP_IMM, 0b110))
+_register(_i("andi", OPCODE_OP_IMM, 0b111))
+_register(_i("slli", OPCODE_OP_IMM, 0b001, funct7=0b0000000))
+_register(_i("srli", OPCODE_OP_IMM, 0b101, funct7=0b0000000))
+_register(_i("srai", OPCODE_OP_IMM, 0b101, funct7=0b0100000))
+
+# --- RV32I: register-register ALU --------------------------------------------
+_register(_r("add", 0b000, 0b0000000))
+_register(_r("sub", 0b000, 0b0100000))
+_register(_r("sll", 0b001, 0b0000000))
+_register(_r("slt", 0b010, 0b0000000))
+_register(_r("sltu", 0b011, 0b0000000))
+_register(_r("xor", 0b100, 0b0000000))
+_register(_r("srl", 0b101, 0b0000000))
+_register(_r("sra", 0b101, 0b0100000))
+_register(_r("or", 0b110, 0b0000000))
+_register(_r("and", 0b111, 0b0000000))
+
+# --- RV32M: multiply / divide ------------------------------------------------
+_register(_r("mul", 0b000, 0b0000001, is_mul_div=True))
+_register(_r("mulh", 0b001, 0b0000001, is_mul_div=True))
+_register(_r("mulhsu", 0b010, 0b0000001, is_mul_div=True))
+_register(_r("mulhu", 0b011, 0b0000001, is_mul_div=True))
+_register(_r("div", 0b100, 0b0000001, is_mul_div=True))
+_register(_r("divu", 0b101, 0b0000001, is_mul_div=True))
+_register(_r("rem", 0b110, 0b0000001, is_mul_div=True))
+_register(_r("remu", 0b111, 0b0000001, is_mul_div=True))
+
+# --- System and fence ---------------------------------------------------------
+_register(_i("ecall", OPCODE_SYSTEM, 0b000, is_system=True))
+_register(_i("ebreak", OPCODE_SYSTEM, 0b000, is_system=True))
+_register(_i("fence", OPCODE_MISC_MEM, 0b000))
+
+
+def spec_for(mnemonic: str) -> InstructionSpec:
+    """Return the :class:`InstructionSpec` for ``mnemonic``.
+
+    Raises :class:`KeyError` with a helpful message for unknown mnemonics.
+    """
+    key = mnemonic.strip().lower()
+    try:
+        return SPECS[key]
+    except KeyError:
+        raise KeyError("unsupported instruction mnemonic: %r" % mnemonic) from None
+
+
+@dataclass
+class Instruction:
+    """A single decoded (or assembled) instruction.
+
+    Operand fields that do not apply to a given format are left at their
+    defaults (register 0 / immediate 0).  ``address`` is filled in by the
+    assembler and by the decoder when the caller supplies it; the CPU and the
+    LO-FAT branch filter use it as the branch source address.
+    """
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    address: Optional[int] = None
+    spec: InstructionSpec = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.mnemonic = self.mnemonic.lower()
+        self.spec = spec_for(self.mnemonic)
+
+    # -- control-flow classification helpers used by the CPU and LO-FAT ------
+    @property
+    def is_control_flow(self) -> bool:
+        """True if the instruction may change the program counter."""
+        return self.spec.is_control_flow
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        """True for B-format conditional branches."""
+        return self.spec.is_branch
+
+    @property
+    def is_direct_jump(self) -> bool:
+        """True for ``jal`` (PC-relative unconditional jump)."""
+        return self.spec.is_jump and not self.spec.is_indirect
+
+    @property
+    def is_indirect_jump(self) -> bool:
+        """True for ``jalr`` (register-indirect jump)."""
+        return self.spec.is_indirect
+
+    @property
+    def writes_link_register(self) -> bool:
+        """True if the instruction is a *linking* jump (a subroutine call).
+
+        Per the RISC-V calling convention a call is a ``jal``/``jalr`` whose
+        destination register is ``ra`` (x1) or the alternate link register
+        ``t0`` (x5).  LO-FAT's loop detector treats only *non-linking*
+        backward control transfers as loop back-edges.
+        """
+        from repro.isa.registers import is_link_register
+
+        return self.spec.is_jump and is_link_register(self.rd)
+
+    @property
+    def is_return(self) -> bool:
+        """True for the canonical function return ``jalr x0, ra, 0``."""
+        from repro.isa.registers import is_link_register
+
+        return (
+            self.spec.is_indirect
+            and self.rd == 0
+            and is_link_register(self.rs1)
+        )
+
+    def key(self) -> Tuple[str, int, int, int, int]:
+        """A hashable identity tuple (ignores the address annotation)."""
+        return (self.mnemonic, self.rd, self.rs1, self.rs2, self.imm)
+
+    def __str__(self) -> str:
+        from repro.isa.disassembler import format_instruction
+
+        return format_instruction(self)

@@ -1,0 +1,149 @@
+"""Integer register file and ABI register naming for RV32.
+
+The RISC-V integer register file has 32 registers ``x0``-``x31``.  Register
+``x0`` is hard-wired to zero: writes to it are discarded and reads always
+return 0.  The standard calling convention assigns ABI names to each register
+(``ra`` for the return address / link register, ``sp`` for the stack pointer,
+``a0``-``a7`` for arguments, and so on).  LO-FAT's loop-detection heuristic
+relies on the link register (``ra`` / ``x1``), so the register model keeps the
+ABI mapping explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+#: Number of integer registers in RV32.
+NUM_REGISTERS = 32
+
+#: Mask used to truncate values to the 32-bit register width.
+XLEN_MASK = 0xFFFFFFFF
+
+#: Canonical ABI names indexed by register number.
+ABI_NAMES: List[str] = [
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+]
+
+#: Register number of the link register used by ``jal``/``jalr`` calls.
+LINK_REGISTER = 1
+
+#: Register number of the alternate link register allowed by the ABI.
+ALT_LINK_REGISTER = 5
+
+#: Register number of the stack pointer.
+STACK_POINTER = 2
+
+_NAME_TO_NUMBER: Dict[str, int] = {}
+for _num, _name in enumerate(ABI_NAMES):
+    _NAME_TO_NUMBER[_name] = _num
+    _NAME_TO_NUMBER["x%d" % _num] = _num
+# ``fp`` is an alias for ``s0``.
+_NAME_TO_NUMBER["fp"] = 8
+
+
+def register_number(name: str) -> int:
+    """Return the register number for ``name``.
+
+    ``name`` may be an ABI name (``"sp"``, ``"a0"``, ``"fp"``) or an
+    architectural name (``"x2"``).  Raises :class:`ValueError` for unknown
+    names.
+    """
+    key = name.strip().lower()
+    if key not in _NAME_TO_NUMBER:
+        raise ValueError("unknown register name: %r" % name)
+    return _NAME_TO_NUMBER[key]
+
+
+def register_name(number: int) -> str:
+    """Return the canonical ABI name for register ``number``."""
+    if not 0 <= number < NUM_REGISTERS:
+        raise ValueError("register number out of range: %d" % number)
+    return ABI_NAMES[number]
+
+
+def is_link_register(number: int) -> bool:
+    """Return True if ``number`` is a link register per the RISC-V ABI.
+
+    The calling convention designates ``x1`` (``ra``) and ``x5`` (``t0``) as
+    link registers; LO-FAT's branch filter uses this to distinguish subroutine
+    calls from loop back-edges.
+    """
+    return number in (LINK_REGISTER, ALT_LINK_REGISTER)
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit unsigned value as a signed two's-complement integer."""
+    value &= XLEN_MASK
+    if value & 0x80000000:
+        return value - 0x100000000
+    return value
+
+
+def to_unsigned(value: int) -> int:
+    """Truncate ``value`` to an unsigned 32-bit integer."""
+    return value & XLEN_MASK
+
+
+class RegisterFile:
+    """A 32-entry integer register file with ``x0`` hard-wired to zero.
+
+    Values are stored as unsigned 32-bit integers.  :meth:`read_signed`
+    provides the signed view needed by comparison and arithmetic instructions.
+    """
+
+    def __init__(self, initial: Iterable[int] = ()) -> None:
+        self._regs: List[int] = [0] * NUM_REGISTERS
+        for index, value in enumerate(initial):
+            if index >= NUM_REGISTERS:
+                raise ValueError("too many initial register values")
+            if index != 0:
+                self._regs[index] = to_unsigned(value)
+
+    def read(self, number: int) -> int:
+        """Return the unsigned 32-bit value of register ``number``."""
+        if not 0 <= number < NUM_REGISTERS:
+            raise ValueError("register number out of range: %d" % number)
+        return self._regs[number]
+
+    def read_signed(self, number: int) -> int:
+        """Return the signed value of register ``number``."""
+        return to_signed(self.read(number))
+
+    def write(self, number: int, value: int) -> None:
+        """Write ``value`` (truncated to 32 bits) to register ``number``.
+
+        Writes to ``x0`` are silently ignored, matching the hardware.
+        """
+        if not 0 <= number < NUM_REGISTERS:
+            raise ValueError("register number out of range: %d" % number)
+        if number == 0:
+            return
+        self._regs[number] = to_unsigned(value)
+
+    def snapshot(self) -> List[int]:
+        """Return a copy of all register values (used by tests and debuggers)."""
+        return list(self._regs)
+
+    def __getitem__(self, key) -> int:
+        if isinstance(key, str):
+            return self.read(register_number(key))
+        return self.read(key)
+
+    def __setitem__(self, key, value: int) -> None:
+        if isinstance(key, str):
+            self.write(register_number(key), value)
+        else:
+            self.write(key, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pairs = ", ".join(
+            "%s=%#x" % (ABI_NAMES[i], v)
+            for i, v in enumerate(self._regs)
+            if v != 0
+        )
+        return "RegisterFile(%s)" % pairs

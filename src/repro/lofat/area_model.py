@@ -1,0 +1,238 @@
+"""Analytical FPGA resource model (paper §6.2).
+
+The paper prototypes LO-FAT on a Virtex-7 XC7Z020 (Zedboard) and reports:
+
+* 4 % of the device's registers and 6 % of its LUTs, amounting to roughly
+  20 % additional logic on top of the Pulpino SoC;
+* 49 x 36-Kbit block RAMs, of which 16 per simultaneously tracked loop are
+  the sparse path-ID-indexed counter memories (48 for nesting depth 3) plus
+  one for the branches memory / hash input buffering;
+* a maximum clock frequency of 80 MHz for the integrated design (the
+  stand-alone SHA-3 engine closes timing at 150 MHz).
+
+These numbers follow from the sizing formulas of §5.2 (``8 x 2^l`` bits of
+counter memory per loop, ``n``-bit indirect-target codes) plus per-component
+logic estimates.  :class:`AreaModel` reproduces the published configuration
+point and supports the parameter sweeps of experiments E3 and E8.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.lofat.config import LoFatConfig
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Resource capacity of an FPGA device."""
+
+    name: str
+    luts: int
+    registers: int
+    bram36_blocks: int
+    #: Usable bits per 36-Kbit BRAM block.
+    bram36_kbits: int = 36
+
+    @property
+    def bram_bits_total(self) -> int:
+        return self.bram36_blocks * self.bram36_kbits * 1024
+
+
+#: The Zynq-7020 programmable logic used on the Zedboard (paper's target).
+VIRTEX7_XC7Z020 = FpgaDevice(
+    name="XC7Z020 (Zedboard)",
+    luts=53_200,
+    registers=106_400,
+    bram36_blocks=140,
+)
+
+#: Logic footprint of the Pulpino SoC on the same device (approximate
+#: synthesis baseline used to express LO-FAT's cost as "additional logic").
+PULPINO_BASELINE_LUTS = 20_000
+PULPINO_BASELINE_REGISTERS = 17_000
+
+
+@dataclass
+class AreaEstimate:
+    """Resource estimate for one LO-FAT configuration."""
+
+    luts: int
+    registers: int
+    bram36: int
+    bram_bits: int
+    per_component: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    max_clock_mhz: float = 80.0
+
+    def utilization(self, device: FpgaDevice) -> Dict[str, float]:
+        """Fraction of the device consumed, per resource class."""
+        return {
+            "luts": self.luts / device.luts,
+            "registers": self.registers / device.registers,
+            "bram36": self.bram36 / device.bram36_blocks,
+        }
+
+    def logic_overhead_vs_pulpino(self) -> float:
+        """Additional logic relative to the Pulpino SoC baseline."""
+        baseline = PULPINO_BASELINE_LUTS + PULPINO_BASELINE_REGISTERS
+        added = self.luts + self.registers
+        return added / baseline
+
+    def as_dict(self) -> dict:
+        return {
+            "luts": self.luts,
+            "registers": self.registers,
+            "bram36": self.bram36,
+            "bram_bits": self.bram_bits,
+            "max_clock_mhz": self.max_clock_mhz,
+        }
+
+
+class AreaModel:
+    """Component-wise resource estimation for a LO-FAT configuration.
+
+    The per-component constants are calibrated so the paper's default
+    configuration (n=4, l=16, depth 3) lands on the published figures; the
+    scaling with the configuration parameters follows the structural sizing
+    arguments of §5.2 and §6.2.
+    """
+
+    # Fixed logic of the SHA-3 512 engine (independent of the configuration).
+    HASH_ENGINE_LUTS = 1_000
+    HASH_ENGINE_REGISTERS = 1_700
+
+    # Branch filter: PC/instruction snoop, classification, loop entry/exit
+    # registers (scales with nesting depth).
+    BRANCH_FILTER_BASE_LUTS = 400
+    BRANCH_FILTER_BASE_REGISTERS = 350
+    BRANCH_FILTER_PER_LOOP_LUTS = 90
+    BRANCH_FILTER_PER_LOOP_REGISTERS = 110
+
+    # Loop monitor / path encoder: shift registers of l bits per loop level,
+    # iteration counters, control FSM.
+    LOOP_MONITOR_BASE_LUTS = 350
+    LOOP_MONITOR_BASE_REGISTERS = 300
+    LOOP_MONITOR_PER_PATH_BIT_LUTS = 7
+    LOOP_MONITOR_PER_PATH_BIT_REGISTERS = 10
+
+    # Indirect-target CAM: 2 interleaved CAMs of (2^n - 1) entries of 32 bits
+    # per loop level; CAM match logic is LUT-heavy.
+    CAM_PER_ENTRY_LUTS = 6
+    CAM_PER_ENTRY_REGISTERS = 16
+
+    # Hash engine controller + metadata generator + pair buffering logic.
+    CONTROLLER_LUTS = 350
+    CONTROLLER_REGISTERS = 380
+
+    # BRAM aspect: a 36-Kbit block can be organised as deep as 32K x 1.
+    BRAM_MAX_DEPTH = 32_768
+    BRAM_BITS = 36 * 1024
+
+    def __init__(self, config: Optional[LoFatConfig] = None) -> None:
+        self.config = config or LoFatConfig()
+
+    # -------------------------------------------------------------- memory
+    def loop_counter_brams_per_loop(self) -> int:
+        """36-Kbit BRAMs needed for one loop's path-indexed counter memory.
+
+        The memory has ``2^l`` entries of ``counter_width`` bits and must
+        offer single-cycle access, so it is built from BRAMs organised in
+        their deepest aspect ratio (32K x 1): ``ceil(2^l / 32K)`` blocks per
+        data bit.  For the paper's l=16, 8-bit counters this yields
+        2 x 8 = 16 BRAMs per loop.
+        """
+        config = self.config
+        entries = 1 << config.path_id_bits
+        blocks_per_bit = max(1, math.ceil(entries / self.BRAM_MAX_DEPTH))
+        return blocks_per_bit * config.counter_width_bits
+
+    def loop_counter_brams_total(self) -> int:
+        """Counter-memory BRAMs across all tracked nesting levels."""
+        return self.loop_counter_brams_per_loop() * self.config.max_nested_loops
+
+    def branches_memory_brams(self) -> int:
+        """BRAMs for the branches memory and the hash input cache buffer."""
+        # 64-bit pairs; one 36-Kbit block comfortably holds the working set.
+        return 1
+
+    def bram_blocks(self) -> int:
+        """Total 36-Kbit BRAM blocks."""
+        return self.loop_counter_brams_total() + self.branches_memory_brams()
+
+    def bram_bits(self) -> int:
+        """Total on-chip memory bits implied by the configuration (§5.2)."""
+        return (
+            self.config.total_loop_memory_bits
+            + 64 * self.config.hash_input_buffer_depth
+        )
+
+    # --------------------------------------------------------------- logic
+    def logic(self) -> Dict[str, Dict[str, int]]:
+        """Per-component LUT / register estimates."""
+        config = self.config
+        depth = config.max_nested_loops
+        cam_entries = config.max_indirect_targets_per_loop * depth
+
+        branch_filter = {
+            "luts": self.BRANCH_FILTER_BASE_LUTS
+            + self.BRANCH_FILTER_PER_LOOP_LUTS * depth,
+            "registers": self.BRANCH_FILTER_BASE_REGISTERS
+            + self.BRANCH_FILTER_PER_LOOP_REGISTERS * depth,
+        }
+        loop_monitor = {
+            "luts": self.LOOP_MONITOR_BASE_LUTS
+            + self.LOOP_MONITOR_PER_PATH_BIT_LUTS * config.path_id_bits * depth,
+            "registers": self.LOOP_MONITOR_BASE_REGISTERS
+            + self.LOOP_MONITOR_PER_PATH_BIT_REGISTERS * config.path_id_bits * depth,
+        }
+        target_cam = {
+            "luts": self.CAM_PER_ENTRY_LUTS * cam_entries * 2,      # 2 interleaved CAMs
+            "registers": self.CAM_PER_ENTRY_REGISTERS * cam_entries,
+        }
+        hash_engine = {
+            "luts": self.HASH_ENGINE_LUTS,
+            "registers": self.HASH_ENGINE_REGISTERS,
+        }
+        controller = {
+            "luts": self.CONTROLLER_LUTS,
+            "registers": self.CONTROLLER_REGISTERS,
+        }
+        return {
+            "branch_filter": branch_filter,
+            "loop_monitor": loop_monitor,
+            "target_cam": target_cam,
+            "hash_engine": hash_engine,
+            "controller": controller,
+        }
+
+    def max_clock_mhz(self) -> float:
+        """Estimated maximum clock of the integrated design.
+
+        The CAM match path limits the integrated design to ~80 MHz; without
+        the CAM access on the critical path the design could run faster
+        (paper §6.1: "eliminating the CAM access results in a much higher
+        clock frequency if desired"), bounded by the SHA-3 engine's 150 MHz.
+        """
+        config = self.config
+        if config.max_indirect_targets_per_loop <= 1:
+            return config.hash_engine_max_clock_mhz
+        # Larger CAMs lengthen the match/priority-encode path.
+        cam_penalty = 1.0 + 0.02 * (config.max_indirect_targets_per_loop - 15)
+        return min(config.hash_engine_max_clock_mhz, 80.0 / max(cam_penalty, 0.5))
+
+    # ------------------------------------------------------------ estimate
+    def estimate(self) -> AreaEstimate:
+        """Produce the full :class:`AreaEstimate` for the configuration."""
+        components = self.logic()
+        luts = sum(component["luts"] for component in components.values())
+        registers = sum(component["registers"] for component in components.values())
+        return AreaEstimate(
+            luts=luts,
+            registers=registers,
+            bram36=self.bram_blocks(),
+            bram_bits=self.bram_bits(),
+            per_component=components,
+            max_clock_mhz=self.max_clock_mhz(),
+        )

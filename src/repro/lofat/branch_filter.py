@@ -1,0 +1,255 @@
+"""The branch filter: control-flow extraction and run-time loop detection.
+
+The branch filter is "tightly coupled to the processor, extracts the current
+program counter and instruction executed per clock cycle [and] filters in
+every branch, jump and return instruction" (paper §4).  On top of the
+filtering it performs the run-time loop detection of §5.1:
+
+* **Loop entry**: the target of every *taken, non-linking backward* branch is
+  considered a loop entry node.  Linking branches (those writing the link
+  register ``ra``/``t0``) are subroutine calls, not loop back edges, and
+  function returns are recognised by the canonical ``jalr x0, ra, 0`` idiom.
+* **Loop exit**: the basic block following the backward branch is the loop
+  exit node; the loop terminates when execution proceeds to or past that
+  address (sequentially or via a non-linking branch) while not inside a
+  function called from the loop body.
+
+The filter does not keep per-path state itself -- it drives the
+:class:`repro.lofat.loop_monitor.LoopMonitor` through the same control
+interface the hardware uses (``non_loops ctrl``, ``loops_status ctrl``,
+``branch_status ctrl``), here expressed as callbacks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.cpu.trace import BranchKind, TraceRecord
+from repro.lofat.config import LoFatConfig
+from repro.lofat.loop_monitor import LoopMonitor
+
+
+class FilterEventKind(enum.Enum):
+    """Events the branch filter reports (for tests and diagnostics)."""
+
+    NON_LOOP_BRANCH = "non_loop_branch"
+    LOOP_DISCOVERED = "loop_discovered"
+    LOOP_BRANCH = "loop_branch"
+    LOOP_ITERATION = "loop_iteration"
+    LOOP_EXIT = "loop_exit"
+
+
+@dataclass
+class FilterEvent:
+    """One event emitted by the branch filter (diagnostic stream)."""
+
+    kind: FilterEventKind
+    cycle: int
+    pc: int
+    detail: str = ""
+
+
+@dataclass
+class FilterStats:
+    """Counters describing what the filter observed."""
+
+    instructions_observed: int = 0
+    control_flow_instructions: int = 0
+    non_loop_branches: int = 0
+    loop_branches: int = 0
+    loops_discovered: int = 0
+    loop_iterations: int = 0
+    loop_exits: int = 0
+    loops_beyond_max_depth: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "instructions_observed": self.instructions_observed,
+            "control_flow_instructions": self.control_flow_instructions,
+            "non_loop_branches": self.non_loop_branches,
+            "loop_branches": self.loop_branches,
+            "loops_discovered": self.loops_discovered,
+            "loop_iterations": self.loop_iterations,
+            "loop_exits": self.loop_exits,
+            "loops_beyond_max_depth": self.loops_beyond_max_depth,
+        }
+
+
+class BranchFilter:
+    """Filters the retired-instruction stream and detects loops at run time.
+
+    Parameters:
+        config: LO-FAT configuration (nesting depth, latencies, ...).
+        loop_monitor: the loop monitor driven by this filter.
+        hash_non_loop: callback invoked with (record) for every control-flow
+            instruction outside any tracked loop -- the ``non_loops ctrl``
+            path that enables direct hashing of the (Src, Dest) pair.
+        record_events: keep a diagnostic list of :class:`FilterEvent`.
+    """
+
+    def __init__(
+        self,
+        config: LoFatConfig,
+        loop_monitor: LoopMonitor,
+        hash_non_loop: Callable[[TraceRecord], None],
+        record_events: bool = False,
+    ) -> None:
+        self.config = config
+        self.loop_monitor = loop_monitor
+        self.hash_non_loop = hash_non_loop
+        self.stats = FilterStats()
+        self.events: List[FilterEvent] = []
+        self._record_events = record_events
+        self._call_depth = 0
+        #: Cycles of internal latency accumulated (2 per branch event plus 5
+        #: per loop exit); these overlap with program execution and do not
+        #: stall the core -- they are reported by experiment E2.
+        self.internal_latency_cycles = 0
+
+    # ------------------------------------------------------------- helpers
+    def _emit(self, kind: FilterEventKind, record_or_cycle, pc: int, detail: str = "") -> None:
+        if not self._record_events:
+            return
+        cycle = record_or_cycle.cycle if isinstance(record_or_cycle, TraceRecord) else record_or_cycle
+        self.events.append(FilterEvent(kind, cycle, pc, detail))
+
+    @staticmethod
+    def _is_loop_back_edge(record: TraceRecord) -> bool:
+        """True for a taken, non-linking, backward direct transfer.
+
+        Conditional branches and plain ``jal x0`` jumps qualify; calls (which
+        link) and returns (the recognised return idiom) do not.
+        """
+        if not record.taken:
+            return False
+        if record.kind is BranchKind.CONDITIONAL:
+            return record.next_pc <= record.pc
+        if record.kind is BranchKind.DIRECT_JUMP:
+            return record.next_pc <= record.pc
+        return False
+
+    # --------------------------------------------------------------- input
+    def observe(self, record: TraceRecord) -> None:
+        """Process one retired instruction (the per-cycle pipeline snoop)."""
+        self.stats.instructions_observed += 1
+        monitor = self.loop_monitor
+
+        # 1. Loop-exit detection based on the current PC.  Only applies when
+        #    execution is in the same call frame the loop was entered in.
+        self._check_loop_exits(record)
+
+        if not record.is_control_flow:
+            return
+
+        self.stats.control_flow_instructions += 1
+        self.internal_latency_cycles += self.config.branch_tracking_latency
+
+        # 2. Call-depth tracking for the exit heuristic.
+        if record.kind.is_linking:
+            self._call_depth += 1
+        elif record.kind is BranchKind.RETURN:
+            if self._call_depth > 0:
+                self._call_depth -= 1
+            elif monitor.active_loops:
+                # A return at the loop's own call depth leaves the function
+                # containing the loop: every active loop in this frame exits.
+                self._exit_all_loops(record)
+
+        # 3. Back-edge / loop classification.
+        if self._is_loop_back_edge(record):
+            self._handle_back_edge(record)
+            return
+
+        # 4. Ordinary control flow: inside a loop it contributes to the loop
+        #    path; outside it is hashed directly.
+        if monitor.active_loops:
+            monitor.loop_branch(record)
+            self.stats.loop_branches += 1
+            self._emit(FilterEventKind.LOOP_BRANCH, record, record.pc)
+        else:
+            self.hash_non_loop(record)
+            self.stats.non_loop_branches += 1
+            self._emit(FilterEventKind.NON_LOOP_BRANCH, record, record.pc)
+
+    # ---------------------------------------------------------- back edges
+    def _handle_back_edge(self, record: TraceRecord) -> None:
+        monitor = self.loop_monitor
+        entry = record.next_pc
+
+        # Another iteration of an already-tracked loop?
+        depth_index = monitor.find_loop_by_entry(entry)
+        if depth_index is not None:
+            # Inner loops (if any) implicitly terminate when control jumps
+            # back to an outer loop's entry node.
+            while monitor.depth - 1 > depth_index:
+                self._exit_top_loop(record.cycle, record.pc)
+            monitor.loop_branch(record)
+            monitor.iteration_boundary(record)
+            self.stats.loop_branches += 1
+            self.stats.loop_iterations += 1
+            self._emit(FilterEventKind.LOOP_ITERATION, record, record.pc,
+                       "entry=%#x" % entry)
+            return
+
+        # A new loop.  If we are already at the configured nesting depth the
+        # loop is not tracked separately; its branches stay part of the
+        # innermost tracked loop (coarser granularity, as §5.1 allows).
+        if monitor.depth >= self.config.max_nested_loops:
+            self.stats.loops_beyond_max_depth += 1
+            if monitor.active_loops:
+                monitor.loop_branch(record)
+                self.stats.loop_branches += 1
+            else:
+                self.hash_non_loop(record)
+                self.stats.non_loop_branches += 1
+            return
+
+        # The discovery back edge itself is attributed to the enclosing
+        # context (outer loop path or direct hashing): the loop becomes
+        # tracked only once its entry and exit registers are latched.
+        if monitor.active_loops:
+            monitor.loop_branch(record)
+            self.stats.loop_branches += 1
+        else:
+            self.hash_non_loop(record)
+            self.stats.non_loop_branches += 1
+
+        exit_node = record.pc + 4
+        monitor.enter_loop(
+            entry=entry,
+            exit_node=exit_node,
+            call_depth=self._call_depth,
+            cycle=record.cycle,
+        )
+        self.stats.loops_discovered += 1
+        self._emit(FilterEventKind.LOOP_DISCOVERED, record, record.pc,
+                   "entry=%#x exit=%#x" % (entry, exit_node))
+
+    # --------------------------------------------------------------- exits
+    def _check_loop_exits(self, record: TraceRecord) -> None:
+        monitor = self.loop_monitor
+        while monitor.active_loops:
+            top = monitor.top_loop
+            if self._call_depth != top.call_depth:
+                return
+            if record.pc >= top.exit_node or record.pc < top.entry:
+                self._exit_top_loop(record.cycle, record.pc)
+                continue
+            return
+
+    def _exit_top_loop(self, cycle: int, pc: int) -> None:
+        self.loop_monitor.exit_loop(cycle)
+        self.stats.loop_exits += 1
+        self.internal_latency_cycles += self.config.loop_exit_latency
+        self._emit(FilterEventKind.LOOP_EXIT, cycle, pc)
+
+    def _exit_all_loops(self, record: TraceRecord) -> None:
+        while self.loop_monitor.active_loops:
+            self._exit_top_loop(record.cycle, record.pc)
+
+    def finalize(self, cycle: int) -> None:
+        """Close any loops still active when the attested execution ends."""
+        while self.loop_monitor.active_loops:
+            self._exit_top_loop(cycle, 0)

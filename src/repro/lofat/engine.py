@@ -1,0 +1,171 @@
+"""The top-level LO-FAT engine.
+
+:class:`LoFatEngine` wires the branch filter, loop monitor, hash engine and
+metadata generator together exactly as Figure 3 of the paper does, and plugs
+into the CPU model as a retired-instruction monitor.  Because it is a monitor,
+it observes execution *in parallel* with the core and can never slow it down
+-- which is the paper's central performance claim (zero processor overhead).
+
+Typical use::
+
+    engine = LoFatEngine()
+    cpu = Cpu(program, inputs=[...])
+    cpu.attach_monitor(engine.observe)
+    result = cpu.run()
+    measurement = engine.finalize()
+    # measurement.measurement  -> 64-byte SHA3-512 value A
+    # measurement.metadata     -> loop metadata L
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cpu.trace import TraceRecord
+from repro.lofat.branch_filter import BranchFilter
+from repro.lofat.config import LoFatConfig
+from repro.lofat.hash_engine import HashEngine
+from repro.lofat.loop_monitor import LoopMonitor
+from repro.lofat.metadata import LoopMetadata, MetadataGenerator
+
+
+@dataclass
+class AttestationMeasurement:
+    """The prover-side result of one attested execution.
+
+    Attributes:
+        measurement: the 64-byte SHA3-512 cumulative hash ``A``.
+        metadata: the loop metadata ``L``.
+        stats: engine statistics (compression, latency, buffering).
+    """
+
+    measurement: bytes
+    metadata: LoopMetadata
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def measurement_hex(self) -> str:
+        """Hex rendering of ``A``."""
+        return self.measurement.hex()
+
+    @property
+    def report_payload(self) -> bytes:
+        """The byte string covered by the attestation signature: ``A || L``."""
+        return self.measurement + self.metadata.to_bytes()
+
+
+class LoFatEngine:
+    """Hardware control-flow attestation engine (transaction-level model)."""
+
+    def __init__(self, config: Optional[LoFatConfig] = None,
+                 record_filter_events: bool = False) -> None:
+        self.config = config or LoFatConfig()
+        self.hash_engine = HashEngine(self.config)
+        self.metadata_generator = MetadataGenerator()
+        self.loop_monitor = LoopMonitor(
+            config=self.config,
+            hash_pairs=self._hash_pairs,
+            on_loop_exit=self.metadata_generator.on_loop_exit,
+        )
+        self.branch_filter = BranchFilter(
+            config=self.config,
+            loop_monitor=self.loop_monitor,
+            hash_non_loop=self._hash_non_loop_branch,
+            record_events=record_filter_events,
+        )
+        self._last_cycle = 0
+        self._finalized: Optional[AttestationMeasurement] = None
+
+    # ------------------------------------------------------------- wiring
+    def _hash_non_loop_branch(self, record: TraceRecord) -> None:
+        """``non_loops ctrl``: hash the pair of a branch outside any loop."""
+        src, dest = record.src_dest
+        self.hash_engine.absorb_pair(src, dest, arrival_cycle=record.cycle)
+
+    def _hash_pairs(self, pairs: Sequence[Tuple[int, int]], cycle: int) -> None:
+        """``new_path ctrl``: hash the buffered pairs of a new loop path.
+
+        The pairs are already sitting in the branches memory (a BRAM), so the
+        hash engine controller streams them out at one pair per cycle rather
+        than presenting them all in the same cycle -- hence the staggered
+        arrival times in the cycle model.
+        """
+        for index, (src, dest) in enumerate(pairs):
+            self.hash_engine.absorb_pair(src, dest, arrival_cycle=cycle + index)
+
+    # -------------------------------------------------------------- input
+    def observe(self, record: TraceRecord) -> None:
+        """Observe one retired instruction (attach this to the CPU monitor)."""
+        if self._finalized is not None:
+            raise RuntimeError("LO-FAT engine already finalized")
+        self._last_cycle = record.cycle
+        self.branch_filter.observe(record)
+
+    # Allow the engine object itself to be used as the monitor callback.
+    __call__ = observe
+
+    # ------------------------------------------------------------ results
+    def finalize(self) -> AttestationMeasurement:
+        """Close the attested execution and produce ``(A, L)``.
+
+        Idempotent: repeated calls return the same measurement.
+        """
+        if self._finalized is not None:
+            return self._finalized
+        self.branch_filter.finalize(self._last_cycle)
+        self.hash_engine.flush_cycle_model()
+        measurement = self.hash_engine.finalize()
+        metadata = self.metadata_generator.finalize()
+        self._finalized = AttestationMeasurement(
+            measurement=measurement,
+            metadata=metadata,
+            stats=self.statistics(),
+        )
+        return self._finalized
+
+    def statistics(self) -> dict:
+        """All engine statistics in one dictionary (reports, experiments)."""
+        filter_stats = self.branch_filter.stats
+        monitor_stats = self.loop_monitor.stats
+        hash_stats = self.hash_engine.stats
+        total_events = filter_stats.control_flow_instructions
+        hashed = hash_stats.pairs_absorbed
+        return {
+            "control_flow_events": total_events,
+            "pairs_hashed": hashed,
+            "pairs_compressed": monitor_stats.pairs_compressed,
+            "compression_ratio": (
+                hashed / total_events if total_events else 1.0
+            ),
+            "internal_latency_cycles": self.branch_filter.internal_latency_cycles,
+            "processor_stall_cycles": 0,  # by construction: parallel observation
+            "filter": filter_stats.as_dict(),
+            "loops": monitor_stats.as_dict(),
+            "hash_engine": hash_stats.as_dict(),
+        }
+
+
+def attest_execution(
+    program,
+    inputs: Optional[List[int]] = None,
+    config: Optional[LoFatConfig] = None,
+    cpu_config=None,
+    pre_hooks=None,
+):
+    """Run ``program`` with LO-FAT attached; return (ExecutionResult, measurement).
+
+    This is the one-call convenience API used by the examples and the
+    verifier's golden replay: it builds a CPU, attaches a fresh
+    :class:`LoFatEngine`, runs the program and finalizes the measurement.
+    """
+    from repro.cpu.core import Cpu
+
+    cpu = Cpu(program, inputs=inputs, config=cpu_config)
+    engine = LoFatEngine(config)
+    cpu.attach_monitor(engine.observe)
+    for hook in pre_hooks or []:
+        cpu.add_pre_instruction_hook(hook)
+    result = cpu.run()
+    measurement = engine.finalize()
+    return result, measurement

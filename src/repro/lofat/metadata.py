@@ -1,0 +1,163 @@
+"""Auxiliary loop metadata ``L`` and its generator.
+
+"Upon loop exit, the loop monitor requests the metadata generator to assemble
+the loop auxiliary metadata based on the loops memory - this consists of the
+unique loop path encodings, their number of iterations, and indirect branch
+targets." (paper §4)
+
+The metadata gives the verifier fine-grained insight into loop execution and
+is what lets a single hash cover a run whose loops may iterate arbitrarily
+often: the verifier reconstructs the hashed pair stream from the CFG, the
+metadata and the program input.  ``L`` is serialised deterministically so it
+can be covered by the attestation signature and so its size can be reported
+(the paper notes the metadata length depends on the number of loops, paths per
+loop and indirect targets, §6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.lofat.path_encoder import PathEncoding
+
+
+@dataclass(frozen=True)
+class PathRecord:
+    """One distinct path of one loop execution.
+
+    Attributes:
+        encoding: the path encoding (bits, indirect codes, truncation flag).
+        iterations: how many times this exact path was executed.
+        first_seen_index: position in order of first occurrence (0-based).
+    """
+
+    encoding: PathEncoding
+    iterations: int
+    first_seen_index: int
+
+    def to_bytes(self) -> bytes:
+        return (
+            self.encoding.to_bytes()
+            + self.iterations.to_bytes(4, "little")
+            + self.first_seen_index.to_bytes(2, "little")
+        )
+
+
+@dataclass
+class LoopRecord:
+    """Metadata for one dynamic loop execution (entry to exit).
+
+    Attributes:
+        entry: address of the loop entry node (target of the back edge).
+        exit_node: address of the loop exit node (block after the back edge).
+        depth: nesting depth at which the loop executed (1 = outermost).
+        iterations: total number of completed iterations (all paths).
+        paths: distinct paths in order of first occurrence.
+        indirect_targets: full 32-bit indirect-branch targets encountered in
+            the loop, ordered by their assigned CAM code (code 1 first).
+        exit_sequence: order in which this loop exited relative to other loops
+            in the same run (0-based); gives the verifier the loop ordering.
+    """
+
+    entry: int
+    exit_node: int
+    depth: int
+    iterations: int
+    paths: List[PathRecord] = field(default_factory=list)
+    indirect_targets: List[int] = field(default_factory=list)
+    exit_sequence: int = 0
+
+    @property
+    def distinct_paths(self) -> int:
+        """Number of distinct paths observed in this loop execution."""
+        return len(self.paths)
+
+    def to_bytes(self) -> bytes:
+        blob = (
+            self.entry.to_bytes(4, "little")
+            + self.exit_node.to_bytes(4, "little")
+            + self.depth.to_bytes(1, "little")
+            + self.iterations.to_bytes(4, "little")
+            + self.exit_sequence.to_bytes(2, "little")
+            + len(self.paths).to_bytes(2, "little")
+        )
+        for path in self.paths:
+            blob += path.to_bytes()
+        blob += len(self.indirect_targets).to_bytes(1, "little")
+        for target in self.indirect_targets:
+            blob += (target & 0xFFFFFFFF).to_bytes(4, "little")
+        return blob
+
+
+@dataclass
+class LoopMetadata:
+    """The complete auxiliary metadata ``L`` of one attested execution."""
+
+    loops: List[LoopRecord] = field(default_factory=list)
+
+    def add(self, record: LoopRecord) -> None:
+        record.exit_sequence = len(self.loops)
+        self.loops.append(record)
+
+    def to_bytes(self) -> bytes:
+        """Deterministic serialisation (covered by the attestation signature)."""
+        blob = len(self.loops).to_bytes(2, "little")
+        for record in self.loops:
+            blob += record.to_bytes()
+        return blob
+
+    @property
+    def size_bytes(self) -> int:
+        """Length of the serialised metadata in bytes (reported in E7)."""
+        return len(self.to_bytes())
+
+    @property
+    def total_iterations(self) -> int:
+        """Total loop iterations across all loop executions."""
+        return sum(record.iterations for record in self.loops)
+
+    @property
+    def total_distinct_paths(self) -> int:
+        """Total distinct loop paths across all loop executions."""
+        return sum(record.distinct_paths for record in self.loops)
+
+    def loops_at_entry(self, entry: int) -> List[LoopRecord]:
+        """All dynamic executions of the loop whose entry node is ``entry``."""
+        return [record for record in self.loops if record.entry == entry]
+
+    def __len__(self) -> int:
+        return len(self.loops)
+
+    def __iter__(self):
+        return iter(self.loops)
+
+    def summary(self) -> dict:
+        """Statistics used in reports and experiment output."""
+        return {
+            "loop_executions": len(self.loops),
+            "total_iterations": self.total_iterations,
+            "total_distinct_paths": self.total_distinct_paths,
+            "size_bytes": self.size_bytes,
+            "max_depth": max((r.depth for r in self.loops), default=0),
+        }
+
+
+class MetadataGenerator:
+    """Assembles :class:`LoopMetadata` from loop-exit reports.
+
+    In hardware this is the "metadata generator" block fed by the loop monitor
+    via the ``loop_end ctrl`` signals; here it simply collects
+    :class:`LoopRecord` objects in loop-exit order.
+    """
+
+    def __init__(self) -> None:
+        self.metadata = LoopMetadata()
+
+    def on_loop_exit(self, record: LoopRecord) -> None:
+        """Store the metadata of a finished loop execution."""
+        self.metadata.add(record)
+
+    def finalize(self) -> LoopMetadata:
+        """Return the assembled metadata."""
+        return self.metadata

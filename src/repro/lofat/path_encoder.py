@@ -1,0 +1,149 @@
+"""Loop path encoding (paper §5.1/§5.2, Figure 4).
+
+Within a loop, LO-FAT does not hash every iteration.  Instead each *path*
+through the loop body is given a compact unique encoding built, in execution
+order, from:
+
+* one bit per conditional branch: ``1`` if taken, ``0`` if not taken,
+* one ``1`` bit per direct (unconditional) jump,
+* an ``n``-bit code per indirect branch target, assigned by the per-loop
+  :class:`repro.lofat.target_cam.TargetCam` (code 0 = "more targets than the
+  configured limit").
+
+For the example of Figure 4, the dashed path N2 -> N3 -> N5 -> N6 -> N2 is
+encoded as ``011`` and the bold path N2 -> N3 -> N4 -> N6 -> N2 as ``0011``.
+The experiment E4 reproduces exactly those strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.lofat.config import LoFatConfig
+from repro.lofat.target_cam import TargetCam
+
+
+@dataclass(frozen=True)
+class PathEncoding:
+    """The finished encoding of one loop path.
+
+    Attributes:
+        bits: the encoding bit string in event order (first event leftmost).
+        indirect_codes: the n-bit codes appended for indirect branches, in
+            order of occurrence (also contained in ``bits``).
+        branch_count: number of control-flow events folded into the encoding.
+        truncated: True if the path had more branches than the configured
+            maximum ``l`` and the tail was not encoded.
+    """
+
+    bits: str
+    indirect_codes: Tuple[int, ...] = ()
+    branch_count: int = 0
+    truncated: bool = False
+
+    @property
+    def path_id(self) -> int:
+        """Integer path ID (a leading 1 sentinel keeps e.g. '011' != '0011')."""
+        return int("1" + self.bits, 2) if self.bits else 1
+
+    @property
+    def width(self) -> int:
+        """Number of bits in the encoding."""
+        return len(self.bits)
+
+    def to_bytes(self) -> bytes:
+        """Serialize for inclusion in the loop metadata L."""
+        width = self.width
+        payload = int(self.bits, 2) if self.bits else 0
+        return (
+            width.to_bytes(2, "little")
+            + payload.to_bytes((width + 7) // 8 or 1, "little")
+            + len(self.indirect_codes).to_bytes(1, "little")
+            + bytes(code & 0xFF for code in self.indirect_codes)
+            + (b"\x01" if self.truncated else b"\x00")
+        )
+
+    def __str__(self) -> str:
+        suffix = " (truncated)" if self.truncated else ""
+        return self.bits + suffix
+
+
+class LoopPathEncoder:
+    """Accumulates the encoding of the currently executing loop path.
+
+    One encoder instance exists per *active* loop (the loop monitor owns
+    them).  The encoder also owns the loop's indirect-target CAM, because the
+    target codes are local to a loop in the paper's design.
+    """
+
+    def __init__(self, config: Optional[LoFatConfig] = None) -> None:
+        self.config = config or LoFatConfig()
+        self.cam = TargetCam(self.config.indirect_target_bits)
+        self._bits: List[str] = []
+        self._indirect_codes: List[int] = []
+        self._branch_count = 0
+        self._truncated = False
+
+    # ------------------------------------------------------------- events
+    def on_conditional(self, taken: bool) -> None:
+        """Record a conditional branch outcome (1 = taken, 0 = not taken)."""
+        self._append("1" if taken else "0")
+
+    def on_direct_jump(self) -> None:
+        """Record a direct unconditional jump (always encoded as 1)."""
+        self._append("1")
+
+    def on_indirect(self, target: int) -> int:
+        """Record an indirect branch to ``target``; returns the assigned code."""
+        code = self.cam.encode(target)
+        width = self.config.indirect_target_bits
+        self._append(format(code, "0%db" % width))
+        self._indirect_codes.append(code)
+        return code
+
+    def _append(self, bits: str) -> None:
+        self._branch_count += 1
+        if self._encoded_width() + len(bits) > self.config.max_branches_per_path:
+            # Path longer than the configured granularity: the hardware stops
+            # refining the encoding; the verifier sees the truncation flag.
+            self._truncated = True
+            return
+        self._bits.append(bits)
+
+    def _encoded_width(self) -> int:
+        return sum(len(chunk) for chunk in self._bits)
+
+    # ------------------------------------------------------------ lifecycle
+    def finish(self) -> PathEncoding:
+        """Finish the current path and return its encoding (then reset)."""
+        encoding = PathEncoding(
+            bits="".join(self._bits),
+            indirect_codes=tuple(self._indirect_codes),
+            branch_count=self._branch_count,
+            truncated=self._truncated,
+        )
+        self.reset_path()
+        return encoding
+
+    def reset_path(self) -> None:
+        """Clear per-iteration state (the CAM persists across iterations)."""
+        self._bits = []
+        self._indirect_codes = []
+        self._branch_count = 0
+        self._truncated = False
+
+    def reset_loop(self) -> None:
+        """Clear everything including the CAM (loop exit / memory re-use)."""
+        self.reset_path()
+        self.cam.clear()
+
+    @property
+    def current_bits(self) -> str:
+        """The bits accumulated so far for the in-flight path."""
+        return "".join(self._bits)
+
+    @property
+    def is_empty(self) -> bool:
+        """True if no event has been recorded for the in-flight path."""
+        return self._branch_count == 0

@@ -1,0 +1,49 @@
+"""Evaluation workloads.
+
+The paper evaluates LO-FAT on "extracted code segments from real embedded
+applications, such as Open Syringe Pump" (§6.1).  This package provides a
+suite of embedded workloads written in RV32 assembly that exercise every
+control-flow structure LO-FAT handles -- simple loops, nested loops,
+data-dependent loop paths, indirect calls, recursion -- plus the targets for
+the security experiments (an authentication check and a stack-smashing
+victim), and a synthetic program generator for parameter sweeps.
+
+Every workload is registered in :data:`WORKLOAD_REGISTRY`; use
+:func:`get_workload` / :func:`all_workloads` to obtain them.
+"""
+
+from repro.workloads.common import (
+    Workload,
+    WORKLOAD_REGISTRY,
+    all_workloads,
+    get_workload,
+    register_workload,
+)
+
+# Importing the modules populates the registry.
+from repro.workloads import (  # noqa: F401  (imported for registration side effects)
+    auth,
+    crc,
+    dispatcher,
+    figure4,
+    filters,
+    matrix,
+    quicksort,
+    recursion,
+    search,
+    sorting,
+    state_machine,
+    strings,
+    syringe_pump,
+    vulnerable,
+)
+from repro.workloads.generator import SyntheticWorkloadGenerator
+
+__all__ = [
+    "Workload",
+    "WORKLOAD_REGISTRY",
+    "all_workloads",
+    "get_workload",
+    "register_workload",
+    "SyntheticWorkloadGenerator",
+]

@@ -1,0 +1,84 @@
+"""Authentication check: the class-1 (non-control-data) attack target.
+
+The firmware reads a password attempt, stores the resulting authorisation
+flag in data memory, and then branches on that flag to either the privileged
+or the unprivileged action (both are *legitimate* CFG paths).  Corrupting the
+flag between the store and the load is the paper's attack class 1: it never
+violates control-flow integrity, yet it changes which legal path executes --
+which is exactly what control-flow attestation (but not CFI, and not static
+attestation) can reveal to the verifier.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.common import Workload, register_workload
+
+#: The password accepted by the firmware.
+CORRECT_PASSWORD = 4242
+#: Markers printed by the privileged / unprivileged actions.
+PRIVILEGED_MARKER = 777
+UNPRIVILEGED_MARKER = 111
+
+SOURCE = """
+    .text
+_start:
+    li   a7, 5
+    ecall                   # read password attempt
+    li   t0, %(password)d
+    la   t1, auth_flag
+    li   t2, 0
+    sw   t2, 0(t1)          # auth_flag = 0
+    bne  a0, t0, check_done
+    li   t2, 1
+    sw   t2, 0(t1)          # auth_flag = 1
+check_done:
+    la   t1, auth_flag
+    lw   t2, 0(t1)          # the security decision (attack target)
+    beqz t2, unprivileged
+privileged:
+    li   a0, %(priv)d
+    li   a7, 1
+    ecall
+    j    finish
+unprivileged:
+    li   a0, %(unpriv)d
+    li   a7, 1
+    ecall
+finish:
+    li   a0, 0
+    li   a7, 93
+    ecall
+
+    .data
+auth_flag:
+    .word 0
+""" % {
+    "password": CORRECT_PASSWORD,
+    "priv": PRIVILEGED_MARKER,
+    "unpriv": UNPRIVILEGED_MARKER,
+}
+
+
+def reference_output(inputs: List[int]) -> str:
+    """Reference model: which marker is printed for the given attempt."""
+    attempt = inputs[0] if inputs else 0
+    marker = PRIVILEGED_MARKER if attempt == CORRECT_PASSWORD else UNPRIVILEGED_MARKER
+    return str(marker)
+
+
+DEFAULT_INPUTS = [1000]  # wrong password: the unprivileged path is expected
+
+
+@register_workload
+def auth_check() -> Workload:
+    """Password check guarding a privileged action."""
+    return Workload(
+        name="auth_check",
+        description="Authentication flag check (non-control-data attack target)",
+        source=SOURCE,
+        inputs=list(DEFAULT_INPUTS),
+        expected_output=reference_output(DEFAULT_INPUTS),
+        tags=["attack-target", "data-dependent"],
+    )

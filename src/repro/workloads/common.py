@@ -1,0 +1,75 @@
+"""Workload description and registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.isa.assembler import Program, assemble
+
+
+@dataclass
+class Workload:
+    """A runnable evaluation workload.
+
+    Attributes:
+        name: unique identifier (also used as the attested program id).
+        description: one-line description of what the program does.
+        source: RV32 assembly source text.
+        inputs: default input values consumed via the ``read_int`` syscall
+            (the verifier-chosen input ``i`` in the protocol).
+        expected_output: expected program output for the default inputs, when
+            it is known statically (None if it is computed by a reference
+            model in the tests).
+        tags: free-form labels ("loops", "nested", "indirect", "recursion",
+            "attack-target", ...) used by experiments to select workloads.
+    """
+
+    name: str
+    description: str
+    source: str
+    inputs: List[int] = field(default_factory=list)
+    expected_output: Optional[str] = None
+    tags: List[str] = field(default_factory=list)
+
+    def build(self) -> Program:
+        """Assemble the workload into a program image."""
+        return assemble(self.source)
+
+    def with_inputs(self, inputs: List[int]) -> "Workload":
+        """A copy of the workload with different input values."""
+        return Workload(
+            name=self.name,
+            description=self.description,
+            source=self.source,
+            inputs=list(inputs),
+            expected_output=None,
+            tags=list(self.tags),
+        )
+
+
+#: All registered workload factories, keyed by name.
+WORKLOAD_REGISTRY: Dict[str, Callable[[], Workload]] = {}
+
+
+def register_workload(factory: Callable[[], Workload]) -> Callable[[], Workload]:
+    """Register a workload factory (usable as a decorator)."""
+    workload = factory()
+    WORKLOAD_REGISTRY[workload.name] = factory
+    return factory
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate the workload registered under ``name``."""
+    try:
+        factory = WORKLOAD_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            "unknown workload %r (known: %s)" % (name, ", ".join(sorted(WORKLOAD_REGISTRY)))
+        ) from None
+    return factory()
+
+
+def all_workloads() -> List[Workload]:
+    """Instantiate every registered workload (sorted by name)."""
+    return [WORKLOAD_REGISTRY[name]() for name in sorted(WORKLOAD_REGISTRY)]

@@ -1,0 +1,90 @@
+"""Word-wise CRC-32: a tight bit loop with data-dependent XOR branches.
+
+Checksums are typical of the integrity-critical inner loops in embedded
+firmware.  The bit loop executes 32 iterations per input word and takes one
+of two paths per iteration depending on the data bit, producing loop metadata
+with two heavily-repeated paths -- a best case for LO-FAT's loop compression.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.common import Workload, register_workload
+
+#: Reflected CRC-32 polynomial.
+CRC_POLY = 0xEDB88320
+
+SOURCE = """
+    .text
+_start:
+    li   a7, 5
+    ecall                   # number of data words
+    mv   s0, a0
+    li   s1, -1             # crc = 0xFFFFFFFF
+    li   s2, 0              # word index
+word_loop:
+    bge  s2, s0, crc_done
+    li   a7, 5
+    ecall                   # next data word
+    xor  s1, s1, a0
+    li   t0, 32             # bit counter
+bit_loop:
+    beqz t0, bits_done
+    andi t1, s1, 1
+    srli s1, s1, 1
+    beqz t1, no_xor
+    li   t2, 0xEDB88320
+    xor  s1, s1, t2
+no_xor:
+    addi t0, t0, -1
+    j    bit_loop
+bits_done:
+    addi s2, s2, 1
+    j    word_loop
+crc_done:
+    not  a0, s1
+    li   a7, 1
+    ecall
+    li   a0, 0
+    li   a7, 93
+    ecall
+"""
+
+
+def reference_crc(words: List[int]) -> int:
+    """Reference model of the word-wise CRC-32 computed by the program."""
+    crc = 0xFFFFFFFF
+    for word in words:
+        crc ^= word & 0xFFFFFFFF
+        for _ in range(32):
+            low_bit = crc & 1
+            crc >>= 1
+            if low_bit:
+                crc ^= CRC_POLY
+    return (~crc) & 0xFFFFFFFF
+
+
+def reference_output(inputs: List[int]) -> str:
+    count = inputs[0]
+    value = reference_crc(inputs[1:1 + count])
+    # The program prints the value as a signed 32-bit integer.
+    if value >= 0x80000000:
+        value -= 0x100000000
+    return str(value)
+
+
+DEFAULT_INPUTS = [4, 0xDEADBEEF, 0x12345678, 0x0BADF00D, 0xCAFEBABE]
+
+
+@register_workload
+def crc32() -> Workload:
+    """Word-wise CRC-32 over an input stream."""
+    return Workload(
+        name="crc32",
+        description="CRC-32 bit loop (two data-dependent paths, heavy repetition)",
+        source=SOURCE,
+        inputs=list(DEFAULT_INPUTS),
+        expected_output=reference_output(DEFAULT_INPUTS),
+        tags=["loops", "nested", "data-dependent", "paper-workload"],
+    )

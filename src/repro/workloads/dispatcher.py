@@ -1,0 +1,93 @@
+"""Command dispatcher with a function-pointer table (indirect calls in a loop).
+
+Event/command dispatchers are ubiquitous in embedded firmware and are the
+canonical source of *indirect* branches: the call target is loaded from a
+table in data memory.  Inside a loop, every indirect call target must be
+re-encoded by the loop monitor's CAM into an ``n``-bit code, and the full
+targets are reported in the metadata ``L`` -- this workload exercises exactly
+that machinery (and is the natural victim for code-pointer overwrites).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.common import Workload, register_workload
+
+#: Values returned by the three handlers.
+HANDLER_VALUES = (10, 20, 30)
+
+SOURCE = """
+    .text
+_start:
+    li   s0, 0              # accumulator
+main_loop:
+    li   a7, 5
+    ecall                   # read command (0 = finish, 1..3 = handler index)
+    beqz a0, finish
+    addi t0, a0, -1
+    li   t1, 3
+    bgeu t0, t1, main_loop  # out-of-range commands are ignored
+    slli t0, t0, 2
+    la   t1, handlers
+    add  t1, t1, t0
+    lw   t2, 0(t1)          # function pointer from the table (attack target)
+    jalr ra, t2, 0          # indirect call
+    add  s0, s0, a0
+    j    main_loop
+finish:
+    mv   a0, s0
+    li   a7, 1
+    ecall
+    li   a0, 0
+    li   a7, 93
+    ecall
+
+handler_status:
+    li   a0, 10
+    ret
+handler_sample:
+    li   a0, 20
+    ret
+handler_actuate:
+    li   a0, 30
+    ret
+
+privileged_maintenance:
+    # Not reachable through the dispatch table in benign executions.
+    li   a0, 999
+    ret
+
+    .data
+handlers:
+    .word handler_status
+    .word handler_sample
+    .word handler_actuate
+"""
+
+
+def reference_output(inputs: List[int]) -> str:
+    """Reference model of the dispatcher accumulator."""
+    total = 0
+    for command in inputs:
+        if command == 0:
+            break
+        if 1 <= command <= 3:
+            total += HANDLER_VALUES[command - 1]
+    return str(total)
+
+
+DEFAULT_INPUTS = [1, 2, 3, 1, 2, 0]
+
+
+@register_workload
+def dispatcher() -> Workload:
+    """Function-pointer command dispatcher."""
+    return Workload(
+        name="dispatcher",
+        description="Command dispatcher via function-pointer table (indirect calls in a loop)",
+        source=SOURCE,
+        inputs=list(DEFAULT_INPUTS),
+        expected_output=reference_output(DEFAULT_INPUTS),
+        tags=["loops", "indirect", "attack-target"],
+    )

@@ -1,0 +1,81 @@
+"""The exact loop structure of Figure 4 in the paper.
+
+The figure shows a ``while (cond1) { if (cond2) bb_4 else bb_5; bb_6 }`` loop
+and derives the two valid path encodings: the path through the else branch
+(``N2 -> N3 -> N5 -> N6 -> N2``) encodes as ``011`` and the path through the
+then branch (``N2 -> N3 -> N4 -> N6 -> N2``) as ``0011``.  This workload lays
+the blocks out in the same order so experiment E4 can reproduce the encodings
+literally.
+
+``cond1`` iterates a fixed number of times (supplied as input) and ``cond2``
+alternates with the loop index parity so both paths occur.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.common import Workload, register_workload
+
+SOURCE = """
+    .text
+_start:
+    # bb_1: setup
+    li   a7, 5
+    ecall                   # number of iterations of the while loop
+    mv   s0, a0
+    li   s1, 0              # i
+    li   s2, 0              # accumulator
+
+loop_entry:
+    # N2: while (i < n)  -- conditional branch, not taken while looping
+    bge  s1, s0, loop_exit
+    # N3: if (i & 1)     -- conditional branch
+    andi t0, s1, 1
+    bnez t0, else_block
+then_block:
+    # N4: taken when i is even
+    addi s2, s2, 5
+    j    join_block
+else_block:
+    # N5: taken when i is odd
+    addi s2, s2, 9
+join_block:
+    # N6: loop latch
+    addi s1, s1, 1
+    j    loop_entry
+
+loop_exit:
+    # N7
+    mv   a0, s2
+    li   a7, 1
+    ecall
+    li   a0, 0
+    li   a7, 93
+    ecall
+"""
+
+
+def reference_output(inputs: List[int]) -> str:
+    """Reference model of the Figure 4 loop."""
+    iterations = inputs[0]
+    total = 0
+    for i in range(iterations):
+        total += 9 if (i & 1) else 5
+    return str(total)
+
+
+DEFAULT_INPUTS = [6]
+
+
+@register_workload
+def figure4_loop() -> Workload:
+    """The while/if-else loop of Figure 4."""
+    return Workload(
+        name="figure4_loop",
+        description="Figure 4 while/if-else loop (reference path encodings 011 / 0011)",
+        source=SOURCE,
+        inputs=list(DEFAULT_INPUTS),
+        expected_output=reference_output(DEFAULT_INPUTS),
+        tags=["loops", "paper-figure", "data-dependent"],
+    )

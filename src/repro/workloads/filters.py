@@ -1,0 +1,108 @@
+"""FIR filter: the multiply-accumulate kernel of embedded signal processing.
+
+A sliding-window convolution with a fixed coefficient table.  The inner loop
+has a single path (no data-dependent branches), so its metadata compresses to
+one path with a large iteration count -- the opposite extreme from the
+sorting workload.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.common import Workload, register_workload
+
+#: Filter coefficients baked into the data section.
+COEFFICIENTS = [1, 3, -2, 5]
+
+SOURCE = """
+    .text
+_start:
+    li   a7, 5
+    ecall                   # number of samples
+    mv   s0, a0
+    la   s1, samples
+    la   s2, coeffs
+    li   s3, %(taps)d       # number of taps
+
+    li   t0, 0              # read samples
+read_loop:
+    bge  t0, s0, read_done
+    li   a7, 5
+    ecall
+    slli t1, t0, 2
+    add  t1, t1, s1
+    sw   a0, 0(t1)
+    addi t0, t0, 1
+    j    read_loop
+read_done:
+
+    li   s4, 0              # checksum of all filter outputs
+    li   t0, 0              # output index n
+    sub  s5, s0, s3
+    addi s5, s5, 1          # number of output samples
+filter_loop:
+    bge  t0, s5, filter_done
+    li   t5, 0              # accumulator
+    li   t1, 0              # tap index k
+tap_loop:
+    bge  t1, s3, tap_done
+    add  t2, t0, t1
+    slli t2, t2, 2
+    add  t2, t2, s1
+    lw   t2, 0(t2)          # samples[n + k]
+    slli t3, t1, 2
+    add  t3, t3, s2
+    lw   t3, 0(t3)          # coeffs[k]
+    mul  t2, t2, t3
+    add  t5, t5, t2
+    addi t1, t1, 1
+    j    tap_loop
+tap_done:
+    add  s4, s4, t5
+    addi t0, t0, 1
+    j    filter_loop
+filter_done:
+    mv   a0, s4
+    li   a7, 1
+    ecall
+    li   a0, 0
+    li   a7, 93
+    ecall
+
+    .data
+coeffs:
+%(coeff_words)s
+samples:
+    .space 512
+""" % {
+    "taps": len(COEFFICIENTS),
+    "coeff_words": "\n".join("    .word %d" % value for value in COEFFICIENTS),
+}
+
+
+def reference_output(inputs: List[int]) -> str:
+    """Reference model: sum of all FIR outputs."""
+    count = inputs[0]
+    samples = inputs[1:1 + count]
+    taps = len(COEFFICIENTS)
+    total = 0
+    for n in range(count - taps + 1):
+        total += sum(samples[n + k] * COEFFICIENTS[k] for k in range(taps))
+    return str(total)
+
+
+DEFAULT_INPUTS = [10, 4, -2, 7, 1, 0, 3, -5, 8, 2, 6]
+
+
+@register_workload
+def fir_filter() -> Workload:
+    """4-tap FIR filter over an input sample stream."""
+    return Workload(
+        name="fir_filter",
+        description="4-tap FIR filter (single-path nested MAC loops)",
+        source=SOURCE,
+        inputs=list(DEFAULT_INPUTS),
+        expected_output=reference_output(DEFAULT_INPUTS),
+        tags=["loops", "nested", "single-path"],
+    )

@@ -1,0 +1,160 @@
+"""Synthetic workload generator for parameter sweeps.
+
+The performance experiments need workloads whose *control-flow event density*
+(branches per executed instruction) and loop structure can be dialled
+precisely -- real firmware gives single data points, but the hash-engine
+buffering analysis (E6) and the C-FLAT overhead scaling (E1) need a sweep.
+
+:class:`SyntheticWorkloadGenerator` emits assembly programs with:
+
+* an outer loop executing a configurable number of iterations,
+* a body containing a configurable number of conditional branches whose
+  outcomes are driven by a deterministic linear-congruential generator
+  computed in registers (so different iterations exercise different paths),
+* a configurable amount of straight-line filler between branches, which sets
+  the branch density.
+
+All generated programs are deterministic and terminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.workloads.common import Workload
+
+
+@dataclass
+class SyntheticWorkloadGenerator:
+    """Generates parameterised branch-density workloads.
+
+    Attributes:
+        branches_per_iteration: conditional branches in the loop body.
+        filler_per_branch: straight-line ALU instructions inserted after each
+            branch (controls the branch density: 0 = as dense as possible).
+        iterations: outer-loop iteration count.
+        nested: if True, wrap the branch blocks in an additional inner loop of
+            4 iterations (for nesting-related experiments).
+        seed: initial LCG state (changes which paths are taken).
+    """
+
+    branches_per_iteration: int = 8
+    filler_per_branch: int = 2
+    iterations: int = 50
+    nested: bool = False
+    seed: int = 12345
+
+    @property
+    def name(self) -> str:
+        return "synthetic_b%d_f%d_i%d%s" % (
+            self.branches_per_iteration,
+            self.filler_per_branch,
+            self.iterations,
+            "_nested" if self.nested else "",
+        )
+
+    # ----------------------------------------------------------- generation
+    def source(self) -> str:
+        """Emit the assembly text of the synthetic program."""
+        lines: List[str] = [
+            "    .text",
+            "_start:",
+            "    li   s0, %d" % self.iterations,
+            "    li   s1, 0              # outer index",
+            "    li   s2, %d" % (self.seed & 0x7FFFFFFF),
+            "    li   s3, 0              # accumulator",
+            "outer_loop:",
+            "    bge  s1, s0, finished",
+        ]
+        body_label_prefix = "blk"
+        inner_prologue: List[str] = []
+        inner_epilogue: List[str] = []
+        if self.nested:
+            lines += [
+                "    li   s4, 0              # inner index",
+                "inner_loop:",
+                "    li   t6, 4",
+                "    bge  s4, t6, inner_done",
+            ]
+        # LCG step: s2 = s2 * 1103515245 + 12345 (mod 2^31).
+        lines += [
+            "    li   t0, 1103515245",
+            "    mul  s2, s2, t0",
+            "    li   t0, 12345",
+            "    add  s2, s2, t0",
+            "    li   t0, 0x7FFFFFFF",
+            "    and  s2, s2, t0",
+            "    mv   t1, s2",
+        ]
+        for index in range(self.branches_per_iteration):
+            skip = "%s_skip_%d" % (body_label_prefix, index)
+            lines += [
+                "    andi t2, t1, 1",
+                "    srli t1, t1, 1",
+                "    beqz t2, %s" % skip,
+                "    addi s3, s3, %d" % (index + 1),
+            ]
+            lines += ["    addi t3, t3, 1"] * self.filler_per_branch
+            lines += ["%s:" % skip]
+            lines += ["    addi t4, t4, 1"] * self.filler_per_branch
+        if self.nested:
+            lines += [
+                "    addi s4, s4, 1",
+                "    j    inner_loop",
+                "inner_done:",
+            ]
+        lines += [
+            "    addi s1, s1, 1",
+            "    j    outer_loop",
+            "finished:",
+            "    mv   a0, s3",
+            "    li   a7, 1",
+            "    ecall",
+            "    li   a0, 0",
+            "    li   a7, 93",
+            "    ecall",
+        ]
+        return "\n".join(lines) + "\n"
+
+    def reference_output(self) -> str:
+        """Reference model of the accumulator the program prints."""
+        state = self.seed & 0x7FFFFFFF
+        accumulator = 0
+        repeats = 4 if self.nested else 1
+        for _ in range(self.iterations):
+            for _ in range(repeats):
+                state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+                bits = state
+                for index in range(self.branches_per_iteration):
+                    if bits & 1:
+                        accumulator += index + 1
+                    bits >>= 1
+        return str(accumulator & 0xFFFFFFFF)
+
+    def workload(self) -> Workload:
+        """Package the generated program as a :class:`Workload`."""
+        return Workload(
+            name=self.name,
+            description="Synthetic branch-density workload (%d branches, %d filler, %d iterations)"
+            % (self.branches_per_iteration, self.filler_per_branch, self.iterations),
+            source=self.source(),
+            inputs=[],
+            expected_output=self.reference_output(),
+            tags=["synthetic", "loops"] + (["nested"] if self.nested else []),
+        )
+
+
+def density_sweep(densities: List[int], iterations: int = 30) -> List[Workload]:
+    """Workloads with decreasing filler (increasing branch density).
+
+    ``densities`` are filler-per-branch values; smaller means denser branches.
+    """
+    return [
+        SyntheticWorkloadGenerator(
+            branches_per_iteration=8,
+            filler_per_branch=filler,
+            iterations=iterations,
+        ).workload()
+        for filler in densities
+    ]

@@ -1,0 +1,129 @@
+"""Integer matrix multiplication: triply nested loops.
+
+Exercises LO-FAT's maximum supported nesting depth (three simultaneously
+active loops in the default configuration) plus the M-extension multiplier.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import Workload, register_workload
+
+#: Matrix dimension (N x N).
+DIMENSION = 4
+
+SOURCE = """
+    .text
+_start:
+    li   s0, %(n)d          # N
+    la   s1, mat_a
+    la   s2, mat_b
+    la   s3, mat_c
+
+    li   t0, 0              # initialise A[i][j] = i + j, B[i][j] = i*j + 1
+init_i:
+    bge  t0, s0, init_done
+    li   t1, 0
+init_j:
+    bge  t1, s0, init_i_next
+    mul  t2, t0, s0
+    add  t2, t2, t1
+    slli t2, t2, 2
+    add  t3, t0, t1
+    add  t4, s1, t2
+    sw   t3, 0(t4)
+    mul  t3, t0, t1
+    addi t3, t3, 1
+    add  t4, s2, t2
+    sw   t3, 0(t4)
+    addi t1, t1, 1
+    j    init_j
+init_i_next:
+    addi t0, t0, 1
+    j    init_i
+init_done:
+
+    li   t0, 0              # C = A * B
+mm_i:
+    bge  t0, s0, mm_done
+    li   t1, 0
+mm_j:
+    bge  t1, s0, mm_i_next
+    li   t5, 0
+    li   t2, 0
+mm_k:
+    bge  t2, s0, mm_k_done
+    mul  t3, t0, s0
+    add  t3, t3, t2
+    slli t3, t3, 2
+    add  t3, t3, s1
+    lw   t3, 0(t3)
+    mul  t4, t2, s0
+    add  t4, t4, t1
+    slli t4, t4, 2
+    add  t4, t4, s2
+    lw   t4, 0(t4)
+    mul  t3, t3, t4
+    add  t5, t5, t3
+    addi t2, t2, 1
+    j    mm_k
+mm_k_done:
+    mul  t3, t0, s0
+    add  t3, t3, t1
+    slli t3, t3, 2
+    add  t3, t3, s3
+    sw   t5, 0(t3)
+    addi t1, t1, 1
+    j    mm_j
+mm_i_next:
+    addi t0, t0, 1
+    j    mm_i
+mm_done:
+
+    li   t0, 0              # print the sum of all elements of C
+    li   s4, 0
+    mul  t6, s0, s0
+sum_loop:
+    bge  t0, t6, sum_done
+    slli t1, t0, 2
+    add  t1, t1, s3
+    lw   t1, 0(t1)
+    add  s4, s4, t1
+    addi t0, t0, 1
+    j    sum_loop
+sum_done:
+    mv   a0, s4
+    li   a7, 1
+    ecall
+    li   a0, 0
+    li   a7, 93
+    ecall
+
+    .data
+mat_a: .space %(bytes)d
+mat_b: .space %(bytes)d
+mat_c: .space %(bytes)d
+""" % {"n": DIMENSION, "bytes": DIMENSION * DIMENSION * 4}
+
+
+def reference_output(dimension: int = DIMENSION) -> str:
+    """Reference model: sum of all elements of C = A * B."""
+    a = [[i + j for j in range(dimension)] for i in range(dimension)]
+    b = [[i * j + 1 for j in range(dimension)] for i in range(dimension)]
+    total = 0
+    for i in range(dimension):
+        for j in range(dimension):
+            total += sum(a[i][k] * b[k][j] for k in range(dimension))
+    return str(total)
+
+
+@register_workload
+def matmul() -> Workload:
+    """Dense integer matrix multiply (N=4)."""
+    return Workload(
+        name="matmul",
+        description="4x4 integer matrix multiplication (triple loop nest)",
+        source=SOURCE,
+        inputs=[],
+        expected_output=reference_output(),
+        tags=["loops", "nested", "deep-nesting", "paper-workload"],
+    )

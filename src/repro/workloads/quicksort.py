@@ -1,0 +1,140 @@
+"""Recursive quicksort: recursion and data-dependent loops combined.
+
+Quicksort mixes the two control-flow structures LO-FAT handles differently:
+the partition loop is compressed through path encodings and iteration
+counters, while the recursive calls and returns are linking transfers that are
+hashed directly.  The recursion depth also exercises the verifier's
+return-edge validation on a non-trivial call tree.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.common import Workload, register_workload
+
+SOURCE = """
+    .text
+_start:
+    li   a7, 5
+    ecall                   # N
+    mv   s0, a0
+    la   s1, array
+
+    li   t0, 0              # read N values
+qs_read:
+    bge  t0, s0, qs_read_done
+    li   a7, 5
+    ecall
+    slli t1, t0, 2
+    add  t1, t1, s1
+    sw   a0, 0(t1)
+    addi t0, t0, 1
+    j    qs_read
+qs_read_done:
+
+    li   a0, 0              # quicksort(0, N-1)
+    addi a1, s0, -1
+    call quicksort
+
+    li   t0, 0              # print sorted values
+qs_print:
+    bge  t0, s0, qs_exit
+    slli t1, t0, 2
+    add  t1, t1, s1
+    lw   a0, 0(t1)
+    li   a7, 1
+    ecall
+    li   a0, 32
+    li   a7, 11
+    ecall
+    addi t0, t0, 1
+    j    qs_print
+qs_exit:
+    li   a0, 0
+    li   a7, 93
+    ecall
+
+quicksort:
+    # a0 = lo, a1 = hi; array base in s1 (global)
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    sw   s2, 8(sp)
+    sw   s3, 4(sp)
+    sw   s4, 0(sp)
+    mv   s2, a0             # lo
+    mv   s3, a1             # hi
+    bge  s2, s3, qs_done
+
+    slli t0, s3, 2          # pivot = array[hi]
+    add  t0, t0, s1
+    lw   t3, 0(t0)
+    addi s4, s2, -1         # i = lo - 1
+    mv   t4, s2             # j = lo
+part_loop:
+    bge  t4, s3, part_done
+    slli t1, t4, 2
+    add  t1, t1, s1
+    lw   t2, 0(t1)          # array[j]
+    bgt  t2, t3, part_next
+    addi s4, s4, 1          # i++
+    slli t5, s4, 2          # swap array[i], array[j]
+    add  t5, t5, s1
+    lw   t6, 0(t5)
+    sw   t2, 0(t5)
+    sw   t6, 0(t1)
+part_next:
+    addi t4, t4, 1
+    j    part_loop
+part_done:
+    addi s4, s4, 1          # pivot slot = i + 1
+    slli t5, s4, 2          # swap array[pivot slot], array[hi]
+    add  t5, t5, s1
+    lw   t6, 0(t5)
+    slli t1, s3, 2
+    add  t1, t1, s1
+    lw   t2, 0(t1)
+    sw   t2, 0(t5)
+    sw   t6, 0(t1)
+
+    mv   a0, s2             # quicksort(lo, pivot - 1)
+    addi a1, s4, -1
+    call quicksort
+    addi a0, s4, 1          # quicksort(pivot + 1, hi)
+    mv   a1, s3
+    call quicksort
+qs_done:
+    lw   ra, 12(sp)
+    lw   s2, 8(sp)
+    lw   s3, 4(sp)
+    lw   s4, 0(sp)
+    addi sp, sp, 16
+    ret
+
+    .data
+array:
+    .space 256
+"""
+
+
+def reference_output(inputs: List[int]) -> str:
+    """Reference model: sorted values rendered space separated."""
+    count = inputs[0]
+    values = sorted(inputs[1:1 + count])
+    return "".join("%d " % value for value in values)
+
+
+DEFAULT_INPUTS = [10, 33, 7, 91, 2, 54, 7, 18, 76, 41, 12]
+
+
+@register_workload
+def quicksort() -> Workload:
+    """Recursive quicksort over an input array."""
+    return Workload(
+        name="quicksort",
+        description="Recursive quicksort (recursion + data-dependent partition loops)",
+        source=SOURCE,
+        inputs=list(DEFAULT_INPUTS),
+        expected_output=reference_output(DEFAULT_INPUTS),
+        tags=["recursion", "loops", "calls", "data-dependent"],
+    )

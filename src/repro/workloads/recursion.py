@@ -1,0 +1,76 @@
+"""Recursive Fibonacci: call/return heavy control flow.
+
+The paper notes that loop metadata also covers recursive functions; in our
+model recursion is dominated by linking calls and returns, which the branch
+filter classifies as calls (not loop back edges) and which are hashed
+directly.  The workload exercises deep call chains, the return-address stack
+discipline and the return-edge validation in the verifier's path checker.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.common import Workload, register_workload
+
+SOURCE = """
+    .text
+_start:
+    li   a7, 5
+    ecall                   # n
+    call fib
+    li   a7, 1
+    ecall                   # print fib(n)
+    li   a0, 0
+    li   a7, 93
+    ecall
+
+fib:
+    addi sp, sp, -12
+    sw   ra, 8(sp)
+    sw   s0, 4(sp)
+    sw   s1, 0(sp)
+    li   t0, 2
+    blt  a0, t0, fib_done   # fib(0) = 0, fib(1) = 1
+    mv   s0, a0
+    addi a0, s0, -1
+    call fib
+    mv   s1, a0
+    addi a0, s0, -2
+    call fib
+    add  a0, a0, s1
+fib_done:
+    lw   ra, 8(sp)
+    lw   s0, 4(sp)
+    lw   s1, 0(sp)
+    addi sp, sp, 12
+    ret
+"""
+
+
+def reference_fib(n: int) -> int:
+    """Reference Fibonacci (fib(0)=0, fib(1)=1)."""
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+def reference_output(inputs: List[int]) -> str:
+    return str(reference_fib(inputs[0]))
+
+
+DEFAULT_INPUTS = [10]
+
+
+@register_workload
+def fibonacci() -> Workload:
+    """Naive recursive Fibonacci."""
+    return Workload(
+        name="fibonacci",
+        description="Recursive Fibonacci (call/return dominated control flow)",
+        source=SOURCE,
+        inputs=list(DEFAULT_INPUTS),
+        expected_output=reference_output(DEFAULT_INPUTS),
+        tags=["recursion", "calls"],
+    )

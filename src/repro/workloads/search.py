@@ -1,0 +1,98 @@
+"""Binary search over a sorted table.
+
+A classic control-flow-rich embedded routine: a short loop whose body takes a
+different branch direction on every iteration depending on the probe result.
+Queries are supplied as program input, so the executed path (and therefore the
+measurement) is input-dependent -- which is what the attestation protocol's
+"valid path under input i" check is about.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.common import Workload, register_workload
+
+#: The sorted table baked into the program's data section.
+TABLE = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53]
+
+SOURCE = """
+    .text
+_start:
+    li   a7, 5
+    ecall                   # number of queries
+    mv   s0, a0
+    la   s1, table
+    li   s2, %(table_len)d
+    li   s3, 0              # query index
+query_loop:
+    bge  s3, s0, all_done
+    li   a7, 5
+    ecall                   # query value
+    mv   s4, a0
+    li   t0, 0              # lo
+    addi t1, s2, -1         # hi
+    li   s5, -1             # result index
+search_loop:
+    bgt  t0, t1, search_done
+    add  t2, t0, t1
+    srli t2, t2, 1          # mid
+    slli t3, t2, 2
+    add  t3, t3, s1
+    lw   t4, 0(t3)          # table[mid]
+    beq  t4, s4, found
+    blt  t4, s4, go_right
+    addi t1, t2, -1         # hi = mid - 1
+    j    search_loop
+go_right:
+    addi t0, t2, 1          # lo = mid + 1
+    j    search_loop
+found:
+    mv   s5, t2
+search_done:
+    mv   a0, s5
+    li   a7, 1
+    ecall
+    li   a0, 32
+    li   a7, 11
+    ecall
+    addi s3, s3, 1
+    j    query_loop
+all_done:
+    li   a0, 0
+    li   a7, 93
+    ecall
+
+    .data
+table:
+%(table_words)s
+""" % {
+    "table_len": len(TABLE),
+    "table_words": "\n".join("    .word %d" % value for value in TABLE),
+}
+
+
+def reference_output(inputs: List[int]) -> str:
+    """Reference model: the index (or -1) for each query, space separated."""
+    count = inputs[0]
+    chunks = []
+    for query in inputs[1:1 + count]:
+        index = TABLE.index(query) if query in TABLE else -1
+        chunks.append("%d " % index)
+    return "".join(chunks)
+
+
+DEFAULT_INPUTS = [6, 23, 2, 53, 4, 29, 50]
+
+
+@register_workload
+def binary_search() -> Workload:
+    """Binary search over a 16-entry prime table."""
+    return Workload(
+        name="binary_search",
+        description="Binary search queries over a sorted table (input-dependent paths)",
+        source=SOURCE,
+        inputs=list(DEFAULT_INPUTS),
+        expected_output=reference_output(DEFAULT_INPUTS),
+        tags=["loops", "nested", "data-dependent"],
+    )

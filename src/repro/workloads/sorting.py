@@ -1,0 +1,102 @@
+"""Bubble sort: nested loops with data-dependent branch outcomes.
+
+Sorting is the canonical example of a loop whose internal path (swap vs. no
+swap) depends on the data, producing several distinct loop paths whose
+encodings and iteration counts appear in the metadata ``L``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.common import Workload, register_workload
+
+SOURCE = """
+    .text
+_start:
+    li   a7, 5
+    ecall                   # N
+    mv   s0, a0
+    la   s1, array
+
+    li   t0, 0              # read N values into the array
+read_loop:
+    bge  t0, s0, read_done
+    li   a7, 5
+    ecall
+    slli t1, t0, 2
+    add  t1, t1, s1
+    sw   a0, 0(t1)
+    addi t0, t0, 1
+    j    read_loop
+read_done:
+
+    li   t0, 0              # i
+outer:
+    addi t5, s0, -1
+    bge  t0, t5, sort_done
+    li   t1, 0              # j
+inner:
+    sub  t6, s0, t0
+    addi t6, t6, -1         # N - i - 1
+    bge  t1, t6, inner_done
+    slli t2, t1, 2
+    add  t2, t2, s1
+    lw   t3, 0(t2)
+    lw   t4, 4(t2)
+    ble  t3, t4, no_swap
+    sw   t4, 0(t2)
+    sw   t3, 4(t2)
+no_swap:
+    addi t1, t1, 1
+    j    inner
+inner_done:
+    addi t0, t0, 1
+    j    outer
+sort_done:
+
+    li   t0, 0              # print the sorted array, space separated
+print_loop:
+    bge  t0, s0, done
+    slli t1, t0, 2
+    add  t1, t1, s1
+    lw   a0, 0(t1)
+    li   a7, 1
+    ecall
+    li   a0, 32
+    li   a7, 11
+    ecall
+    addi t0, t0, 1
+    j    print_loop
+done:
+    li   a0, 0
+    li   a7, 93
+    ecall
+
+    .data
+array:
+    .space 256
+"""
+
+
+def reference_output(inputs: List[int]) -> str:
+    """Reference model: sort the values and render them space separated."""
+    count = inputs[0]
+    values = sorted(inputs[1:1 + count])
+    return "".join("%d " % value for value in values)
+
+
+DEFAULT_INPUTS = [8, 42, 7, 19, 3, 88, 23, 5, 61]
+
+
+@register_workload
+def bubble_sort() -> Workload:
+    """Bubble sort over an input array."""
+    return Workload(
+        name="bubble_sort",
+        description="Bubble sort (nested loops, data-dependent swap paths)",
+        source=SOURCE,
+        inputs=list(DEFAULT_INPUTS),
+        expected_output=reference_output(DEFAULT_INPUTS),
+        tags=["loops", "nested", "data-dependent", "paper-workload"],
+    )

@@ -1,0 +1,132 @@
+"""Protocol-parser finite state machine driven through a jump table.
+
+Firmware protocol parsers are commonly compiled into a jump table indexed by
+the current state: an *indirect jump* (not a call) inside the parsing loop.
+This is the other flavour of indirect control flow LO-FAT must re-encode
+through the per-loop target CAM, complementing the indirect *calls* of the
+dispatcher workload.
+
+States: 0 = IDLE, 1 = RECEIVING, 2 = CLOSED, 3 = ERROR.
+Tokens: 1 = START, 2 = DATA, 3 = END, anything else = garbage; 0 stops the
+parser.  The program prints the number of accepted DATA tokens followed by
+the final state.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.common import Workload, register_workload
+
+SOURCE = """
+    .text
+_start:
+    li   s0, 0              # state = IDLE
+    li   s2, 0              # accepted DATA tokens
+fsm_loop:
+    li   a7, 5
+    ecall                   # next token (0 terminates)
+    beqz a0, fsm_done
+    mv   s1, a0
+    la   t0, state_table
+    slli t1, s0, 2
+    add  t0, t0, t1
+    lw   t2, 0(t0)
+    jr   t2                 # indirect jump to the current state's handler
+
+state_idle:
+    li   t3, 1
+    bne  s1, t3, idle_stay
+    li   s0, 1              # START -> RECEIVING
+idle_stay:
+    j    fsm_loop
+
+state_receiving:
+    li   t3, 2
+    beq  s1, t3, recv_data
+    li   t3, 3
+    beq  s1, t3, recv_end
+    li   s0, 3              # anything else -> ERROR
+    j    fsm_loop
+recv_data:
+    addi s2, s2, 1
+    j    fsm_loop
+recv_end:
+    li   s0, 2              # END -> CLOSED
+    j    fsm_loop
+
+state_closed:
+    li   t3, 1
+    bne  s1, t3, closed_stay
+    li   s0, 1              # START reopens the stream
+closed_stay:
+    j    fsm_loop
+
+state_error:
+    li   s0, 0              # any token resets to IDLE
+    j    fsm_loop
+
+fsm_done:
+    mv   a0, s2
+    li   a7, 1
+    ecall
+    li   a0, 32
+    li   a7, 11
+    ecall
+    mv   a0, s0
+    li   a7, 1
+    ecall
+    li   a0, 0
+    li   a7, 93
+    ecall
+
+    .data
+state_table:
+    .word state_idle
+    .word state_receiving
+    .word state_closed
+    .word state_error
+"""
+
+IDLE, RECEIVING, CLOSED, ERROR = range(4)
+
+
+def reference_output(inputs: List[int]) -> str:
+    """Reference model of the protocol parser."""
+    state = IDLE
+    accepted = 0
+    for token in inputs:
+        if token == 0:
+            break
+        if state == IDLE:
+            if token == 1:
+                state = RECEIVING
+        elif state == RECEIVING:
+            if token == 2:
+                accepted += 1
+            elif token == 3:
+                state = CLOSED
+            else:
+                state = ERROR
+        elif state == CLOSED:
+            if token == 1:
+                state = RECEIVING
+        else:  # ERROR
+            state = IDLE
+    return "%d %d" % (accepted, state)
+
+
+DEFAULT_INPUTS = [1, 2, 2, 3, 1, 2, 9, 4, 1, 2, 3, 0]
+
+
+@register_workload
+def state_machine() -> Workload:
+    """Jump-table protocol parser FSM."""
+    return Workload(
+        name="state_machine",
+        description="Protocol parser FSM via jump table (indirect jumps in a loop)",
+        source=SOURCE,
+        inputs=list(DEFAULT_INPUTS),
+        expected_output=reference_output(DEFAULT_INPUTS),
+        tags=["loops", "indirect", "data-dependent"],
+    )

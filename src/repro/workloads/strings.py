@@ -1,0 +1,98 @@
+"""String routines: byte-granularity loops over NUL-terminated data.
+
+``strlen`` and ``strcmp`` style loops are short, branch-dense and extremely
+common in embedded command parsers.  The workload measures the length of a
+string baked into the data section and compares two strings, printing both
+results.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.common import Workload, register_workload
+
+STRING_A = "attest-all-the-things"
+STRING_B = "attest-all-the-words"
+
+SOURCE = """
+    .text
+_start:
+    la   a0, string_a
+    call strlen
+    li   a7, 1
+    ecall                   # print strlen(string_a)
+    li   a0, 32
+    li   a7, 11
+    ecall
+
+    la   a0, string_a
+    la   a1, string_b
+    call strcmp
+    li   a7, 1
+    ecall                   # print sign of strcmp(string_a, string_b)
+    li   a0, 0
+    li   a7, 93
+    ecall
+
+strlen:
+    mv   t0, a0
+    li   a0, 0
+strlen_loop:
+    add  t1, t0, a0
+    lbu  t2, 0(t1)
+    beqz t2, strlen_done
+    addi a0, a0, 1
+    j    strlen_loop
+strlen_done:
+    ret
+
+strcmp:
+    # Returns -1, 0 or 1.
+strcmp_loop:
+    lbu  t0, 0(a0)
+    lbu  t1, 0(a1)
+    bne  t0, t1, strcmp_diff
+    beqz t0, strcmp_equal
+    addi a0, a0, 1
+    addi a1, a1, 1
+    j    strcmp_loop
+strcmp_diff:
+    blt  t0, t1, strcmp_less
+    li   a0, 1
+    ret
+strcmp_less:
+    li   a0, -1
+    ret
+strcmp_equal:
+    li   a0, 0
+    ret
+
+    .data
+string_a:
+    .asciiz "%(a)s"
+string_b:
+    .asciiz "%(b)s"
+""" % {"a": STRING_A, "b": STRING_B}
+
+
+def reference_output(_inputs: List[int] = ()) -> str:
+    length = len(STRING_A)
+    if STRING_A == STRING_B:
+        sign = 0
+    else:
+        sign = 1 if STRING_A > STRING_B else -1
+    return "%d %d" % (length, sign)
+
+
+@register_workload
+def string_ops() -> Workload:
+    """strlen + strcmp over data-section strings."""
+    return Workload(
+        name="string_ops",
+        description="strlen/strcmp byte loops over NUL-terminated strings",
+        source=SOURCE,
+        inputs=[],
+        expected_output=reference_output(),
+        tags=["loops", "calls", "byte-access"],
+    )

@@ -1,0 +1,116 @@
+"""Open Syringe Pump firmware model.
+
+The paper motivates loop-counter attacks with the open-source syringe pump:
+"a syringe pump dispenses more liquid than requested" when a loop bound is
+corrupted (§2, citing C-FLAT).  This workload models the pump's command loop:
+the host sends commands (1 = dispense, 2 = withdraw, 0 = shutdown) followed by
+a quantity; the firmware steps the motor one unit at a time in a loop whose
+bound is the requested quantity held in data memory -- which is exactly the
+variable the class-2 attack corrupts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.common import Workload, register_workload
+
+SOURCE = """
+    .text
+_start:
+    li   s0, 0              # total units dispensed (net)
+main_loop:
+    li   a7, 5
+    ecall                   # read command
+    beqz a0, shutdown
+    li   t0, 1
+    beq  a0, t0, cmd_dispense
+    li   t0, 2
+    beq  a0, t0, cmd_withdraw
+    j    main_loop          # unknown command: ignore
+
+cmd_dispense:
+    li   a7, 5
+    ecall                   # read requested quantity
+    la   t1, quantity
+    sw   a0, 0(t1)          # quantity lives in data memory (attack target)
+    li   s1, 0              # steps completed
+dispense_loop:
+    la   t1, quantity
+    lw   t2, 0(t1)
+    bge  s1, t2, dispense_done
+    call step_motor
+    addi s0, s0, 1
+    addi s1, s1, 1
+    j    dispense_loop
+dispense_done:
+    j    main_loop
+
+cmd_withdraw:
+    li   a7, 5
+    ecall                   # read requested quantity
+    mv   t2, a0
+    li   s1, 0
+withdraw_loop:
+    bge  s1, t2, withdraw_done
+    call step_motor
+    addi s0, s0, -1
+    addi s1, s1, 1
+    j    withdraw_loop
+withdraw_done:
+    j    main_loop
+
+shutdown:
+    mv   a0, s0
+    li   a7, 1
+    ecall                   # report net units moved
+    li   a0, 0
+    li   a7, 93
+    ecall
+
+step_motor:
+    # One motor step: a short pulse-timing delay loop.
+    li   t3, 3
+motor_delay:
+    addi t3, t3, -1
+    bnez t3, motor_delay
+    ret
+
+    .data
+quantity:
+    .word 0
+"""
+
+
+def reference_output(inputs: List[int]) -> str:
+    """Reference model of the pump firmware (net units moved)."""
+    total = 0
+    index = 0
+    while index < len(inputs):
+        command = inputs[index]
+        index += 1
+        if command == 0:
+            break
+        if command == 1 and index < len(inputs):
+            total += inputs[index]
+            index += 1
+        elif command == 2 and index < len(inputs):
+            total -= inputs[index]
+            index += 1
+    return str(total)
+
+
+DEFAULT_INPUTS = [1, 5, 2, 2, 1, 4, 0]
+
+
+@register_workload
+def syringe_pump() -> Workload:
+    """The syringe-pump command-loop firmware."""
+    return Workload(
+        name="syringe_pump",
+        description="Open Syringe Pump command loop (dispense/withdraw motor steps)",
+        source=SOURCE,
+        inputs=list(DEFAULT_INPUTS),
+        expected_output=reference_output(DEFAULT_INPUTS),
+        tags=["loops", "nested", "calls", "attack-target", "paper-workload"],
+    )

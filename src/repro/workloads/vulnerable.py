@@ -1,0 +1,72 @@
+"""Stack-smashing victim: the class-3 (code-pointer overwrite) attack target.
+
+``process`` spills its return address to the stack next to a caller-supplied
+"buffer" slot -- the classic layout a buffer overflow exploits.  The attack
+injector overwrites the saved return address with the address of
+``secret_gadget`` (functionality that is never reached on any benign path),
+modelling a minimal ROP-style code-reuse attack.  LO-FAT records the resulting
+return edge, which is not a legal edge of the CFG, so the verifier rejects the
+report; static attestation sees nothing because the code is unmodified.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.common import Workload, register_workload
+
+#: Value printed by the benign path: the doubled input.
+def reference_output(inputs: List[int]) -> str:
+    return str(inputs[0] * 2)
+
+
+#: Value printed by the attacker's gadget when the exploit succeeds.
+GADGET_MARKER = 31337
+
+SOURCE = """
+    .text
+_start:
+    li   a7, 5
+    ecall                   # read input value
+    call process
+    li   a7, 1
+    ecall                   # print the result
+    li   a0, 0
+    li   a7, 93
+    ecall
+
+process:
+    addi sp, sp, -16
+    sw   ra, 12(sp)         # saved return address (overflow target)
+    sw   a0, 8(sp)          # local "buffer" slot
+    lw   t0, 8(sp)
+    slli a0, t0, 1          # benign processing: result = input * 2
+    lw   ra, 12(sp)
+    addi sp, sp, 16
+    ret
+
+secret_gadget:
+    # Privileged functionality never invoked on any benign path.
+    li   a0, %(marker)d
+    li   a7, 1
+    ecall
+    li   a0, 99
+    li   a7, 93
+    ecall
+""" % {"marker": GADGET_MARKER}
+
+
+DEFAULT_INPUTS = [21]
+
+
+@register_workload
+def vulnerable_process() -> Workload:
+    """A function with a stack-resident return address (ROP victim)."""
+    return Workload(
+        name="vulnerable_process",
+        description="Stack-smashing victim with an unreachable secret gadget",
+        source=SOURCE,
+        inputs=list(DEFAULT_INPUTS),
+        expected_output=reference_output(DEFAULT_INPUTS),
+        tags=["attack-target", "calls"],
+    )

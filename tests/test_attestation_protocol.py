@@ -1,0 +1,65 @@
+"""Unit tests for the protocol messages."""
+
+import pytest
+
+from repro.attestation.protocol import AttestationChallenge, AttestationReport
+from repro.lofat.metadata import LoopMetadata, LoopRecord, PathRecord
+from repro.lofat.path_encoder import PathEncoding
+
+
+def make_metadata():
+    metadata = LoopMetadata()
+    metadata.add(LoopRecord(
+        entry=0x40, exit_node=0x80, depth=1, iterations=3,
+        paths=[PathRecord(PathEncoding(bits="01"), iterations=3, first_seen_index=0)],
+    ))
+    return metadata
+
+
+class TestChallenge:
+    def test_serialisation_roundtrip_fields(self):
+        challenge = AttestationChallenge("prog", (1, 2, 3), b"\xAA" * 16)
+        blob = challenge.to_bytes()
+        assert b"prog" in blob
+        assert blob.endswith(b"\xAA" * 16)
+
+    def test_serialisation_differs_with_inputs(self):
+        a = AttestationChallenge("prog", (1,), b"n" * 16)
+        b = AttestationChallenge("prog", (2,), b"n" * 16)
+        assert a.to_bytes() != b.to_bytes()
+
+    def test_negative_inputs_serialise(self):
+        challenge = AttestationChallenge("prog", (-1,), b"n" * 16)
+        assert challenge.to_bytes()  # must not raise
+
+    def test_challenge_is_immutable(self):
+        challenge = AttestationChallenge("prog", (1,), b"n")
+        with pytest.raises(AttributeError):
+            challenge.program_id = "other"
+
+
+class TestReport:
+    def _report(self):
+        return AttestationReport(
+            program_id="prog",
+            measurement=b"\x11" * 64,
+            metadata=make_metadata(),
+            nonce=b"\x22" * 16,
+            signature=b"\x33" * 32,
+            exit_code=0,
+            output="5",
+        )
+
+    def test_payload_is_measurement_plus_metadata(self):
+        report = self._report()
+        assert report.payload == report.measurement + report.metadata.to_bytes()
+
+    def test_size_accounts_for_all_parts(self):
+        report = self._report()
+        assert report.size_bytes == 64 + report.metadata.size_bytes + 32
+
+    def test_describe(self):
+        info = self._report().describe()
+        assert info["program_id"] == "prog"
+        assert info["loop_executions"] == 1
+        assert info["report_bytes"] == self._report().size_bytes

@@ -1,0 +1,184 @@
+"""End-to-end protocol tests: prover and verifier."""
+
+import pytest
+
+from repro.attestation import Prover, Verifier
+from repro.attestation.verifier import VerdictReason
+from repro.lofat.metadata import LoopMetadata
+from repro.workloads import get_workload
+
+
+@pytest.fixture
+def protocol_setup():
+    """A prover provisioned with two programs, plus a matching verifier."""
+    pump = get_workload("syringe_pump")
+    fig4 = get_workload("figure4_loop")
+    programs = {pump.name: pump.build(), fig4.name: fig4.build()}
+    prover = Prover(programs, device_id="device-7")
+    verifier = Verifier()
+    for name, program in programs.items():
+        verifier.register_program(name, program)
+    verifier.register_device_key("device-7", prover.keystore.export_for_verifier())
+    return pump, fig4, programs, prover, verifier
+
+
+class TestHappyPath:
+    def test_benign_report_accepted(self, protocol_setup):
+        pump, _, _, prover, verifier = protocol_setup
+        challenge = verifier.challenge(pump.name, pump.inputs)
+        report = prover.attest(challenge)
+        verdict = verifier.verify(report, device_id="device-7")
+        assert verdict.accepted
+        assert verdict.reason is VerdictReason.ACCEPTED
+
+    def test_report_echoes_program_output(self, protocol_setup):
+        pump, _, _, prover, verifier = protocol_setup
+        challenge = verifier.challenge(pump.name, pump.inputs)
+        report = prover.attest(challenge)
+        assert report.output == pump.expected_output
+
+    def test_database_mode(self, protocol_setup):
+        _, fig4, _, prover, verifier = protocol_setup
+        verifier.precompute_measurement(fig4.name, fig4.inputs)
+        challenge = verifier.challenge(fig4.name, fig4.inputs)
+        report = prover.attest(challenge)
+        assert verifier.verify(report, device_id="device-7", mode="database").accepted
+
+    def test_database_mode_without_reference(self, protocol_setup):
+        _, fig4, _, prover, verifier = protocol_setup
+        challenge = verifier.challenge(fig4.name, [9])
+        report = prover.attest(challenge)
+        verdict = verifier.verify(report, device_id="device-7", mode="database")
+        assert verdict.reason is VerdictReason.NO_REFERENCE
+
+    def test_structural_mode_accepts_benign(self, protocol_setup):
+        _, fig4, _, prover, verifier = protocol_setup
+        challenge = verifier.challenge(fig4.name, fig4.inputs)
+        report = prover.attest(challenge)
+        assert verifier.verify(report, device_id="device-7", mode="structural").accepted
+
+    def test_different_inputs_give_different_measurements(self, protocol_setup):
+        _, fig4, _, prover, verifier = protocol_setup
+        reports = []
+        for iterations in (3, 5):
+            challenge = verifier.challenge(fig4.name, [iterations])
+            reports.append(prover.attest(challenge))
+        assert reports[0].payload != reports[1].payload
+
+    def test_prover_run_info_populated(self, protocol_setup):
+        pump, _, _, prover, verifier = protocol_setup
+        challenge = verifier.challenge(pump.name, pump.inputs)
+        prover.attest(challenge)
+        assert prover.last_run is not None
+        assert prover.last_run.instructions > 0
+        assert prover.last_run.engine_stats["processor_stall_cycles"] == 0
+
+
+class TestRejections:
+    def test_unknown_program(self, protocol_setup):
+        pump, _, _, prover, verifier = protocol_setup
+        challenge = verifier.challenge(pump.name, pump.inputs)
+        report = prover.attest(challenge)
+        report.program_id = "unknown"
+        assert verifier.verify(report).reason is VerdictReason.UNKNOWN_PROGRAM
+
+    def test_unknown_nonce(self, protocol_setup):
+        pump, _, _, prover, verifier = protocol_setup
+        challenge = verifier.challenge(pump.name, pump.inputs)
+        report = prover.attest(challenge)
+        report.nonce = b"\x00" * 16
+        assert verifier.verify(report).reason is VerdictReason.UNKNOWN_NONCE
+
+    def test_replayed_report_rejected(self, protocol_setup):
+        """Freshness: the same signed report cannot be presented twice."""
+        pump, _, _, prover, verifier = protocol_setup
+        challenge = verifier.challenge(pump.name, pump.inputs)
+        report = prover.attest(challenge)
+        assert verifier.verify(report, device_id="device-7").accepted
+        second = verifier.verify(report, device_id="device-7")
+        assert not second.accepted
+        assert second.reason is VerdictReason.NONCE_REUSED
+
+    def test_bad_signature_rejected(self, protocol_setup):
+        pump, _, _, prover, verifier = protocol_setup
+        challenge = verifier.challenge(pump.name, pump.inputs)
+        report = prover.attest(challenge)
+        report.signature = bytes(32)
+        assert verifier.verify(report).reason is VerdictReason.BAD_SIGNATURE
+
+    def test_unknown_device_key_rejected(self, protocol_setup):
+        pump, _, _, prover, verifier = protocol_setup
+        challenge = verifier.challenge(pump.name, pump.inputs)
+        report = prover.attest(challenge)
+        assert verifier.verify(report, device_id="other-device").reason is (
+            VerdictReason.BAD_SIGNATURE)
+
+    def test_tampered_measurement_rejected(self, protocol_setup):
+        """Changing A breaks the signature; re-signing is impossible without sk."""
+        pump, _, _, prover, verifier = protocol_setup
+        challenge = verifier.challenge(pump.name, pump.inputs)
+        report = prover.attest(challenge)
+        report.measurement = bytes(64)
+        assert verifier.verify(report).reason is VerdictReason.BAD_SIGNATURE
+
+    def test_stripped_metadata_rejected(self, protocol_setup):
+        pump, _, _, prover, verifier = protocol_setup
+        challenge = verifier.challenge(pump.name, pump.inputs)
+        report = prover.attest(challenge)
+        report.metadata = LoopMetadata()
+        assert not verifier.verify(report).accepted
+
+    def test_report_for_wrong_input_rejected(self, protocol_setup):
+        """The prover answers an old challenge's execution for a new nonce."""
+        _, fig4, _, prover, verifier = protocol_setup
+        challenge_a = verifier.challenge(fig4.name, [3])
+        report_a = prover.attest(challenge_a)
+        challenge_b = verifier.challenge(fig4.name, [5])
+        report_b = prover.attest(challenge_b)
+        # Swap the measurement content of report_b with report_a's execution:
+        # the signature no longer matches, and even with a forged signature
+        # the replay check would fail.  Here we check the measurement path.
+        report_b.measurement = report_a.measurement
+        report_b.metadata = report_a.metadata
+        verdict = verifier.verify(report_b)
+        assert not verdict.accepted
+
+    def test_challenge_for_unregistered_program_raises(self, protocol_setup):
+        *_, verifier = protocol_setup
+        with pytest.raises(KeyError):
+            verifier.challenge("unknown-program", [])
+
+    def test_prover_rejects_unknown_program(self, protocol_setup):
+        pump, _, _, prover, verifier = protocol_setup
+        challenge = verifier.challenge(pump.name, pump.inputs)
+        object.__setattr__(challenge, "program_id", "missing")
+        with pytest.raises(KeyError):
+            prover.attest(challenge)
+
+
+class TestMetadataStructuralChecks:
+    def test_fabricated_loop_entry_rejected(self, protocol_setup):
+        """Metadata naming a loop at an address with no backward edge fails
+        the structural CFG check even before measurement comparison."""
+        _, fig4, programs, prover, verifier = protocol_setup
+        challenge = verifier.challenge(fig4.name, fig4.inputs)
+        report = prover.attest(challenge)
+        # Forge the entry of the first loop record to a non-loop address.
+        report.metadata.loops[0].entry = programs[fig4.name].entry
+        # Re-signing with the device key models a fully compromised prover
+        # software stack (the key itself is still hardware-protected, so this
+        # is strictly stronger than the real adversary).
+        from repro.attestation.crypto import sign_report
+        report.signature = sign_report(report.payload, report.nonce, prover.keystore)
+        verdict = verifier.verify(report, device_id="device-7")
+        assert verdict.reason is VerdictReason.METADATA_CFG_VIOLATION
+
+    def test_inconsistent_iteration_counts_rejected(self, protocol_setup):
+        _, fig4, _, prover, verifier = protocol_setup
+        challenge = verifier.challenge(fig4.name, fig4.inputs)
+        report = prover.attest(challenge)
+        report.metadata.loops[0].iterations += 5
+        from repro.attestation.crypto import sign_report
+        report.signature = sign_report(report.payload, report.nonce, prover.keystore)
+        verdict = verifier.verify(report, device_id="device-7")
+        assert verdict.reason is VerdictReason.METADATA_CFG_VIOLATION

@@ -1,0 +1,99 @@
+"""Unit tests for natural-loop detection."""
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.loops import find_natural_loops, loop_for_block, max_nesting_depth
+from repro.isa.assembler import assemble
+from repro.workloads import get_workload
+
+NESTED = """
+_start:
+    li t0, 0
+outer:
+    li t1, 3
+    bge t0, t1, done
+    li t2, 0
+inner:
+    li t3, 2
+    bge t2, t3, inner_done
+    addi t2, t2, 1
+    j inner
+inner_done:
+    addi t0, t0, 1
+    j outer
+done:
+    li a7, 93
+    ecall
+"""
+
+
+class TestNaturalLoops:
+    def test_simple_loop_detected(self, simple_loop_program):
+        cfg = build_cfg(simple_loop_program)
+        loops = find_natural_loops(cfg)
+        assert len(loops) == 1
+        header = cfg.block_containing(simple_loop_program.symbols["loop"]).start
+        assert loops[0].header == header
+
+    def test_loop_body_and_exits(self, simple_loop_program):
+        cfg = build_cfg(simple_loop_program)
+        loop = find_natural_loops(cfg)[0]
+        done = cfg.block_containing(simple_loop_program.symbols["done"]).start
+        assert done in loop.exits
+        assert loop.header in loop.body
+        assert loop.size >= 2
+
+    def test_back_edges_recorded(self, simple_loop_program):
+        cfg = build_cfg(simple_loop_program)
+        loop = find_natural_loops(cfg)[0]
+        assert all(dst == loop.header for _, dst in loop.back_edges)
+
+    def test_nested_loops_depths(self):
+        program = assemble(NESTED)
+        cfg = build_cfg(program)
+        loops = find_natural_loops(cfg)
+        assert len(loops) == 2
+        by_header = {loop.header: loop for loop in loops}
+        outer = by_header[cfg.block_containing(program.symbols["outer"]).start]
+        inner = by_header[cfg.block_containing(program.symbols["inner"]).start]
+        assert outer.depth == 1
+        assert inner.depth == 2
+        assert inner.parent == outer.header
+        assert max_nesting_depth(loops) == 2
+
+    def test_inner_loop_body_subset_of_outer(self):
+        program = assemble(NESTED)
+        cfg = build_cfg(program)
+        loops = {loop.depth: loop for loop in find_natural_loops(cfg)}
+        assert loops[2].body <= loops[1].body
+
+    def test_loop_for_block_returns_innermost(self):
+        program = assemble(NESTED)
+        cfg = build_cfg(program)
+        loops = find_natural_loops(cfg)
+        inner_header = cfg.block_containing(program.symbols["inner"]).start
+        found = loop_for_block(loops, inner_header)
+        assert found is not None and found.depth == 2
+        assert loop_for_block(loops, cfg.block_containing(program.symbols["done"]).start) is None
+
+    def test_straight_line_program_has_no_loops(self, call_return_program):
+        cfg = build_cfg(call_return_program)
+        assert find_natural_loops(cfg) == []
+        assert max_nesting_depth([]) == 0
+
+    def test_matmul_has_three_deep_nest(self):
+        program = get_workload("matmul").build()
+        cfg = build_cfg(program)
+        loops = find_natural_loops(cfg)
+        assert max_nesting_depth(loops) == 3
+
+    @pytest.mark.parametrize("workload_name,expected_min_loops", [
+        ("bubble_sort", 4),       # read, outer, inner, print
+        ("crc32", 2),             # word loop + bit loop
+        ("syringe_pump", 3),      # main loop, dispense, withdraw (+ delay)
+    ])
+    def test_workload_loop_counts(self, workload_name, expected_min_loops):
+        program = get_workload(workload_name).build()
+        loops = find_natural_loops(build_cfg(program))
+        assert len(loops) >= expected_min_loops

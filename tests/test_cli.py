@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_accepts_inputs(self):
+        args = build_parser().parse_args(["run", "figure4_loop", "--inputs", "5"])
+        assert args.workload == "figure4_loop"
+        assert args.inputs == [5]
+
+    def test_inputs_default_to_none(self):
+        args = build_parser().parse_args(["attest", "crc32"])
+        assert args.inputs is None
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "syringe_pump" in out
+        assert "syringe_overdose" in out
+
+    def test_run_workload(self, capsys):
+        assert main(["run", "figure4_loop", "--inputs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "output      : 28" in out
+        assert "cycles" in out
+
+    def test_attest_workload(self, capsys):
+        assert main(["attest", "figure4_loop"]) == 0
+        out = capsys.readouterr().out
+        assert "measurement A" in out
+        assert "loop @" in out
+
+    def test_protocol_accepted(self, capsys):
+        assert main(["protocol", "auth_check"]) == 0
+        out = capsys.readouterr().out
+        assert "ACCEPTED" in out
+
+    def test_attack_detected(self, capsys):
+        assert main(["attack", "syringe_overdose"]) == 0
+        out = capsys.readouterr().out
+        assert "detected    : True" in out
+
+    def test_overhead_table(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "cflat_overhead_%" in out
+        assert "syringe_pump" in out
+
+    def test_area_table(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "BRAM36 49" in out
+
+    def test_unknown_workload_returns_error(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_attack_returns_error(self, capsys):
+        assert main(["attack", "nope"]) == 2
+        assert "error" in capsys.readouterr().err

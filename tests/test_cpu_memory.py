@@ -1,0 +1,137 @@
+"""Unit tests for the protected memory model."""
+
+import pytest
+
+from repro.cpu.exceptions import MemoryProtectionError, MisalignedAccessError
+from repro.cpu.memory import Memory, MemoryRegion, Permissions
+
+
+def make_memory():
+    memory = Memory()
+    memory.add_region(MemoryRegion("code", 0x0000, 0x1000, Permissions.rx()))
+    memory.add_region(MemoryRegion("data", 0x10000, 0x1000, Permissions.rw()))
+    return memory
+
+
+class TestRegions:
+    def test_region_lookup(self):
+        memory = make_memory()
+        assert memory.region_for(0x10).name == "code"
+        assert memory.region_for(0x10004).name == "data"
+        assert memory.region_for(0x50000) is None
+
+    def test_overlapping_regions_rejected(self):
+        memory = make_memory()
+        with pytest.raises(ValueError):
+            memory.add_region(MemoryRegion("bad", 0x800, 0x1000, Permissions.rw()))
+
+    def test_region_properties(self):
+        region = MemoryRegion("r", 0x100, 0x10, Permissions.rw())
+        assert region.end == 0x110
+        assert region.contains(0x100) and region.contains(0x10F)
+        assert not region.contains(0x110)
+
+    def test_regions_copy(self):
+        memory = make_memory()
+        regions = memory.regions
+        regions.clear()
+        assert len(memory.regions) == 2
+
+
+class TestPermissions:
+    def test_write_to_code_rejected(self):
+        """The adversary cannot modify program code at run time (threat model)."""
+        memory = make_memory()
+        with pytest.raises(MemoryProtectionError):
+            memory.store(0x10, 0xDEAD, 4)
+
+    def test_execute_from_data_rejected(self):
+        memory = make_memory()
+        memory.store(0x10000, 0x13, 4)
+        with pytest.raises(MemoryProtectionError):
+            memory.fetch_word(0x10000)
+
+    def test_read_write_data(self):
+        memory = make_memory()
+        memory.store(0x10020, 0xCAFEBABE, 4)
+        assert memory.load(0x10020, 4) == 0xCAFEBABE
+
+    def test_fetch_from_code(self):
+        memory = make_memory()
+        memory.load_image(0x0, (0x00000013).to_bytes(4, "little"))
+        assert memory.fetch_word(0x0) == 0x13
+
+    def test_unmapped_access_rejected(self):
+        memory = make_memory()
+        with pytest.raises(MemoryProtectionError):
+            memory.load(0x90000, 4)
+
+    def test_access_straddling_region_end_rejected(self):
+        memory = make_memory()
+        memory.add_region(MemoryRegion("tiny", 0x20000, 6, Permissions.rw()))
+        with pytest.raises(MemoryProtectionError):
+            memory.load(0x20004, 4)  # aligned, but the last byte is unmapped
+
+    def test_protection_can_be_disabled(self):
+        memory = Memory(enforce_protection=False)
+        memory.store(0x123458, 7, 4)
+        assert memory.load(0x123458, 4) == 7
+
+    def test_load_image_bypasses_protection(self):
+        memory = make_memory()
+        memory.load_image(0x0, b"\x01\x02\x03\x04")
+        assert memory.load_bytes(0x0, 4, check=False) == b"\x01\x02\x03\x04"
+
+
+class TestAccessSemantics:
+    def test_little_endian_word(self):
+        memory = make_memory()
+        memory.store(0x10000, 0x11223344, 4)
+        assert memory.load_bytes(0x10000, 4) == b"\x44\x33\x22\x11"
+
+    def test_signed_and_unsigned_loads(self):
+        memory = make_memory()
+        memory.store(0x10000, 0xFF, 1)
+        assert memory.load(0x10000, 1, signed=True) == -1
+        assert memory.load(0x10000, 1, signed=False) == 0xFF
+
+    def test_halfword_access(self):
+        memory = make_memory()
+        memory.store(0x10002, 0xBEEF, 2)
+        assert memory.load(0x10002, 2) == 0xBEEF
+
+    def test_store_truncates_value(self):
+        memory = make_memory()
+        memory.store(0x10000, 0x1FF, 1)
+        assert memory.load(0x10000, 1) == 0xFF
+
+    def test_misaligned_word_rejected(self):
+        memory = make_memory()
+        with pytest.raises(MisalignedAccessError):
+            memory.load(0x10001, 4)
+        with pytest.raises(MisalignedAccessError):
+            memory.store(0x10002, 1, 4)
+
+    def test_misaligned_fetch_rejected(self):
+        memory = make_memory()
+        with pytest.raises(MisalignedAccessError):
+            memory.fetch_word(0x2)
+
+    def test_uninitialised_memory_reads_zero(self):
+        memory = make_memory()
+        assert memory.load(0x10800, 4) == 0
+
+    def test_read_cstring(self):
+        memory = make_memory()
+        memory.store_bytes(0x10000, b"hello\x00world", check=False)
+        assert memory.read_cstring(0x10000) == "hello"
+
+    def test_word_helpers(self):
+        memory = make_memory()
+        memory.store_word(0x10010, 42)
+        assert memory.load_word(0x10010) == 42
+
+    def test_snapshot(self):
+        memory = make_memory()
+        memory.store(0x10000, 0xAB, 1)
+        assert memory.snapshot()[0x10000] == 0xAB

@@ -1,0 +1,105 @@
+"""Tests for trace serialisation and offline attestation replay."""
+
+import io
+
+import pytest
+
+from repro.cpu.core import Cpu
+from repro.cpu.tracefile import (
+    TraceFormatError,
+    dumps_trace,
+    loads_trace,
+    open_trace,
+    replay_trace,
+    save_trace,
+)
+from repro.lofat.engine import LoFatEngine
+from repro.workloads import get_workload
+
+
+def run_workload(name):
+    workload = get_workload(name)
+    cpu = Cpu(workload.build(), inputs=list(workload.inputs))
+    engine = LoFatEngine()
+    cpu.attach_monitor(engine.observe)
+    result = cpu.run()
+    return result, engine.finalize()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ["figure4_loop", "crc32", "dispatcher"])
+    def test_serialisation_roundtrip_preserves_records(self, name):
+        result, _ = run_workload(name)
+        restored = loads_trace(dumps_trace(result.trace))
+        assert len(restored) == len(result.trace)
+        for original, copy in zip(result.trace, restored):
+            assert copy.pc == original.pc
+            assert copy.next_pc == original.next_pc
+            assert copy.word == original.word
+            assert copy.cycle == original.cycle
+            assert copy.kind == original.kind
+            assert copy.taken == original.taken
+            assert copy.instruction.mnemonic == original.instruction.mnemonic
+
+    def test_file_roundtrip(self, tmp_path):
+        result, _ = run_workload("figure4_loop")
+        path = str(tmp_path / "figure4.lftr")
+        written = save_trace(result.trace, path)
+        assert written > 0
+        restored = open_trace(path)
+        assert restored.control_flow_events == result.trace.control_flow_events
+
+    def test_summary_preserved(self):
+        result, _ = run_workload("bubble_sort")
+        restored = loads_trace(dumps_trace(result.trace))
+        assert restored.summary() == result.trace.summary()
+
+
+class TestOfflineAttestation:
+    @pytest.mark.parametrize("name", ["figure4_loop", "syringe_pump", "crc32"])
+    def test_replay_produces_identical_measurement(self, name):
+        """Offline attestation over a stored trace == live attestation."""
+        result, live = run_workload(name)
+        restored = loads_trace(dumps_trace(result.trace))
+        offline_engine = LoFatEngine()
+        count = replay_trace(restored, offline_engine.observe)
+        offline = offline_engine.finalize()
+        assert count == len(result.trace)
+        assert offline.measurement == live.measurement
+        assert offline.metadata.to_bytes() == live.metadata.to_bytes()
+
+    def test_tampered_trace_changes_measurement(self):
+        result, live = run_workload("figure4_loop")
+        restored = loads_trace(dumps_trace(result.trace))
+        # Redirect the destination of the first non-loop control-flow record:
+        # an offline-tampered trace must not reproduce the live measurement.
+        for record in restored:
+            if record.is_control_flow:
+                record.next_pc ^= 0x8
+                break
+        engine = LoFatEngine()
+        replay_trace(restored, engine.observe)
+        assert engine.finalize().measurement != live.measurement
+
+
+class TestFormatErrors:
+    def test_bad_magic(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace(b"XXXX" + bytes(6))
+
+    def test_truncated_header(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace(b"LF")
+
+    def test_truncated_records(self):
+        result, _ = run_workload("figure4_loop")
+        data = dumps_trace(result.trace)
+        with pytest.raises(TraceFormatError):
+            loads_trace(data[:-3])
+
+    def test_unsupported_version(self):
+        result, _ = run_workload("figure4_loop")
+        data = bytearray(dumps_trace(result.trace))
+        data[4] = 0xFF  # bump the version field
+        with pytest.raises(TraceFormatError):
+            loads_trace(bytes(data))

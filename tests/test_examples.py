@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs successfully end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+class TestExamples:
+    def test_at_least_three_examples_exist(self):
+        assert len(EXAMPLES) >= 3
+
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_example_runs_cleanly(self, name):
+        completed = run_example(name)
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+        assert completed.stdout.strip(), "example produced no output"
+
+    def test_quickstart_accepts_workload_argument(self):
+        completed = run_example("quickstart.py", "crc32")
+        assert completed.returncode == 0
+        assert "crc32" in completed.stdout
+
+    def test_attack_detection_reports_full_coverage(self):
+        completed = run_example("attack_detection.py")
+        assert "4/4" in completed.stdout
+
+    def test_overhead_comparison_reports_zero_lofat_overhead(self):
+        completed = run_example("overhead_comparison.py")
+        assert "LO-FAT overhead is 0%" in completed.stdout

@@ -1,0 +1,343 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.encoding import decode
+
+
+def _mnemonics(program):
+    return [instr.mnemonic for instr in program.instructions]
+
+
+class TestBasicAssembly:
+    def test_single_instruction(self):
+        program = assemble("add a0, a1, a2")
+        assert len(program.code) == 4
+        assert _mnemonics(program) == ["add"]
+
+    def test_code_is_little_endian_words(self):
+        program = assemble("addi a0, zero, 1")
+        word = int.from_bytes(program.code[:4], "little")
+        assert decode(word).mnemonic == "addi"
+
+    def test_labels_and_branches(self):
+        program = assemble("""
+        _start:
+            beq a0, a1, target
+            addi a0, a0, 1
+        target:
+            addi a1, a1, 1
+        """)
+        branch = program.instructions[0]
+        assert branch.mnemonic == "beq"
+        assert branch.imm == 8  # two instructions ahead
+
+    def test_backward_branch_negative_offset(self):
+        program = assemble("""
+        loop:
+            addi a0, a0, 1
+            bne a0, a1, loop
+        """)
+        branch = program.instructions[1]
+        assert branch.imm == -4
+
+    def test_comments_are_ignored(self):
+        program = assemble("""
+            addi a0, zero, 1   # a comment
+            // another comment
+            addi a1, zero, 2   ; third style
+        """)
+        assert _mnemonics(program) == ["addi", "addi"]
+
+    def test_multiple_labels_same_address(self):
+        program = assemble("""
+        first:
+        second:
+            nop
+        """)
+        assert program.symbols["first"] == program.symbols["second"]
+
+    def test_entry_point_prefers_start_symbol(self):
+        program = assemble("""
+            nop
+        _start:
+            nop
+        """)
+        assert program.entry == program.symbols["_start"]
+
+    def test_entry_point_falls_back_to_main(self):
+        program = assemble("""
+            nop
+        main:
+            nop
+        """)
+        assert program.entry == program.symbols["main"]
+
+    def test_instruction_addresses_are_sequential(self):
+        program = assemble("nop\nnop\nnop")
+        addresses = [instr.address for instr in program.instructions]
+        assert addresses == [0, 4, 8]
+
+    def test_instruction_at_and_word_at(self):
+        program = assemble("addi a0, zero, 7\nnop")
+        assert program.instruction_at(0).imm == 7
+        assert decode(program.word_at(4)).mnemonic == "addi"
+        with pytest.raises(ValueError):
+            program.instruction_at(2)
+
+
+class TestPseudoInstructions:
+    def test_nop(self):
+        program = assemble("nop")
+        instr = program.instructions[0]
+        assert (instr.mnemonic, instr.rd, instr.rs1, instr.imm) == ("addi", 0, 0, 0)
+
+    def test_li_small(self):
+        program = assemble("li a0, 42")
+        assert _mnemonics(program) == ["addi"]
+        assert program.instructions[0].imm == 42
+
+    def test_li_large_expands_to_lui_addi(self):
+        program = assemble("li a0, 0x12345678")
+        assert _mnemonics(program) == ["lui", "addi"]
+
+    def test_li_negative_large(self):
+        program = assemble("li a0, -100000")
+        assert _mnemonics(program) == ["lui", "addi"]
+
+    def test_la_uses_data_symbol(self):
+        program = assemble("""
+            .data
+        value:
+            .word 99
+            .text
+        _start:
+            la t0, value
+        """)
+        assert _mnemonics(program) == ["lui", "addi"]
+
+    def test_mv_not_neg(self):
+        program = assemble("mv a0, a1\nnot a2, a3\nneg a4, a5")
+        assert _mnemonics(program) == ["addi", "xori", "sub"]
+
+    def test_set_pseudo_ops(self):
+        program = assemble("seqz a0, a1\nsnez a2, a3\nsltz a4, a5\nsgtz a6, a7")
+        assert _mnemonics(program) == ["sltiu", "sltu", "slt", "slt"]
+
+    def test_branch_zero_aliases(self):
+        program = assemble("""
+        target:
+            beqz a0, target
+            bnez a0, target
+            blez a0, target
+            bgez a0, target
+            bltz a0, target
+            bgtz a0, target
+        """)
+        assert _mnemonics(program) == ["beq", "bne", "bge", "bge", "blt", "blt"]
+
+    def test_swapped_comparison_aliases(self):
+        program = assemble("""
+        target:
+            bgt a0, a1, target
+            ble a0, a1, target
+            bgtu a0, a1, target
+            bleu a0, a1, target
+        """)
+        mnems = _mnemonics(program)
+        assert mnems == ["blt", "bge", "bltu", "bgeu"]
+        # Operands must be swapped.
+        assert program.instructions[0].rs1 == 11 and program.instructions[0].rs2 == 10
+
+    def test_jump_and_call_aliases(self):
+        program = assemble("""
+        _start:
+            j _start
+            jr a0
+            ret
+            call _start
+            tail _start
+        """)
+        assert _mnemonics(program) == ["jal", "jalr", "jalr", "jal", "jal"]
+        assert program.instructions[0].rd == 0       # j does not link
+        assert program.instructions[3].rd == 1       # call links
+        assert program.instructions[4].rd == 0       # tail does not link
+
+    def test_jal_single_operand_links(self):
+        program = assemble("""
+        _start:
+            jal _start
+        """)
+        assert program.instructions[0].rd == 1
+
+
+class TestDataDirectives:
+    def test_word_and_byte(self):
+        program = assemble("""
+            .data
+        values:
+            .word 1, 2, 3
+            .byte 0xAA, 0xBB
+        """)
+        assert len(program.data) == 14
+        assert program.data[0:4] == (1).to_bytes(4, "little")
+        assert program.data[12] == 0xAA
+
+    def test_word_with_symbol_reference(self):
+        program = assemble("""
+            .text
+        handler:
+            ret
+            .data
+        table:
+            .word handler
+        """)
+        stored = int.from_bytes(program.data[0:4], "little")
+        assert stored == program.symbols["handler"]
+
+    def test_asciiz_and_space(self):
+        program = assemble("""
+            .data
+        msg:
+            .asciiz "hi"
+        buffer:
+            .space 8
+        """)
+        assert program.data[:3] == b"hi\x00"
+        assert len(program.data) == 3 + 8
+        assert program.symbols["buffer"] == program.data_base + 3
+
+    def test_align_directive(self):
+        program = assemble("""
+            .data
+            .byte 1
+            .align 2
+        aligned:
+            .word 5
+        """)
+        assert program.symbols["aligned"] % 4 == 0
+
+    def test_half_directive(self):
+        program = assemble("""
+            .data
+            .half 0x1234, 0x5678
+        """)
+        assert program.data == bytes([0x34, 0x12, 0x78, 0x56])
+
+    def test_equ_constant(self):
+        program = assemble("""
+            .equ LIMIT, 7
+            addi a0, zero, LIMIT
+        """)
+        assert program.symbols["LIMIT"] == 7
+        assert program.instructions[0].imm == 7
+
+    def test_data_and_text_interleaving(self):
+        program = assemble("""
+            .data
+        a:  .word 1
+            .text
+        _start:
+            nop
+            .data
+        b:  .word 2
+        """)
+        assert program.symbols["b"] == program.symbols["a"] + 4
+
+    def test_char_literal(self):
+        program = assemble("li a0, 'A'")
+        assert program.instructions[0].imm == ord("A")
+
+
+class TestMemoryOperands:
+    def test_load_store_offsets(self):
+        program = assemble("""
+            lw a0, 8(sp)
+            sw a0, -4(s0)
+            lb t0, 0(a1)
+        """)
+        assert program.instructions[0].imm == 8
+        assert program.instructions[1].imm == -4
+        assert program.instructions[2].imm == 0
+
+    def test_hi_lo_relocations(self):
+        program = assemble("""
+            .data
+        var: .word 0
+            .text
+        _start:
+            lui t0, %hi(var)
+            addi t0, t0, %lo(var)
+        """)
+        hi = program.instructions[0].imm
+        lo = program.instructions[1].imm
+        assert ((hi << 12) + lo) & 0xFFFFFFFF == program.symbols["var"]
+
+    def test_jalr_memory_form(self):
+        program = assemble("jalr ra, 4(t0)")
+        instr = program.instructions[0]
+        assert instr.mnemonic == "jalr" and instr.imm == 4 and instr.rs1 == 5
+
+
+class TestAssemblerErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate a0, a1")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AssemblerError):
+            assemble("j nowhere")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("add a0, a1")
+
+    def test_instruction_in_data_section(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\nadd a0, a1, a2")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("""
+            here:
+                nop
+            here:
+                nop
+            """)
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("nop\nbadop x1")
+        assert "line 2" in str(excinfo.value)
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("add a0, a1, b2")
+
+    def test_bad_directive(self):
+        with pytest.raises(AssemblerError):
+            assemble(".bogus 3")
+
+
+class TestLayout:
+    def test_custom_bases(self):
+        program = assemble("nop", code_base=0x1000, data_base=0x8000)
+        assert program.code_base == 0x1000
+        assert program.instructions[0].address == 0x1000
+        assert program.data_base == 0x8000
+
+    def test_code_end_and_data_end(self):
+        program = assemble("""
+            nop
+            nop
+            .data
+            .word 1
+        """)
+        assert program.code_end == program.code_base + 8
+        assert program.data_end == program.data_base + 4
+
+    def test_symbol_lookup_error(self):
+        program = assemble("nop")
+        with pytest.raises(KeyError):
+            program.symbol("missing")

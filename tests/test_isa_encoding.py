@@ -1,0 +1,180 @@
+"""Unit and property-based tests for instruction encoding/decoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.encoding import EncodingError, decode, encode
+from repro.isa.instructions import Instruction, InstructionFormat, SPECS
+
+
+class TestKnownEncodings:
+    """Spot checks against independently computed RV32 encodings."""
+
+    def test_addi(self):
+        # addi a0, a1, 5  ->  imm=5, rs1=11, funct3=0, rd=10, opcode=0x13
+        word = encode(Instruction("addi", rd=10, rs1=11, imm=5))
+        assert word == (5 << 20) | (11 << 15) | (0 << 12) | (10 << 7) | 0x13
+
+    def test_add(self):
+        word = encode(Instruction("add", rd=1, rs1=2, rs2=3))
+        assert word == (0 << 25) | (3 << 20) | (2 << 15) | (0 << 12) | (1 << 7) | 0x33
+
+    def test_sub_funct7(self):
+        word = encode(Instruction("sub", rd=1, rs1=2, rs2=3))
+        assert (word >> 25) == 0b0100000
+
+    def test_lui(self):
+        word = encode(Instruction("lui", rd=5, imm=0xABCDE))
+        assert word == (0xABCDE << 12) | (5 << 7) | 0x37
+
+    def test_jal_negative_offset(self):
+        word = encode(Instruction("jal", rd=0, imm=-8))
+        decoded = decode(word)
+        assert decoded.mnemonic == "jal"
+        assert decoded.imm == -8
+
+    def test_beq_offset_encoding(self):
+        word = encode(Instruction("beq", rs1=1, rs2=2, imm=16))
+        decoded = decode(word)
+        assert decoded.mnemonic == "beq"
+        assert decoded.imm == 16
+
+    def test_sw(self):
+        word = encode(Instruction("sw", rs1=2, rs2=10, imm=-4))
+        decoded = decode(word)
+        assert decoded.mnemonic == "sw"
+        assert decoded.rs1 == 2 and decoded.rs2 == 10 and decoded.imm == -4
+
+    def test_ecall_and_ebreak(self):
+        assert encode(Instruction("ecall")) == 0x00000073
+        assert encode(Instruction("ebreak", imm=1)) == 0x00100073
+
+    def test_shift_immediates(self):
+        word = encode(Instruction("srai", rd=3, rs1=4, imm=7))
+        decoded = decode(word)
+        assert decoded.mnemonic == "srai" and decoded.imm == 7
+
+
+class TestEncodingErrors:
+    def test_i_immediate_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("addi", rd=1, rs1=1, imm=4096))
+
+    def test_branch_offset_must_be_even(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("beq", rs1=0, rs2=0, imm=3))
+
+    def test_jump_offset_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("jal", rd=1, imm=1 << 21))
+
+    def test_shift_amount_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("slli", rd=1, rs1=1, imm=32))
+
+    def test_register_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("add", rd=32, rs1=0, rs2=0))
+
+    def test_u_immediate_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("lui", rd=1, imm=1 << 20))
+
+
+class TestDecodingErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(EncodingError):
+            decode(0x0000007F)
+
+    def test_bad_funct3_branch(self):
+        # opcode BRANCH with funct3=0b010 is not a defined branch.
+        word = (0b010 << 12) | 0b1100011
+        with pytest.raises(EncodingError):
+            decode(word)
+
+    def test_word_out_of_range(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 32)
+
+    def test_address_is_attached(self):
+        word = encode(Instruction("add", rd=1, rs1=2, rs2=3))
+        decoded = decode(word, address=0x80)
+        assert decoded.address == 0x80
+
+
+# ---------------------------------------------------------------- properties
+_REG = st.integers(min_value=0, max_value=31)
+
+
+def _instruction_strategy():
+    """Generate valid Instruction objects across all formats."""
+    def build(mnemonic, rd, rs1, rs2, imm12, imm20, imm21, imm13, shamt):
+        spec = SPECS[mnemonic]
+        fmt = spec.fmt
+        if mnemonic in ("ecall",):
+            return Instruction(mnemonic)
+        if mnemonic == "ebreak":
+            return Instruction(mnemonic, imm=1)
+        if mnemonic == "fence":
+            return Instruction(mnemonic, imm=0)
+        if fmt is InstructionFormat.R:
+            return Instruction(mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+        if fmt is InstructionFormat.U:
+            return Instruction(mnemonic, rd=rd, imm=imm20)
+        if fmt is InstructionFormat.J:
+            return Instruction(mnemonic, rd=rd, imm=imm21 * 2)
+        if fmt is InstructionFormat.B:
+            return Instruction(mnemonic, rs1=rs1, rs2=rs2, imm=imm13 * 2)
+        if fmt is InstructionFormat.S:
+            return Instruction(mnemonic, rs1=rs1, rs2=rs2, imm=imm12)
+        # I format
+        if mnemonic in ("slli", "srli", "srai"):
+            return Instruction(mnemonic, rd=rd, rs1=rs1, imm=shamt)
+        return Instruction(mnemonic, rd=rd, rs1=rs1, imm=imm12)
+
+    return st.builds(
+        build,
+        mnemonic=st.sampled_from(sorted(SPECS)),
+        rd=_REG, rs1=_REG, rs2=_REG,
+        imm12=st.integers(min_value=-2048, max_value=2047),
+        imm20=st.integers(min_value=0, max_value=(1 << 20) - 1),
+        imm21=st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1),
+        imm13=st.integers(min_value=-(1 << 11), max_value=(1 << 11) - 1),
+        shamt=st.integers(min_value=0, max_value=31),
+    )
+
+
+class TestRoundTripProperties:
+    @given(instruction=_instruction_strategy())
+    @settings(max_examples=400, deadline=None)
+    def test_encode_decode_roundtrip(self, instruction):
+        """decode(encode(i)) preserves the semantic fields of i."""
+        word = encode(instruction)
+        assert 0 <= word <= 0xFFFFFFFF
+        decoded = decode(word)
+        assert decoded.mnemonic == instruction.mnemonic
+        fmt = instruction.spec.fmt
+        if fmt in (InstructionFormat.R, InstructionFormat.I, InstructionFormat.U,
+                   InstructionFormat.J):
+            assert decoded.rd == instruction.rd
+        if fmt in (InstructionFormat.R, InstructionFormat.I, InstructionFormat.S,
+                   InstructionFormat.B):
+            if instruction.mnemonic not in ("ecall", "ebreak", "fence"):
+                assert decoded.rs1 == instruction.rs1
+        if fmt in (InstructionFormat.R, InstructionFormat.S, InstructionFormat.B):
+            assert decoded.rs2 == instruction.rs2
+        if instruction.mnemonic not in ("ecall", "ebreak", "fence"):
+            if fmt is not InstructionFormat.R:
+                assert decoded.imm == instruction.imm
+
+    @given(instruction=_instruction_strategy())
+    @settings(max_examples=200, deadline=None)
+    def test_encoding_is_deterministic(self, instruction):
+        assert encode(instruction) == encode(instruction)
+
+    @given(instruction=_instruction_strategy())
+    @settings(max_examples=200, deadline=None)
+    def test_control_flow_classification_survives_roundtrip(self, instruction):
+        decoded = decode(encode(instruction))
+        assert decoded.is_control_flow == instruction.is_control_flow
+        assert decoded.is_conditional_branch == instruction.is_conditional_branch

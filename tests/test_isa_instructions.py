@@ -1,0 +1,98 @@
+"""Unit tests for instruction specifications and classification."""
+
+import pytest
+
+from repro.isa.instructions import (
+    Instruction,
+    InstructionFormat,
+    SPECS,
+    spec_for,
+)
+
+
+class TestSpecs:
+    def test_expected_instruction_count(self):
+        # RV32I base (including ecall/ebreak/fence) + 8 M-extension = 48 mnemonics.
+        assert len(SPECS) == 48
+
+    def test_spec_lookup_case_insensitive(self):
+        assert spec_for("ADD") is SPECS["add"]
+        assert spec_for(" beq ") is SPECS["beq"]
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(KeyError):
+            spec_for("vadd")
+
+    def test_branch_specs_flagged(self):
+        for mnemonic in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            spec = spec_for(mnemonic)
+            assert spec.is_branch
+            assert spec.fmt is InstructionFormat.B
+            assert spec.is_control_flow
+
+    def test_jump_specs_flagged(self):
+        assert spec_for("jal").is_jump
+        assert not spec_for("jal").is_indirect
+        assert spec_for("jalr").is_jump
+        assert spec_for("jalr").is_indirect
+
+    def test_loads_and_stores_flagged(self):
+        for mnemonic in ("lb", "lh", "lw", "lbu", "lhu"):
+            assert spec_for(mnemonic).is_load
+        for mnemonic in ("sb", "sh", "sw"):
+            assert spec_for(mnemonic).is_store
+
+    def test_mul_div_flagged(self):
+        for mnemonic in ("mul", "mulh", "mulhu", "mulhsu", "div", "divu", "rem", "remu"):
+            assert spec_for(mnemonic).is_mul_div
+
+    def test_alu_not_control_flow(self):
+        for mnemonic in ("add", "sub", "andi", "slli", "lui", "auipc"):
+            assert not spec_for(mnemonic).is_control_flow
+
+
+class TestInstructionClassification:
+    def test_conditional_branch(self):
+        instr = Instruction("beq", rs1=1, rs2=2, imm=8)
+        assert instr.is_conditional_branch
+        assert instr.is_control_flow
+        assert not instr.is_direct_jump
+
+    def test_direct_jump_vs_call(self):
+        jump = Instruction("jal", rd=0, imm=-16)
+        call = Instruction("jal", rd=1, imm=64)
+        assert jump.is_direct_jump and not jump.writes_link_register
+        assert call.is_direct_jump and call.writes_link_register
+
+    def test_alternate_link_register_is_linking(self):
+        call = Instruction("jalr", rd=5, rs1=10)
+        assert call.writes_link_register
+
+    def test_return_idiom(self):
+        ret = Instruction("jalr", rd=0, rs1=1, imm=0)
+        assert ret.is_return
+        assert ret.is_indirect_jump
+        not_ret = Instruction("jalr", rd=0, rs1=10, imm=0)
+        assert not not_ret.is_return
+
+    def test_non_control_flow(self):
+        instr = Instruction("addi", rd=1, rs1=1, imm=4)
+        assert not instr.is_control_flow
+        assert not instr.is_conditional_branch
+
+    def test_key_ignores_address(self):
+        a = Instruction("add", rd=1, rs1=2, rs2=3, address=0x100)
+        b = Instruction("add", rd=1, rs1=2, rs2=3, address=0x200)
+        assert a.key() == b.key()
+
+    def test_str_renders_assembly(self):
+        instr = Instruction("add", rd=10, rs1=11, rs2=12)
+        assert str(instr) == "add a0, a1, a2"
+
+    def test_mnemonic_normalised_to_lowercase(self):
+        instr = Instruction("ADD", rd=1, rs1=2, rs2=3)
+        assert instr.mnemonic == "add"
+
+    def test_unknown_instruction_rejected(self):
+        with pytest.raises(KeyError):
+            Instruction("frobnicate")

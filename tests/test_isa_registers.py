@@ -1,0 +1,130 @@
+"""Unit tests for the register file and ABI naming."""
+
+import pytest
+
+from repro.isa.registers import (
+    ABI_NAMES,
+    NUM_REGISTERS,
+    RegisterFile,
+    is_link_register,
+    register_name,
+    register_number,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestRegisterNaming:
+    def test_abi_names_count(self):
+        assert len(ABI_NAMES) == NUM_REGISTERS == 32
+
+    def test_architectural_names_resolve(self):
+        for number in range(32):
+            assert register_number("x%d" % number) == number
+
+    def test_abi_names_resolve(self):
+        assert register_number("zero") == 0
+        assert register_number("ra") == 1
+        assert register_number("sp") == 2
+        assert register_number("a0") == 10
+        assert register_number("t6") == 31
+
+    def test_fp_alias(self):
+        assert register_number("fp") == register_number("s0") == 8
+
+    def test_case_insensitive(self):
+        assert register_number("A0") == 10
+        assert register_number(" SP ") == 2
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            register_number("q7")
+
+    def test_register_name_roundtrip(self):
+        for number in range(32):
+            assert register_number(register_name(number)) == number
+
+    def test_register_name_out_of_range(self):
+        with pytest.raises(ValueError):
+            register_name(32)
+        with pytest.raises(ValueError):
+            register_name(-1)
+
+    def test_link_registers(self):
+        assert is_link_register(register_number("ra"))
+        assert is_link_register(register_number("t0"))
+        assert not is_link_register(register_number("a0"))
+        assert not is_link_register(0)
+
+
+class TestSignConversion:
+    def test_to_signed_positive(self):
+        assert to_signed(5) == 5
+        assert to_signed(0x7FFFFFFF) == 0x7FFFFFFF
+
+    def test_to_signed_negative(self):
+        assert to_signed(0xFFFFFFFF) == -1
+        assert to_signed(0x80000000) == -(1 << 31)
+
+    def test_to_unsigned_wraps(self):
+        assert to_unsigned(-1) == 0xFFFFFFFF
+        assert to_unsigned(1 << 32) == 0
+
+    def test_roundtrip(self):
+        for value in (-1, 0, 1, 0x7FFFFFFF, -(1 << 31)):
+            assert to_signed(to_unsigned(value)) == value
+
+
+class TestRegisterFile:
+    def test_initial_state_is_zero(self):
+        regs = RegisterFile()
+        assert all(value == 0 for value in regs.snapshot())
+
+    def test_write_and_read(self):
+        regs = RegisterFile()
+        regs.write(5, 1234)
+        assert regs.read(5) == 1234
+
+    def test_x0_is_hardwired_to_zero(self):
+        regs = RegisterFile()
+        regs.write(0, 999)
+        assert regs.read(0) == 0
+
+    def test_values_truncated_to_32_bits(self):
+        regs = RegisterFile()
+        regs.write(3, 1 << 35)
+        assert regs.read(3) == 0
+
+    def test_read_signed(self):
+        regs = RegisterFile()
+        regs.write(4, 0xFFFFFFFE)
+        assert regs.read_signed(4) == -2
+
+    def test_name_indexing(self):
+        regs = RegisterFile()
+        regs["a0"] = 77
+        assert regs["a0"] == 77
+        assert regs[10] == 77
+
+    def test_out_of_range_access_raises(self):
+        regs = RegisterFile()
+        with pytest.raises(ValueError):
+            regs.read(32)
+        with pytest.raises(ValueError):
+            regs.write(-1, 0)
+
+    def test_initial_values_constructor(self):
+        regs = RegisterFile([0, 11, 22])
+        assert regs.read(0) == 0
+        assert regs.read(1) == 11
+        assert regs.read(2) == 22
+
+    def test_too_many_initial_values(self):
+        with pytest.raises(ValueError):
+            RegisterFile(range(33))
+
+    def test_snapshot_is_a_copy(self):
+        regs = RegisterFile()
+        snap = regs.snapshot()
+        snap[5] = 99
+        assert regs.read(5) == 0

@@ -1,0 +1,94 @@
+"""Unit tests for the FPGA area model (paper §6.2)."""
+
+import pytest
+
+from repro.lofat.area_model import (
+    AreaModel,
+    PULPINO_BASELINE_LUTS,
+    PULPINO_BASELINE_REGISTERS,
+    VIRTEX7_XC7Z020,
+)
+from repro.lofat.config import LoFatConfig
+
+
+class TestPaperConfigurationPoint:
+    def test_16_brams_per_loop(self):
+        assert AreaModel(LoFatConfig()).loop_counter_brams_per_loop() == 16
+
+    def test_48_brams_for_three_nested_loops(self):
+        assert AreaModel(LoFatConfig()).loop_counter_brams_total() == 48
+
+    def test_49_brams_total(self):
+        assert AreaModel(LoFatConfig()).bram_blocks() == 49
+
+    def test_loop_memory_is_1_5_mbit(self):
+        model = AreaModel(LoFatConfig())
+        assert LoFatConfig().total_loop_memory_bits == 1536 * 1024
+
+    def test_utilization_close_to_paper(self):
+        """Paper: ~6% of LUTs and ~4% of registers of the XC7Z020."""
+        estimate = AreaModel(LoFatConfig()).estimate()
+        utilization = estimate.utilization(VIRTEX7_XC7Z020)
+        assert 0.04 <= utilization["luts"] <= 0.08
+        assert 0.03 <= utilization["registers"] <= 0.05
+
+    def test_logic_overhead_about_20_percent(self):
+        estimate = AreaModel(LoFatConfig()).estimate()
+        assert 0.15 <= estimate.logic_overhead_vs_pulpino() <= 0.25
+
+    def test_max_clock_80_mhz(self):
+        assert AreaModel(LoFatConfig()).estimate().max_clock_mhz == pytest.approx(80.0)
+
+    def test_clock_higher_without_cam(self):
+        """Eliminating the CAM access allows a much higher clock (§6.1)."""
+        no_cam = LoFatConfig(indirect_target_bits=1, max_indirect_branches_per_path=1)
+        assert AreaModel(no_cam).max_clock_mhz() > 80.0
+
+    def test_per_component_breakdown_sums(self):
+        estimate = AreaModel(LoFatConfig()).estimate()
+        assert estimate.luts == sum(c["luts"] for c in estimate.per_component.values())
+        assert estimate.registers == sum(
+            c["registers"] for c in estimate.per_component.values())
+
+    def test_as_dict(self):
+        info = AreaModel(LoFatConfig()).estimate().as_dict()
+        assert info["bram36"] == 49
+
+
+class TestScaling:
+    def test_bram_scales_with_nesting_depth(self):
+        counts = [
+            AreaModel(LoFatConfig(max_nested_loops=depth)).bram_blocks()
+            for depth in (1, 2, 3)
+        ]
+        assert counts == [17, 33, 49]
+
+    def test_bram_drops_with_smaller_path_id(self):
+        small = AreaModel(LoFatConfig(max_branches_per_path=12,
+                                      max_indirect_branches_per_path=3)).bram_blocks()
+        default = AreaModel(LoFatConfig()).bram_blocks()
+        assert small < default
+
+    def test_memory_bits_scale_exponentially_with_path_bits(self):
+        a = LoFatConfig(max_branches_per_path=12, max_indirect_branches_per_path=3)
+        b = LoFatConfig(max_branches_per_path=16)
+        assert b.total_loop_memory_bits == 16 * a.total_loop_memory_bits
+
+    def test_logic_grows_with_depth(self):
+        small = AreaModel(LoFatConfig(max_nested_loops=1)).estimate()
+        large = AreaModel(LoFatConfig(max_nested_loops=4)).estimate()
+        assert large.luts > small.luts
+        assert large.registers > small.registers
+
+    def test_device_capacity_constants(self):
+        assert VIRTEX7_XC7Z020.luts == 53_200
+        assert VIRTEX7_XC7Z020.registers == 106_400
+        assert VIRTEX7_XC7Z020.bram_bits_total == 140 * 36 * 1024
+
+    def test_pulpino_baseline_positive(self):
+        assert PULPINO_BASELINE_LUTS > 0 and PULPINO_BASELINE_REGISTERS > 0
+
+    def test_bram_bits_include_buffer(self):
+        config = LoFatConfig(hash_input_buffer_depth=8)
+        model = AreaModel(config)
+        assert model.bram_bits() == config.total_loop_memory_bits + 64 * 8

@@ -1,0 +1,76 @@
+"""Unit tests for the LO-FAT configuration and its sizing formulas."""
+
+import pytest
+
+from repro.lofat.config import LoFatConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = LoFatConfig()
+        assert config.indirect_target_bits == 4
+        assert config.max_branches_per_path == 16
+        assert config.max_nested_loops == 3
+        assert config.branch_tracking_latency == 2
+        assert config.loop_exit_latency == 5
+        assert config.clock_mhz == 80.0
+        assert config.hash_engine_max_clock_mhz == 150.0
+
+    def test_max_indirect_targets(self):
+        """n bits allow 2^n - 1 targets; the all-zero code means overflow."""
+        assert LoFatConfig(indirect_target_bits=4).max_indirect_targets_per_loop == 15
+        assert LoFatConfig(indirect_target_bits=2).max_indirect_targets_per_loop == 3
+
+    def test_loop_memory_formula(self):
+        """Paper §5.2: tracking l branches per path costs 8 * 2^l bits."""
+        config = LoFatConfig()
+        assert config.loop_memory_bits == 8 * (1 << 16)
+        assert config.total_loop_memory_bits == 3 * 8 * (1 << 16)
+        # 1.5 Mbit for the default configuration, as stated in the paper.
+        assert config.total_loop_memory_bits == 1536 * 1024
+
+    def test_conditional_branch_budget(self):
+        """Each indirect branch consumes n bits of the path ID."""
+        config = LoFatConfig()
+        assert config.max_conditional_branches_per_path == 16 - 4 * 4
+
+    def test_absorbs_per_block(self):
+        """576-bit rate / 64-bit input = 9 absorbs before the pad stall."""
+        assert LoFatConfig().absorbs_per_block == 9
+
+    def test_describe_contains_key_fields(self):
+        info = LoFatConfig().describe()
+        assert info["loop_memory_bits"] == 8 * (1 << 16)
+        assert info["clock_mhz"] == 80.0
+
+
+class TestValidation:
+    def test_invalid_indirect_bits(self):
+        with pytest.raises(ValueError):
+            LoFatConfig(indirect_target_bits=0)
+
+    def test_invalid_path_bits(self):
+        with pytest.raises(ValueError):
+            LoFatConfig(max_branches_per_path=0)
+
+    def test_invalid_counter_width(self):
+        with pytest.raises(ValueError):
+            LoFatConfig(counter_width_bits=0)
+
+    def test_indirect_budget_must_fit_path_id(self):
+        with pytest.raises(ValueError):
+            LoFatConfig(max_branches_per_path=8, max_indirect_branches_per_path=4,
+                        indirect_target_bits=4)
+
+    def test_hash_rate_must_be_multiple_of_input(self):
+        with pytest.raises(ValueError):
+            LoFatConfig(hash_rate_bits=100)
+
+    def test_negative_nesting_rejected(self):
+        with pytest.raises(ValueError):
+            LoFatConfig(max_nested_loops=-1)
+
+    def test_smaller_configurations_are_allowed(self):
+        config = LoFatConfig(max_branches_per_path=8, indirect_target_bits=2,
+                             max_indirect_branches_per_path=2, max_nested_loops=1)
+        assert config.loop_memory_bits == 8 * 256

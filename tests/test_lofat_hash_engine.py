@@ -1,0 +1,157 @@
+"""Unit tests for the SHA-3 hash engine model."""
+
+import hashlib
+
+import pytest
+
+from repro.lofat.config import LoFatConfig
+from repro.lofat.hash_engine import HashEngine, measurement_over_pairs
+
+
+class TestFunctionalMeasurement:
+    def test_digest_matches_reference_sha3(self):
+        engine = HashEngine()
+        pairs = [(0x100, 0x200), (0x200, 0x180), (0x180, 0x104)]
+        for src, dest in pairs:
+            engine.absorb_pair(src, dest)
+        expected = hashlib.sha3_512()
+        for src, dest in pairs:
+            expected.update(src.to_bytes(4, "little") + dest.to_bytes(4, "little"))
+        assert engine.finalize() == expected.digest()
+
+    def test_digest_is_64_bytes(self):
+        engine = HashEngine()
+        engine.absorb_pair(1, 2)
+        assert len(engine.finalize()) == 64
+
+    def test_order_sensitivity(self):
+        a = HashEngine()
+        a.absorb_pair(1, 2)
+        a.absorb_pair(3, 4)
+        b = HashEngine()
+        b.absorb_pair(3, 4)
+        b.absorb_pair(1, 2)
+        assert a.finalize() != b.finalize()
+
+    def test_finalize_is_idempotent(self):
+        engine = HashEngine()
+        engine.absorb_pair(1, 2)
+        assert engine.finalize() == engine.finalize()
+        assert engine.digest_hex == engine.finalize().hex()
+
+    def test_absorb_after_finalize_rejected(self):
+        engine = HashEngine()
+        engine.finalize()
+        with pytest.raises(RuntimeError):
+            engine.absorb_pair(1, 2)
+
+    def test_absorb_bytes_changes_digest(self):
+        plain = HashEngine()
+        plain.absorb_pair(1, 2)
+        with_meta = HashEngine()
+        with_meta.absorb_pair(1, 2)
+        with_meta.absorb_bytes(b"metadata")
+        assert plain.finalize() != with_meta.finalize()
+
+    def test_addresses_truncated_to_32_bits(self):
+        a = HashEngine()
+        a.absorb_pair(0x1_0000_0004, 0x8)
+        b = HashEngine()
+        b.absorb_pair(0x4, 0x8)
+        assert a.finalize() == b.finalize()
+
+    def test_absorbed_pairs_recorded(self):
+        engine = HashEngine()
+        engine.absorb_pair(5, 6)
+        engine.absorb_pair(7, 8)
+        assert engine.absorbed_pairs == [(5, 6), (7, 8)]
+
+    def test_measurement_over_pairs_helper_matches_engine(self):
+        pairs = [(10, 20), (20, 16), (16, 40)]
+        engine = HashEngine()
+        for src, dest in pairs:
+            engine.absorb_pair(src, dest)
+        assert measurement_over_pairs(pairs) == engine.finalize()
+
+    def test_empty_measurement_is_sha3_of_empty(self):
+        assert HashEngine().finalize() == hashlib.sha3_512().digest()
+
+
+class TestCycleModel:
+    def test_pairs_absorbed_counted(self):
+        engine = HashEngine()
+        for index in range(20):
+            engine.absorb_pair(index, index + 4, arrival_cycle=index * 10)
+        assert engine.stats.pairs_absorbed == 20
+
+    def test_pad_stall_every_nine_words(self):
+        """After 9 absorbed words the padding buffer stalls for 3 cycles."""
+        engine = HashEngine()
+        for index in range(9):
+            engine.absorb_pair(index, index, arrival_cycle=index)
+        engine.flush_cycle_model()
+        assert engine.stats.pad_stalls == 1
+        assert engine.stats.stall_cycles == 3
+
+    def test_no_stall_below_block_size(self):
+        engine = HashEngine()
+        for index in range(8):
+            engine.absorb_pair(index, index, arrival_cycle=index)
+        engine.flush_cycle_model()
+        assert engine.stats.pad_stalls == 0
+
+    def test_sparse_arrivals_never_grow_buffer(self):
+        engine = HashEngine()
+        for index in range(50):
+            engine.absorb_pair(index, index, arrival_cycle=index * 20)
+        assert engine.stats.max_buffer_occupancy <= 2
+        assert engine.stats.dropped_pairs == 0
+
+    def test_burst_arrivals_use_buffer(self):
+        """Pairs arriving every cycle back up behind the pad stall."""
+        engine = HashEngine(LoFatConfig(hash_input_buffer_depth=16))
+        for index in range(30):
+            engine.absorb_pair(index, index, arrival_cycle=index)
+        engine.flush_cycle_model()
+        assert engine.stats.max_buffer_occupancy >= 2
+        assert engine.stats.dropped_pairs == 0
+
+    def test_insufficient_buffer_reports_drops(self):
+        """A pathological buffer depth of 1 cannot absorb dense bursts."""
+        engine = HashEngine(LoFatConfig(hash_input_buffer_depth=1))
+        for index in range(40):
+            engine.absorb_pair(index, index, arrival_cycle=index)
+        engine.flush_cycle_model()
+        assert engine.stats.dropped_pairs > 0
+
+    def test_default_buffer_sustains_realistic_branch_density(self):
+        """One pair every 2 cycles is below the 9-per-12-cycle absorb rate,
+        so the default buffer never drops anything even over long runs."""
+        engine = HashEngine()
+        for index in range(500):
+            engine.absorb_pair(index, index, arrival_cycle=index * 2)
+        engine.flush_cycle_model()
+        assert engine.stats.dropped_pairs == 0
+
+    def test_sustained_one_pair_per_cycle_exceeds_bandwidth(self):
+        """The sponge absorbs at most 9 words per 12 cycles, so a sustained
+        1 pair/cycle stream must eventually back up whatever the buffer."""
+        engine = HashEngine()
+        for index in range(200):
+            engine.absorb_pair(index, index, arrival_cycle=index)
+        engine.flush_cycle_model()
+        assert engine.stats.max_buffer_occupancy == engine.config.hash_input_buffer_depth
+
+    def test_flush_drains_queue(self):
+        engine = HashEngine()
+        for index in range(5):
+            engine.absorb_pair(index, index, arrival_cycle=0)
+        engine.flush_cycle_model()
+        assert engine.buffer_occupancy == 0
+
+    def test_stats_as_dict(self):
+        engine = HashEngine()
+        engine.absorb_pair(1, 2, arrival_cycle=0)
+        stats = engine.stats.as_dict()
+        assert stats["pairs_absorbed"] == 1
+        assert "max_buffer_occupancy" in stats

@@ -1,0 +1,144 @@
+"""Direct unit tests for the loop monitor (driven with synthetic records)."""
+
+import pytest
+
+from repro.cpu.trace import BranchKind, TraceRecord
+from repro.isa.instructions import Instruction
+from repro.lofat.config import LoFatConfig
+from repro.lofat.loop_monitor import LoopMonitor
+
+
+def record(pc, next_pc, kind=BranchKind.CONDITIONAL, taken=True, cycle=0):
+    mnemonic = {
+        BranchKind.CONDITIONAL: "beq",
+        BranchKind.DIRECT_JUMP: "jal",
+        BranchKind.DIRECT_CALL: "jal",
+        BranchKind.INDIRECT_CALL: "jalr",
+        BranchKind.INDIRECT_JUMP: "jalr",
+        BranchKind.RETURN: "jalr",
+    }[kind]
+    rd = 1 if kind in (BranchKind.DIRECT_CALL, BranchKind.INDIRECT_CALL) else 0
+    rs1 = 1 if kind is BranchKind.RETURN else 6
+    instruction = Instruction(mnemonic, rd=rd, rs1=rs1, imm=0, address=pc)
+    return TraceRecord(index=0, cycle=cycle, pc=pc, word=0,
+                       instruction=instruction, next_pc=next_pc,
+                       kind=kind, taken=taken)
+
+
+class Harness:
+    """Captures hash requests and loop-exit records."""
+
+    def __init__(self, config=None):
+        self.hashed = []
+        self.loops = []
+        self.monitor = LoopMonitor(
+            config=config or LoFatConfig(),
+            hash_pairs=lambda pairs, cycle: self.hashed.append(list(pairs)),
+            on_loop_exit=self.loops.append,
+        )
+
+
+class TestLoopMonitor:
+    def test_enter_and_exit_loop(self):
+        h = Harness()
+        h.monitor.enter_loop(entry=0x100, exit_node=0x140, call_depth=0, cycle=10)
+        assert h.monitor.depth == 1
+        record_out = h.monitor.exit_loop(cycle=20)
+        assert h.monitor.depth == 0
+        assert record_out.entry == 0x100
+        assert h.loops == [record_out]
+
+    def test_new_path_is_hashed_once(self):
+        h = Harness()
+        h.monitor.enter_loop(entry=0x100, exit_node=0x140, call_depth=0, cycle=0)
+        for _ in range(3):
+            h.monitor.loop_branch(record(0x110, 0x118, taken=True))
+            h.monitor.loop_branch(record(0x130, 0x100, kind=BranchKind.DIRECT_JUMP))
+            h.monitor.iteration_boundary(record(0x130, 0x100, kind=BranchKind.DIRECT_JUMP))
+        h.monitor.exit_loop(cycle=99)
+        # Three identical iterations: the pair sequence is hashed exactly once.
+        assert len(h.hashed) == 1
+        assert h.hashed[0] == [(0x110, 0x118), (0x130, 0x100)]
+        assert h.monitor.stats.repeated_paths_compressed == 2
+
+    def test_distinct_paths_hashed_separately(self):
+        h = Harness()
+        h.monitor.enter_loop(entry=0x100, exit_node=0x140, call_depth=0, cycle=0)
+        for taken in (True, False, True):
+            h.monitor.loop_branch(record(0x110, 0x118 if taken else 0x114, taken=taken))
+            h.monitor.loop_branch(record(0x130, 0x100, kind=BranchKind.DIRECT_JUMP))
+            h.monitor.iteration_boundary(record(0x130, 0x100, kind=BranchKind.DIRECT_JUMP))
+        loop_record = h.monitor.exit_loop(cycle=5)
+        assert len(h.hashed) == 2
+        assert loop_record.distinct_paths == 2
+        assert loop_record.iterations == 3
+        counts = {path.encoding.bits: path.iterations for path in loop_record.paths}
+        assert counts == {"11": 2, "01": 1}
+
+    def test_partial_path_at_exit_is_recorded(self):
+        h = Harness()
+        h.monitor.enter_loop(entry=0x100, exit_node=0x140, call_depth=0, cycle=0)
+        h.monitor.loop_branch(record(0x110, 0x140, taken=True))  # exit branch
+        loop_record = h.monitor.exit_loop(cycle=5)
+        assert loop_record.iterations == 1
+        assert loop_record.paths[0].encoding.bits == "1"
+        assert len(h.hashed) == 1
+
+    def test_indirect_targets_reported_in_metadata(self):
+        h = Harness()
+        h.monitor.enter_loop(entry=0x100, exit_node=0x140, call_depth=0, cycle=0)
+        h.monitor.loop_branch(record(0x110, 0x500, kind=BranchKind.INDIRECT_CALL))
+        h.monitor.loop_branch(record(0x120, 0x100, kind=BranchKind.DIRECT_JUMP))
+        h.monitor.iteration_boundary(record(0x120, 0x100, kind=BranchKind.DIRECT_JUMP))
+        loop_record = h.monitor.exit_loop(cycle=1)
+        assert loop_record.indirect_targets == [0x500]
+
+    def test_first_seen_order_preserved_in_metadata(self):
+        h = Harness()
+        h.monitor.enter_loop(entry=0x100, exit_node=0x140, call_depth=0, cycle=0)
+        for taken in (False, True, False):
+            h.monitor.loop_branch(record(0x110, 0x118, taken=taken))
+            h.monitor.iteration_boundary(record(0x110, 0x100, kind=BranchKind.DIRECT_JUMP))
+        loop_record = h.monitor.exit_loop(cycle=0)
+        assert [path.first_seen_index for path in loop_record.paths] == [0, 1]
+        assert loop_record.paths[0].encoding.bits == "0"
+
+    def test_nested_loops_use_separate_state(self):
+        h = Harness()
+        h.monitor.enter_loop(entry=0x100, exit_node=0x180, call_depth=0, cycle=0)
+        h.monitor.enter_loop(entry=0x120, exit_node=0x150, call_depth=0, cycle=1)
+        assert h.monitor.depth == 2
+        assert h.monitor.find_loop_by_entry(0x100) == 0
+        assert h.monitor.find_loop_by_entry(0x120) == 1
+        assert h.monitor.find_loop_by_entry(0x999) is None
+        # Branches go to the innermost loop only.
+        h.monitor.loop_branch(record(0x130, 0x120, kind=BranchKind.DIRECT_JUMP))
+        h.monitor.iteration_boundary(record(0x130, 0x120, kind=BranchKind.DIRECT_JUMP))
+        inner = h.monitor.exit_loop(cycle=2)
+        outer = h.monitor.exit_loop(cycle=3)
+        assert inner.depth == 2 and outer.depth == 1
+        assert inner.iterations == 1 and outer.iterations == 0
+
+    def test_stats_accounting(self):
+        h = Harness()
+        h.monitor.enter_loop(entry=0x100, exit_node=0x140, call_depth=0, cycle=0)
+        for _ in range(4):
+            h.monitor.loop_branch(record(0x110, 0x100, kind=BranchKind.DIRECT_JUMP))
+            h.monitor.iteration_boundary(record(0x110, 0x100, kind=BranchKind.DIRECT_JUMP))
+        h.monitor.exit_loop(cycle=0)
+        stats = h.monitor.stats
+        assert stats.iterations_total == 4
+        assert stats.new_paths_hashed == 1
+        assert stats.repeated_paths_compressed == 3
+        assert stats.pairs_hashed_from_loops == 1
+        assert stats.pairs_compressed == 3
+        assert stats.as_dict()["loops_exited"] == 1
+
+    def test_errors_without_active_loop(self):
+        h = Harness()
+        with pytest.raises(RuntimeError):
+            h.monitor.loop_branch(record(0x10, 0x20))
+        with pytest.raises(RuntimeError):
+            h.monitor.iteration_boundary(record(0x10, 0x20))
+        with pytest.raises(RuntimeError):
+            h.monitor.exit_loop(cycle=0)

@@ -1,0 +1,82 @@
+"""Unit tests for the indirect-target CAM."""
+
+import pytest
+
+from repro.lofat.target_cam import OVERFLOW_CODE, TargetCam
+
+
+class TestTargetCam:
+    def test_codes_assigned_in_first_seen_order(self):
+        cam = TargetCam(code_bits=4)
+        assert cam.encode(0x100) == 1
+        assert cam.encode(0x200) == 2
+        assert cam.encode(0x300) == 3
+
+    def test_repeated_targets_keep_their_code(self):
+        cam = TargetCam(code_bits=4)
+        first = cam.encode(0x400)
+        assert cam.encode(0x400) == first
+        assert cam.occupancy == 1
+
+    def test_capacity_is_2_pow_n_minus_1(self):
+        cam = TargetCam(code_bits=2)
+        assert cam.capacity == 3
+        for index in range(3):
+            assert cam.encode(0x100 + index * 4) == index + 1
+        assert cam.is_full
+
+    def test_overflow_returns_all_zero_code(self):
+        cam = TargetCam(code_bits=2)
+        for index in range(3):
+            cam.encode(0x100 + index * 4)
+        assert cam.encode(0x900) == OVERFLOW_CODE
+        assert cam.stats.overflows == 1
+
+    def test_known_target_still_resolves_after_overflow(self):
+        cam = TargetCam(code_bits=2)
+        codes = [cam.encode(0x100 + index * 4) for index in range(3)]
+        cam.encode(0x900)  # overflow
+        assert cam.encode(0x104) == codes[1]
+
+    def test_lookup_does_not_insert(self):
+        cam = TargetCam(code_bits=4)
+        assert cam.lookup(0x500) is None
+        assert cam.occupancy == 0
+        cam.encode(0x500)
+        assert cam.lookup(0x500) == 1
+
+    def test_targets_in_order(self):
+        cam = TargetCam(code_bits=4)
+        for target in (0x30, 0x10, 0x20):
+            cam.encode(target)
+        assert cam.targets_in_order() == [0x30, 0x10, 0x20]
+
+    def test_clear_resets_everything(self):
+        cam = TargetCam(code_bits=3)
+        cam.encode(0x10)
+        cam.clear()
+        assert cam.occupancy == 0
+        assert len(cam) == 0
+        # Codes restart from 1 after re-use for the next loop execution.
+        assert cam.encode(0x99) == 1
+
+    def test_statistics(self):
+        cam = TargetCam(code_bits=2)
+        cam.encode(0x1)
+        cam.encode(0x1)
+        cam.encode(0x2)
+        cam.encode(0x3)
+        cam.encode(0x4)   # overflow
+        stats = cam.stats
+        assert stats.lookups == 5
+        assert stats.hits == 1
+        assert stats.inserts == 3
+        assert stats.overflows == 1
+        assert stats.overflow_rate == pytest.approx(0.2)
+
+    def test_overflow_rate_with_no_lookups(self):
+        assert TargetCam(code_bits=2).stats.overflow_rate == 0.0
+
+    def test_invalid_code_bits(self):
+        with pytest.raises(ValueError):
+            TargetCam(code_bits=0)
