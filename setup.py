@@ -1,10 +1,36 @@
-"""Setuptools shim.
+"""Packaging for the LO-FAT reproduction.
 
-The pyproject.toml carries all metadata; this file exists so that the package
-can be installed in environments without the ``wheel`` package (where PEP 660
-editable installs are unavailable), e.g. ``python setup.py develop``.
+Installs the ``repro`` package from ``src/`` plus two console scripts that
+both dispatch to :func:`repro.cli.main`:
+
+* ``repro`` -- the primary entry point (``repro campaign --experiment all``),
+* ``lofat-repro`` -- kept as an alias for earlier documentation.
+
+The project deliberately has no runtime dependencies beyond the standard
+library; the test/benchmark extras (pytest, pytest-benchmark, hypothesis)
+are listed under the ``test`` extra.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="lofat-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of LO-FAT: Low-Overhead Control Flow ATtestation in "
+        "Hardware (Dessouky et al., DAC 2017) with a parallel attestation "
+        "campaign service"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+            "lofat-repro = repro.cli:main",
+        ],
+    },
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+)

@@ -14,17 +14,26 @@ Hardware* (Dessouky et al., DAC 2017) as a trace-based simulation:
 * :mod:`repro.attacks` -- the three run-time attack classes of Figure 1.
 * :mod:`repro.workloads` -- embedded evaluation workloads (syringe pump, ...).
 * :mod:`repro.analysis` -- experiment drivers and report formatting.
+* :mod:`repro.service` -- the attestation campaign service: parallel
+  multi-prover fan-out, measurement database, experiment presets.
 
 Quickstart::
 
     from repro import attest_workload
     result, measurement = attest_workload("syringe_pump")
     print(measurement.measurement_hex)
+
+Campaign-scale quickstart::
+
+    from repro.service import CampaignRunner, experiment_campaign
+    result = CampaignRunner().run(experiment_campaign("e5"), workers=4)
+    assert result.ok
 """
 
 from repro.attestation import Prover, Verifier
 from repro.lofat import AttestationMeasurement, LoFatConfig, LoFatEngine
 from repro.lofat.engine import attest_execution
+from repro.service import CampaignRunner, CampaignSpec, MeasurementDatabase
 from repro.workloads import Workload, all_workloads, get_workload
 
 __version__ = "1.0.0"
@@ -45,6 +54,9 @@ def attest_workload(name: str, inputs=None, config=None):
 __all__ = [
     "Prover",
     "Verifier",
+    "CampaignRunner",
+    "CampaignSpec",
+    "MeasurementDatabase",
     "AttestationMeasurement",
     "LoFatConfig",
     "LoFatEngine",

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import enum
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.attestation.crypto import fresh_nonce, verify_signature
@@ -84,6 +84,22 @@ class ProgramKnowledge:
     backward_edge_targets: frozenset
 
 
+#: Process-wide cache of offline program analyses, keyed by program digest.
+#: The CFG, loop structure and path checker are read-only once built, so
+#: every Verifier instance in this process (and every campaign run) shares
+#: one analysis per distinct binary instead of re-deriving it.
+_KNOWLEDGE_CACHE: Dict[str, ProgramKnowledge] = {}
+
+#: Growth bound for the knowledge cache: a long-lived service registering a
+#: stream of distinct binaries must not accumulate analyses forever.
+_KNOWLEDGE_CACHE_MAX = 64
+
+
+def clear_knowledge_cache() -> None:
+    """Drop all cached offline analyses (used by tests and benchmarks)."""
+    _KNOWLEDGE_CACHE.clear()
+
+
 class Verifier:
     """The remote verifier V."""
 
@@ -102,23 +118,33 @@ class Verifier:
 
     # ------------------------------------------------------- provisioning
     def register_program(self, program_id: str, program: Program) -> ProgramKnowledge:
-        """Offline pre-processing: build and store the program's CFG."""
-        cfg = build_cfg(program)
-        loops = find_natural_loops(cfg)
-        backward_targets = set()
-        for block in cfg.blocks:
-            terminator = block.terminator
-            if terminator.is_conditional_branch or terminator.is_direct_jump:
-                target = terminator.address + terminator.imm
-                if target <= terminator.address:
-                    backward_targets.add(target)
-        knowledge = ProgramKnowledge(
-            program=program,
-            cfg=cfg,
-            loops=loops,
-            path_checker=PathChecker(cfg),
-            backward_edge_targets=frozenset(backward_targets),
-        )
+        """Offline pre-processing: build and store the program's CFG.
+
+        The analysis is cached process-wide by program digest, so registering
+        the same binary again (under any id, on any Verifier instance) is an
+        O(lookup) operation.
+        """
+        knowledge = _KNOWLEDGE_CACHE.get(program.digest)
+        if knowledge is None:
+            cfg = build_cfg(program)
+            loops = find_natural_loops(cfg)
+            backward_targets = set()
+            for block in cfg.blocks:
+                terminator = block.terminator
+                if terminator.is_conditional_branch or terminator.is_direct_jump:
+                    target = terminator.address + terminator.imm
+                    if target <= terminator.address:
+                        backward_targets.add(target)
+            knowledge = ProgramKnowledge(
+                program=program,
+                cfg=cfg,
+                loops=loops,
+                path_checker=PathChecker(cfg),
+                backward_edge_targets=frozenset(backward_targets),
+            )
+            if len(_KNOWLEDGE_CACHE) >= _KNOWLEDGE_CACHE_MAX:
+                _KNOWLEDGE_CACHE.clear()
+            _KNOWLEDGE_CACHE[program.digest] = knowledge
         self._programs[program_id] = knowledge
         return knowledge
 
@@ -137,6 +163,26 @@ class Verifier:
         key = (program_id, tuple(inputs))
         self._measurement_db[key] = (measurement, metadata.to_bytes())
         return self._measurement_db[key]
+
+    def seed_measurement(
+        self,
+        program_id: str,
+        inputs: Sequence[int],
+        measurement: bytes,
+        metadata_bytes: bytes,
+    ) -> None:
+        """Install an externally computed reference ``(A, serialized L)``.
+
+        The campaign service uses this to share one
+        :class:`repro.service.MeasurementDatabase` across verifier instances:
+        the database computes (or looks up) the expected measurement keyed by
+        program digest and configuration, then seeds it here so
+        :meth:`verify` in ``"database"`` mode is a pure lookup.
+        """
+        self._measurement_db[(program_id, tuple(inputs))] = (
+            measurement,
+            metadata_bytes,
+        )
 
     def export_measurement_database(self) -> str:
         """Serialise the measurement database to JSON (for persistence).
@@ -263,9 +309,15 @@ class Verifier:
     def _reference_measurement(
         self, program_id: str, inputs: Sequence[int]
     ) -> Tuple[bytes, LoopMetadata]:
-        """Replay the program in the verifier's trusted simulator."""
+        """Replay the program in the verifier's trusted simulator.
+
+        The replay streams records straight into the LO-FAT model without
+        accumulating a trace: only the measurement matters here, and repeat
+        replays of the same binary reuse the decoded-instruction cache.
+        """
         knowledge = self._programs[program_id]
-        cpu = Cpu(knowledge.program, inputs=list(inputs), config=self.cpu_config)
+        config = replace(self.cpu_config or CpuConfig(), collect_trace=False)
+        cpu = Cpu(knowledge.program, inputs=list(inputs), config=config)
         engine = LoFatEngine(self.lofat_config)
         cpu.attach_monitor(engine.observe)
         cpu.run()

@@ -1,27 +1,36 @@
 """Command-line interface for the LO-FAT reproduction.
 
-Installed as the ``lofat-repro`` console script (see pyproject.toml), the CLI
-exposes the most common interactions without writing any Python:
+Installed as the ``repro`` (and ``lofat-repro``) console script via setup.py,
+the CLI exposes the most common interactions without writing any Python:
 
-* ``lofat-repro list`` -- list the registered workloads and attack scenarios.
-* ``lofat-repro run <workload> [--inputs 1 2 3]`` -- execute a workload on the
+* ``repro list`` -- list the registered workloads and attack scenarios.
+* ``repro run <workload> [--inputs 1 2 3]`` -- execute a workload on the
   core model (no attestation) and print its output and cycle count.
-* ``lofat-repro attest <workload>`` -- run the workload under LO-FAT and print
+* ``repro attest <workload>`` -- run the workload under LO-FAT and print
   the measurement ``A`` and a summary of the loop metadata ``L``.
-* ``lofat-repro protocol <workload>`` -- play the full challenge-response
+* ``repro protocol <workload>`` -- play the full challenge-response
   protocol and print the verifier's verdict.
-* ``lofat-repro attack <scenario>`` -- run an attack scenario end to end and
+* ``repro attack <scenario>`` -- run an attack scenario end to end and
   show that the verifier rejects the attacked execution.
-* ``lofat-repro overhead`` -- print the E1 LO-FAT vs C-FLAT overhead table.
-* ``lofat-repro area`` -- print the E3 FPGA resource estimate and sweep.
+* ``repro overhead`` -- print the E1 LO-FAT vs C-FLAT overhead table.
+* ``repro area`` -- print the E3 FPGA resource estimate and sweep.
+* ``repro campaign`` -- run an attestation campaign (workloads x configs x
+  attacks) through the parallel campaign service, e.g.
+  ``repro campaign --experiment all --workers 4``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from repro.analysis.campaign_report import (
+    format_campaign_failures,
+    format_campaign_summary,
+    format_campaign_table,
+)
 from repro.analysis.performance import compare_all_workloads
 from repro.analysis.report import format_table
 from repro.analysis.sweep import area_sweep
@@ -31,6 +40,14 @@ from repro.cpu.core import run_program
 from repro.lofat.area_model import AreaModel, VIRTEX7_XC7Z020
 from repro.lofat.config import LoFatConfig
 from repro.lofat.engine import attest_execution
+from repro.service import (
+    CampaignRunner,
+    CampaignSpec,
+    MeasurementDatabase,
+    all_experiments,
+    experiment_campaign,
+    full_campaign,
+)
 from repro.workloads import all_workloads, get_workload
 
 
@@ -155,10 +172,59 @@ def _cmd_area(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_campaign_spec(args: argparse.Namespace) -> CampaignSpec:
+    if args.spec is not None:
+        with open(args.spec) as handle:
+            spec = CampaignSpec.from_json(handle.read())
+    elif args.experiment == "all":
+        spec = full_campaign()
+    else:
+        spec = experiment_campaign(args.experiment)
+    if args.repeats is not None:
+        spec.repeats = args.repeats
+    if args.verify_mode is not None:
+        spec.verify_mode = args.verify_mode
+    spec.validate()
+    return spec
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    # Spec and database files are user input: report parse problems as CLI
+    # errors rather than tracebacks.  Errors raised later, from inside the
+    # runner, are genuine bugs and propagate.
+    try:
+        spec = _load_campaign_spec(args)
+        database = None
+        if args.database is not None and os.path.exists(args.database):
+            database = MeasurementDatabase.load(args.database)
+    except (ValueError, OSError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    runner = CampaignRunner(database=database)
+
+    result = runner.run(spec, workers=args.workers)
+
+    if args.database is not None:
+        try:
+            runner.database.save(args.database)
+        except OSError as error:
+            print("error: cannot save measurement database: %s" % error,
+                  file=sys.stderr)
+            return 2
+    print(format_campaign_summary(result))
+    if args.show_jobs:
+        print()
+        print(format_campaign_table(result))
+    if not result.ok:
+        print()
+        print(format_campaign_failures(result))
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
-        prog="lofat-repro",
+        prog="repro",
         description="LO-FAT hardware control-flow attestation reproduction",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -180,6 +246,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("overhead", help="print the LO-FAT vs C-FLAT overhead table")
     subparsers.add_parser("area", help="print the FPGA resource estimates")
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run an attestation campaign through the parallel service",
+    )
+    source = campaign.add_mutually_exclusive_group()
+    source.add_argument(
+        "--experiment", default="all",
+        choices=all_experiments() + ["all"],
+        help="preset campaign: one benchmark experiment or 'all' (default)",
+    )
+    source.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="JSON campaign spec file (see repro.service.CampaignSpec)",
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="prover worker processes (1 = sequential, default)",
+    )
+    campaign.add_argument(
+        "--repeats", type=int, default=None, metavar="N",
+        help="override the spec's repeat count",
+    )
+    campaign.add_argument(
+        "--verify-mode", default=None,
+        choices=["database", "replay", "structural"],
+        help="override the spec's verification mode",
+    )
+    campaign.add_argument(
+        "--database", default=None, metavar="FILE",
+        help="measurement database file to load before and save after the run",
+    )
+    campaign.add_argument(
+        "--show-jobs", action="store_true",
+        help="print the per-job verdict table",
+    )
     return parser
 
 
@@ -191,6 +293,7 @@ _COMMANDS = {
     "attack": _cmd_attack,
     "overhead": _cmd_overhead,
     "area": _cmd_area,
+    "campaign": _cmd_campaign,
 }
 
 

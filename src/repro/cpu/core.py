@@ -21,12 +21,18 @@ LO-FAT-vs-C-FLAT overhead comparison is apples to apples.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cpu.exceptions import IllegalInstructionError, OutOfFuelError
 from repro.cpu.memory import Memory, MemoryRegion, Permissions
 from repro.cpu.syscalls import SyscallHandler
-from repro.cpu.trace import BranchKind, ExecutionTrace, TraceRecord, classify_branch
+from repro.cpu.trace import (
+    BranchKind,
+    ExecutionTrace,
+    StreamingTrace,
+    TraceRecord,
+    classify_branch,
+)
 from repro.isa.assembler import Program
 from repro.isa.encoding import EncodingError, decode
 from repro.isa.instructions import Instruction
@@ -55,6 +61,14 @@ class CpuConfig:
     data_region_size: int = 0x2_0000
     #: Maximum number of retired instructions before aborting.
     max_instructions: int = 2_000_000
+    #: Reuse decoded instructions across runs of the same program image (the
+    #: code region is read-execute, so the pc -> word mapping is immutable).
+    decoded_instruction_cache: bool = True
+    #: Keep the full per-instruction record list on :attr:`Cpu.trace`.  The
+    #: attestation hot paths (verifier replay, campaign workers) disable this
+    #: and stream records straight to the monitors, keeping only summary
+    #: counters in memory.
+    collect_trace: bool = True
     #: Clock frequency of the core in MHz (Pulpino/LO-FAT run at 80 MHz on
     #: the Zedboard prototype); used only to convert cycles to wall time in
     #: reports.
@@ -99,7 +113,12 @@ class Cpu:
         self.registers = RegisterFile()
         self.memory = Memory()
         self.syscalls = SyscallHandler(inputs)
-        self.trace = ExecutionTrace()
+        self.trace = ExecutionTrace() if self.config.collect_trace else StreamingTrace()
+        self._decode_cache = (
+            DECODE_CACHE.table_for(program)
+            if self.config.decoded_instruction_cache
+            else None
+        )
         self.pc = program.entry
         self.cycle = 0
         self.retired = 0
@@ -170,10 +189,16 @@ class Cpu:
 
         pc = self.pc
         word = self.memory.fetch_word(pc)
-        try:
-            instruction = decode(word, address=pc)
-        except EncodingError:
-            raise IllegalInstructionError(pc, word) from None
+        cache = self._decode_cache
+        if cache is not None:
+            entry = cache.get(pc)
+            if entry is not None and entry[0] == word:
+                instruction = entry[1]
+            else:
+                instruction = self._decode(pc, word)
+                cache[pc] = (word, instruction)
+        else:
+            instruction = self._decode(pc, word)
 
         next_pc, taken, extra_cycles = self._execute(instruction, pc)
         kind = classify_branch(instruction)
@@ -201,178 +226,243 @@ class Cpu:
         return record
 
     # ------------------------------------------------------------ semantics
+    def _decode(self, pc: int, word: int) -> Instruction:
+        """Decode ``word`` fetched from ``pc`` (uncached path)."""
+        try:
+            return decode(word, address=pc)
+        except EncodingError:
+            raise IllegalInstructionError(pc, word) from None
+
     def _execute(self, instr: Instruction, pc: int) -> tuple:
         """Execute ``instr``; return (next_pc, taken, extra_cycles)."""
-        regs = self.registers
-        mem = self.memory
-        mnem = instr.mnemonic
-        next_pc = pc + 4
-        taken = False
-        extra = 0
-
-        if mnem == "lui":
-            regs.write(instr.rd, instr.imm << 12)
-        elif mnem == "auipc":
-            regs.write(instr.rd, pc + (instr.imm << 12))
-        elif mnem == "jal":
-            regs.write(instr.rd, pc + 4)
-            next_pc = to_unsigned(pc + instr.imm)
-            taken = True
-        elif mnem == "jalr":
-            target = to_unsigned(regs.read(instr.rs1) + instr.imm) & ~1
-            regs.write(instr.rd, pc + 4)
-            next_pc = target
-            taken = True
-        elif instr.is_conditional_branch:
-            taken = self._branch_condition(instr)
-            if taken:
-                next_pc = to_unsigned(pc + instr.imm)
-        elif instr.spec.is_load:
-            address = to_unsigned(regs.read(instr.rs1) + instr.imm)
-            if mnem == "lb":
-                regs.write(instr.rd, mem.load(address, 1, signed=True))
-            elif mnem == "lbu":
-                regs.write(instr.rd, mem.load(address, 1, signed=False))
-            elif mnem == "lh":
-                regs.write(instr.rd, mem.load(address, 2, signed=True))
-            elif mnem == "lhu":
-                regs.write(instr.rd, mem.load(address, 2, signed=False))
-            else:  # lw
-                regs.write(instr.rd, mem.load(address, 4, signed=False))
-            extra += self.config.load_latency
-        elif instr.spec.is_store:
-            address = to_unsigned(regs.read(instr.rs1) + instr.imm)
-            value = regs.read(instr.rs2)
-            size = {"sb": 1, "sh": 2, "sw": 4}[mnem]
-            mem.store(address, value, size)
-        elif mnem == "ecall":
-            result = self.syscalls.handle(regs, mem)
-            if result.exited:
-                self.halted = True
-        elif mnem == "ebreak":
-            self.halted = True
-        elif mnem == "fence":
-            pass
-        else:
-            extra += self._execute_alu(instr)
-        return next_pc, taken, extra
-
-    def _branch_condition(self, instr: Instruction) -> bool:
-        regs = self.registers
-        lhs_s = regs.read_signed(instr.rs1)
-        rhs_s = regs.read_signed(instr.rs2)
-        lhs_u = regs.read(instr.rs1)
-        rhs_u = regs.read(instr.rs2)
-        mnem = instr.mnemonic
-        if mnem == "beq":
-            return lhs_u == rhs_u
-        if mnem == "bne":
-            return lhs_u != rhs_u
-        if mnem == "blt":
-            return lhs_s < rhs_s
-        if mnem == "bge":
-            return lhs_s >= rhs_s
-        if mnem == "bltu":
-            return lhs_u < rhs_u
-        if mnem == "bgeu":
-            return lhs_u >= rhs_u
-        raise IllegalInstructionError(instr.address or 0, 0)  # pragma: no cover
-
-    def _execute_alu(self, instr: Instruction) -> int:
-        """Execute ALU / M-extension instructions; return extra cycles."""
-        regs = self.registers
-        mnem = instr.mnemonic
-        rs1_u = regs.read(instr.rs1)
-        rs1_s = regs.read_signed(instr.rs1)
-        extra = 0
-
-        if mnem in ("addi", "slti", "sltiu", "xori", "ori", "andi",
-                    "slli", "srli", "srai"):
-            imm = instr.imm
-            if mnem == "addi":
-                value = rs1_u + imm
-            elif mnem == "slti":
-                value = 1 if rs1_s < imm else 0
-            elif mnem == "sltiu":
-                value = 1 if rs1_u < to_unsigned(imm) else 0
-            elif mnem == "xori":
-                value = rs1_u ^ to_unsigned(imm)
-            elif mnem == "ori":
-                value = rs1_u | to_unsigned(imm)
-            elif mnem == "andi":
-                value = rs1_u & to_unsigned(imm)
-            elif mnem == "slli":
-                value = rs1_u << (imm & 0x1F)
-            elif mnem == "srli":
-                value = rs1_u >> (imm & 0x1F)
-            else:  # srai
-                value = rs1_s >> (imm & 0x1F)
-            regs.write(instr.rd, value)
-            return extra
-
-        rs2_u = regs.read(instr.rs2)
-        rs2_s = regs.read_signed(instr.rs2)
-        shamt = rs2_u & 0x1F
-
-        if mnem == "add":
-            value = rs1_u + rs2_u
-        elif mnem == "sub":
-            value = rs1_u - rs2_u
-        elif mnem == "sll":
-            value = rs1_u << shamt
-        elif mnem == "slt":
-            value = 1 if rs1_s < rs2_s else 0
-        elif mnem == "sltu":
-            value = 1 if rs1_u < rs2_u else 0
-        elif mnem == "xor":
-            value = rs1_u ^ rs2_u
-        elif mnem == "srl":
-            value = rs1_u >> shamt
-        elif mnem == "sra":
-            value = rs1_s >> shamt
-        elif mnem == "or":
-            value = rs1_u | rs2_u
-        elif mnem == "and":
-            value = rs1_u & rs2_u
-        elif mnem == "mul":
-            value = rs1_s * rs2_s
-            extra = self.config.mul_latency
-        elif mnem == "mulh":
-            value = (rs1_s * rs2_s) >> 32
-            extra = self.config.mul_latency
-        elif mnem == "mulhu":
-            value = (rs1_u * rs2_u) >> 32
-            extra = self.config.mul_latency
-        elif mnem == "mulhsu":
-            value = (rs1_s * rs2_u) >> 32
-            extra = self.config.mul_latency
-        elif mnem == "div":
-            extra = self.config.div_latency
-            if rs2_s == 0:
-                value = -1
-            elif rs1_s == -(1 << 31) and rs2_s == -1:
-                value = rs1_s
-            else:
-                value = int(rs1_s / rs2_s)  # truncating division
-        elif mnem == "divu":
-            extra = self.config.div_latency
-            value = 0xFFFFFFFF if rs2_u == 0 else rs1_u // rs2_u
-        elif mnem == "rem":
-            extra = self.config.div_latency
-            if rs2_s == 0:
-                value = rs1_s
-            elif rs1_s == -(1 << 31) and rs2_s == -1:
-                value = 0
-            else:
-                value = rs1_s - int(rs1_s / rs2_s) * rs2_s
-        elif mnem == "remu":
-            extra = self.config.div_latency
-            value = rs1_u if rs2_u == 0 else rs1_u % rs2_u
-        else:  # pragma: no cover - every supported mnemonic is handled above
+        executor = _EXECUTORS.get(instr.mnemonic)
+        if executor is None:  # pragma: no cover - decoder only emits known ops
             raise IllegalInstructionError(instr.address or 0, 0)
+        return executor(self, instr, pc)
 
-        regs.write(instr.rd, value)
-        return extra
+
+# ---------------------------------------------------------------------------
+# Instruction dispatch table
+# ---------------------------------------------------------------------------
+# One executor per mnemonic, resolved with a single dictionary lookup per
+# retired instruction.  Every executor returns (next_pc, taken, extra_cycles)
+# and must preserve exact architectural semantics: the regression suite
+# asserts byte-identical traces and measurements across all seed workloads.
+
+
+def _exec_lui(cpu: "Cpu", instr: Instruction, pc: int) -> tuple:
+    cpu.registers.write(instr.rd, instr.imm << 12)
+    return pc + 4, False, 0
+
+
+def _exec_auipc(cpu: "Cpu", instr: Instruction, pc: int) -> tuple:
+    cpu.registers.write(instr.rd, pc + (instr.imm << 12))
+    return pc + 4, False, 0
+
+
+def _exec_jal(cpu: "Cpu", instr: Instruction, pc: int) -> tuple:
+    cpu.registers.write(instr.rd, pc + 4)
+    return to_unsigned(pc + instr.imm), True, 0
+
+
+def _exec_jalr(cpu: "Cpu", instr: Instruction, pc: int) -> tuple:
+    regs = cpu.registers
+    target = to_unsigned(regs.read(instr.rs1) + instr.imm) & ~1
+    regs.write(instr.rd, pc + 4)
+    return target, True, 0
+
+
+def _exec_ecall(cpu: "Cpu", instr: Instruction, pc: int) -> tuple:
+    result = cpu.syscalls.handle(cpu.registers, cpu.memory)
+    if result.exited:
+        cpu.halted = True
+    return pc + 4, False, 0
+
+
+def _exec_ebreak(cpu: "Cpu", instr: Instruction, pc: int) -> tuple:
+    cpu.halted = True
+    return pc + 4, False, 0
+
+
+def _exec_fence(cpu: "Cpu", instr: Instruction, pc: int) -> tuple:
+    return pc + 4, False, 0
+
+
+def _branch(condition):
+    """Conditional-branch executor from condition(registers, instr) -> bool."""
+    def _exec(cpu: "Cpu", instr: Instruction, pc: int) -> tuple:
+        if condition(cpu.registers, instr):
+            return to_unsigned(pc + instr.imm), True, 0
+        return pc + 4, False, 0
+    return _exec
+
+
+def _load(size: int, signed: bool):
+    def _exec(cpu: "Cpu", instr: Instruction, pc: int) -> tuple:
+        regs = cpu.registers
+        address = to_unsigned(regs.read(instr.rs1) + instr.imm)
+        regs.write(instr.rd, cpu.memory.load(address, size, signed=signed))
+        return pc + 4, False, cpu.config.load_latency
+    return _exec
+
+
+def _store(size: int):
+    def _exec(cpu: "Cpu", instr: Instruction, pc: int) -> tuple:
+        regs = cpu.registers
+        address = to_unsigned(regs.read(instr.rs1) + instr.imm)
+        cpu.memory.store(address, regs.read(instr.rs2), size)
+        return pc + 4, False, 0
+    return _exec
+
+
+def _alu(value_fn, latency_attr: Optional[str] = None):
+    """ALU executor from value_fn(registers, instr) -> value.
+
+    ``latency_attr`` names the :class:`CpuConfig` field charged as extra
+    cycles (multiplications and divisions on the iterative functional units).
+    """
+    if latency_attr is None:
+        def _exec(cpu: "Cpu", instr: Instruction, pc: int) -> tuple:
+            regs = cpu.registers
+            regs.write(instr.rd, value_fn(regs, instr))
+            return pc + 4, False, 0
+    else:
+        def _exec(cpu: "Cpu", instr: Instruction, pc: int) -> tuple:
+            regs = cpu.registers
+            regs.write(instr.rd, value_fn(regs, instr))
+            return pc + 4, False, getattr(cpu.config, latency_attr)
+    return _exec
+
+
+def _div_value(rs1_s: int, rs2_s: int) -> int:
+    if rs2_s == 0:
+        return -1
+    if rs1_s == -(1 << 31) and rs2_s == -1:
+        return rs1_s
+    return int(rs1_s / rs2_s)  # truncating division
+
+
+def _rem_value(rs1_s: int, rs2_s: int) -> int:
+    if rs2_s == 0:
+        return rs1_s
+    if rs1_s == -(1 << 31) and rs2_s == -1:
+        return 0
+    return rs1_s - int(rs1_s / rs2_s) * rs2_s
+
+
+_EXECUTORS: Dict[str, Callable] = {
+    "lui": _exec_lui,
+    "auipc": _exec_auipc,
+    "jal": _exec_jal,
+    "jalr": _exec_jalr,
+    "ecall": _exec_ecall,
+    "ebreak": _exec_ebreak,
+    "fence": _exec_fence,
+    # Conditional branches.
+    "beq": _branch(lambda r, i: r.read(i.rs1) == r.read(i.rs2)),
+    "bne": _branch(lambda r, i: r.read(i.rs1) != r.read(i.rs2)),
+    "blt": _branch(lambda r, i: r.read_signed(i.rs1) < r.read_signed(i.rs2)),
+    "bge": _branch(lambda r, i: r.read_signed(i.rs1) >= r.read_signed(i.rs2)),
+    "bltu": _branch(lambda r, i: r.read(i.rs1) < r.read(i.rs2)),
+    "bgeu": _branch(lambda r, i: r.read(i.rs1) >= r.read(i.rs2)),
+    # Loads and stores.
+    "lb": _load(1, True),
+    "lbu": _load(1, False),
+    "lh": _load(2, True),
+    "lhu": _load(2, False),
+    "lw": _load(4, False),
+    "sb": _store(1),
+    "sh": _store(2),
+    "sw": _store(4),
+    # ALU with immediate operand.
+    "addi": _alu(lambda r, i: r.read(i.rs1) + i.imm),
+    "slti": _alu(lambda r, i: 1 if r.read_signed(i.rs1) < i.imm else 0),
+    "sltiu": _alu(lambda r, i: 1 if r.read(i.rs1) < to_unsigned(i.imm) else 0),
+    "xori": _alu(lambda r, i: r.read(i.rs1) ^ to_unsigned(i.imm)),
+    "ori": _alu(lambda r, i: r.read(i.rs1) | to_unsigned(i.imm)),
+    "andi": _alu(lambda r, i: r.read(i.rs1) & to_unsigned(i.imm)),
+    "slli": _alu(lambda r, i: r.read(i.rs1) << (i.imm & 0x1F)),
+    "srli": _alu(lambda r, i: r.read(i.rs1) >> (i.imm & 0x1F)),
+    "srai": _alu(lambda r, i: r.read_signed(i.rs1) >> (i.imm & 0x1F)),
+    # Register-register ALU.
+    "add": _alu(lambda r, i: r.read(i.rs1) + r.read(i.rs2)),
+    "sub": _alu(lambda r, i: r.read(i.rs1) - r.read(i.rs2)),
+    "sll": _alu(lambda r, i: r.read(i.rs1) << (r.read(i.rs2) & 0x1F)),
+    "slt": _alu(lambda r, i: 1 if r.read_signed(i.rs1) < r.read_signed(i.rs2) else 0),
+    "sltu": _alu(lambda r, i: 1 if r.read(i.rs1) < r.read(i.rs2) else 0),
+    "xor": _alu(lambda r, i: r.read(i.rs1) ^ r.read(i.rs2)),
+    "srl": _alu(lambda r, i: r.read(i.rs1) >> (r.read(i.rs2) & 0x1F)),
+    "sra": _alu(lambda r, i: r.read_signed(i.rs1) >> (r.read(i.rs2) & 0x1F)),
+    "or": _alu(lambda r, i: r.read(i.rs1) | r.read(i.rs2)),
+    "and": _alu(lambda r, i: r.read(i.rs1) & r.read(i.rs2)),
+    # M extension (iterative multiplier/divider latencies).
+    "mul": _alu(lambda r, i: r.read_signed(i.rs1) * r.read_signed(i.rs2),
+                "mul_latency"),
+    "mulh": _alu(lambda r, i: (r.read_signed(i.rs1) * r.read_signed(i.rs2)) >> 32,
+                 "mul_latency"),
+    "mulhu": _alu(lambda r, i: (r.read(i.rs1) * r.read(i.rs2)) >> 32,
+                  "mul_latency"),
+    "mulhsu": _alu(lambda r, i: (r.read_signed(i.rs1) * r.read(i.rs2)) >> 32,
+                   "mul_latency"),
+    "div": _alu(lambda r, i: _div_value(r.read_signed(i.rs1), r.read_signed(i.rs2)),
+                "div_latency"),
+    "divu": _alu(lambda r, i: (0xFFFFFFFF if r.read(i.rs2) == 0
+                               else r.read(i.rs1) // r.read(i.rs2)),
+                 "div_latency"),
+    "rem": _alu(lambda r, i: _rem_value(r.read_signed(i.rs1), r.read_signed(i.rs2)),
+                "div_latency"),
+    "remu": _alu(lambda r, i: (r.read(i.rs1) if r.read(i.rs2) == 0
+                               else r.read(i.rs1) % r.read(i.rs2)),
+                 "div_latency"),
+}
+
+
+# ---------------------------------------------------------------------------
+# Decoded-instruction cache
+# ---------------------------------------------------------------------------
+
+
+class DecodedInstructionCache:
+    """Process-wide decoded-instruction store shared by all Cpu instances.
+
+    Keyed by program digest then PC; entries also remember the raw word so a
+    mismatch falls back to a fresh decode.  Code memory is mapped
+    read-execute, so within one program image the pc -> word mapping is
+    immutable and sharing decoded :class:`Instruction` objects across runs is
+    safe (executors never mutate them).  Repeat verifications of the same
+    program -- the campaign service's common case -- skip the decoder
+    entirely after the first run.
+    """
+
+    def __init__(self, max_programs: int = 64) -> None:
+        self.max_programs = max_programs
+        self._tables: Dict[str, Dict[int, Tuple[int, Instruction]]] = {}
+
+    def table_for(self, program: Program) -> Dict[int, Tuple[int, Instruction]]:
+        """The (lazily filled) pc -> (word, instruction) table for ``program``."""
+        digest = program.digest
+        table = self._tables.get(digest)
+        if table is None:
+            if len(self._tables) >= self.max_programs:
+                self._tables.clear()
+            table = {}
+            self._tables[digest] = table
+        return table
+
+    @property
+    def cached_programs(self) -> int:
+        return len(self._tables)
+
+    @property
+    def cached_instructions(self) -> int:
+        return sum(len(table) for table in self._tables.values())
+
+    def clear(self) -> None:
+        self._tables.clear()
+
+
+#: The shared decode cache (one per process; workers each build their own).
+DECODE_CACHE = DecodedInstructionCache()
 
 
 def run_program(

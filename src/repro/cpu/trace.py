@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.isa.instructions import Instruction
 
@@ -162,4 +162,92 @@ class ExecutionTrace:
             "control_flow_events": self.control_flow_events,
             "taken_control_flow_events": self.taken_control_flow_events,
             "by_kind": kinds,
+        }
+
+
+class TraceNotRecordedError(RuntimeError):
+    """Raised when per-record trace data is requested from a streaming trace."""
+
+
+class StreamingTrace:
+    """Trace statistics without record accumulation.
+
+    A drop-in replacement for :class:`ExecutionTrace` on the statistics side
+    (``cycles``, ``control_flow_events``, ``summary()``, ``len()``) that keeps
+    only running counters: each :class:`TraceRecord` is observed, counted and
+    dropped.  This is what the attestation hot path uses -- LO-FAT itself
+    consumes the instruction stream as it retires, so neither the verifier's
+    golden replay nor the campaign workers need the O(instructions) record
+    list in memory.  Accessing per-record data raises
+    :class:`TraceNotRecordedError`.
+    """
+
+    def __init__(self) -> None:
+        self._instructions = 0
+        self._cycles = 0
+        self._control_flow_events = 0
+        self._taken_control_flow_events = 0
+        self._by_kind: Dict[str, int] = {}
+
+    def append(self, record: TraceRecord) -> None:
+        self._instructions += 1
+        self._cycles = record.cycle
+        if record.is_control_flow:
+            self._control_flow_events += 1
+            kind = record.kind.value
+            self._by_kind[kind] = self._by_kind.get(kind, 0) + 1
+            if record.taken:
+                self._taken_control_flow_events += 1
+
+    def __len__(self) -> int:
+        return self._instructions
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        raise TraceNotRecordedError(
+            "trace records were not kept (CpuConfig.collect_trace=False); "
+            "only summary statistics are available on a streaming trace"
+        )
+
+    def __getitem__(self, index):
+        raise TraceNotRecordedError(
+            "trace records were not kept (CpuConfig.collect_trace=False)"
+        )
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        raise TraceNotRecordedError(
+            "trace records were not kept (CpuConfig.collect_trace=False)"
+        )
+
+    @property
+    def control_flow_records(self) -> List[TraceRecord]:
+        raise TraceNotRecordedError(
+            "trace records were not kept (CpuConfig.collect_trace=False)"
+        )
+
+    @property
+    def executed_edges(self) -> List[tuple]:
+        raise TraceNotRecordedError(
+            "trace records were not kept (CpuConfig.collect_trace=False)"
+        )
+
+    @property
+    def control_flow_events(self) -> int:
+        return self._control_flow_events
+
+    @property
+    def taken_control_flow_events(self) -> int:
+        return self._taken_control_flow_events
+
+    @property
+    def cycles(self) -> int:
+        return self._cycles
+
+    def summary(self) -> dict:
+        return {
+            "instructions": self._instructions,
+            "cycles": self._cycles,
+            "control_flow_events": self._control_flow_events,
+            "taken_control_flow_events": self._taken_control_flow_events,
+            "by_kind": dict(self._by_kind),
         }

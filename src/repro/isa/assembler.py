@@ -14,6 +14,7 @@ the verifier holds the program binary.
 
 from __future__ import annotations
 
+import hashlib
 import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -62,6 +63,31 @@ class Program:
     entry: int = DEFAULT_CODE_BASE
     instructions: List[Instruction] = field(default_factory=list)
     source: str = ""
+
+    @property
+    def digest(self) -> str:
+        """SHA3-256 hex digest of the program image (code, data, layout).
+
+        This is the identity under which the verifier-side caches (decoded
+        instructions, CFG knowledge, measurement database) key a program:
+        two images with the same digest are the same binary regardless of
+        which registry name or file they came from.
+        """
+        cached = getattr(self, "_digest", None)
+        if cached is None:
+            hasher = hashlib.sha3_256()
+            for part in (
+                self.code_base.to_bytes(4, "little"),
+                self.data_base.to_bytes(4, "little"),
+                self.entry.to_bytes(4, "little"),
+                len(self.code).to_bytes(4, "little"),
+                self.code,
+                self.data,
+            ):
+                hasher.update(part)
+            cached = hasher.hexdigest()
+            self._digest = cached
+        return cached
 
     @property
     def code_end(self) -> int:

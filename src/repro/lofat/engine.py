@@ -152,15 +152,27 @@ def attest_execution(
     config: Optional[LoFatConfig] = None,
     cpu_config=None,
     pre_hooks=None,
+    collect_trace: Optional[bool] = None,
 ):
     """Run ``program`` with LO-FAT attached; return (ExecutionResult, measurement).
 
     This is the one-call convenience API used by the examples and the
     verifier's golden replay: it builds a CPU, attaches a fresh
     :class:`LoFatEngine`, runs the program and finalizes the measurement.
-    """
-    from repro.cpu.core import Cpu
 
+    ``collect_trace=False`` streams the retired-instruction records straight
+    into the engine without accumulating them on the result -- the engine
+    consumes each record as it retires, so the measurement is identical while
+    memory stays O(1) in the execution length.  The returned result then
+    carries only trace summary statistics.
+    """
+    from dataclasses import replace
+
+    from repro.cpu.core import Cpu, CpuConfig
+
+    if collect_trace is not None:
+        base = cpu_config or CpuConfig()
+        cpu_config = replace(base, collect_trace=collect_trace)
     cpu = Cpu(program, inputs=inputs, config=cpu_config)
     engine = LoFatEngine(config)
     cpu.attach_monitor(engine.observe)

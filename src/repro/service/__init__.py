@@ -1,0 +1,55 @@
+"""Attestation campaign service.
+
+This package scales the single challenge-response protocol of
+:mod:`repro.attestation` into a verifier-side *service* that attests many
+executions at once (see ``docs/ARCHITECTURE.md`` for the layer diagram):
+
+* :mod:`repro.service.campaign` -- declarative campaign specs (workloads x
+  LO-FAT configs x attack injections) and their expansion into picklable jobs.
+* :mod:`repro.service.worker` -- prover-side job execution, the unit shipped
+  to ``multiprocessing`` workers.
+* :mod:`repro.service.database` -- the measurement database caching expected
+  ``(A, L)`` keyed by (program digest, inputs, config digest), which makes
+  repeat verification O(lookup) instead of O(re-execution).
+* :mod:`repro.service.runner` -- the campaign runner: parallel prover
+  fan-out, central verification, recombined results.
+* :mod:`repro.service.presets` -- every benchmark experiment (E1-E9)
+  expressed as a campaign.
+
+Quickstart::
+
+    from repro.service import CampaignRunner, experiment_campaign
+    result = CampaignRunner().run(experiment_campaign("e5"), workers=4)
+    assert result.ok           # benign accepted, all attacks detected
+    print(result.summary())
+"""
+
+from repro.service.campaign import (
+    CampaignJob,
+    CampaignSpec,
+    CampaignSpecError,
+    ConfigVariant,
+    WorkloadSelection,
+)
+from repro.service.database import MeasurementDatabase, config_digest
+from repro.service.presets import all_experiments, experiment_campaign, full_campaign
+from repro.service.runner import CampaignResult, CampaignRunner, JobResult
+from repro.service.worker import ProverResponse, execute_prover_job
+
+__all__ = [
+    "CampaignJob",
+    "CampaignSpec",
+    "CampaignSpecError",
+    "ConfigVariant",
+    "WorkloadSelection",
+    "MeasurementDatabase",
+    "config_digest",
+    "all_experiments",
+    "experiment_campaign",
+    "full_campaign",
+    "CampaignResult",
+    "CampaignRunner",
+    "JobResult",
+    "ProverResponse",
+    "execute_prover_job",
+]

@@ -1,0 +1,216 @@
+"""The verifier-side measurement database.
+
+The verifier's strongest check -- golden replay -- costs one full simulated
+execution per report.  At campaign scale that dominates the service's work:
+the same (program, input, configuration) triple is verified over and over
+across repeats, sweeps and attack/benign pairs.  This module caches the
+expected measurement ``(A, serialized L)`` keyed by
+
+    (program digest, input vector, LO-FAT configuration digest)
+
+so that every verification after the first is O(lookup).  Keying by *digest*
+rather than registry name means the cache survives re-assembly, renaming and
+process restarts (via :meth:`MeasurementDatabase.save` /
+:meth:`MeasurementDatabase.load`), and can never confuse two different
+binaries that share a name.
+
+The database stores only public reference values -- the expected measurement
+and metadata for known inputs -- so persisting or sharing it does not weaken
+the protocol (freshness still comes from the per-challenge nonce).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import Dict, Optional, Tuple
+
+from repro.isa.assembler import Program
+from repro.lofat.config import LoFatConfig
+from repro.lofat.engine import attest_execution
+
+#: A database key: (program digest, inputs, config digest).
+DatabaseKey = Tuple[str, Tuple[int, ...], str]
+
+
+def config_digest(config: LoFatConfig) -> str:
+    """Canonical SHA3-256 digest of a LO-FAT configuration.
+
+    Two configurations with identical parameters hash identically regardless
+    of how they were constructed; any parameter change (tracking granularity,
+    hash engine sizing, ...) produces a different key, because it can change
+    the measurement.
+    """
+    canonical = json.dumps(asdict(config), sort_keys=True)
+    return hashlib.sha3_256(canonical.encode("utf-8")).hexdigest()
+
+
+class MeasurementDatabase:
+    """Cache of expected measurements, keyed by (digest, inputs, config).
+
+    ``lookup_or_compute`` is the service's main entry point: a hit returns
+    the stored ``(A, L)`` immediately; a miss computes the reference by
+    running the program once under LO-FAT (streaming, no trace accumulation)
+    and stores it.  Hit/miss counters feed the campaign reports and the E10
+    benchmark's cache-speedup measurement.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[DatabaseKey, Tuple[bytes, bytes]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ---------------------------------------------------------------- keys
+    @staticmethod
+    def key_for(
+        program: Program,
+        inputs: Tuple[int, ...],
+        config: Optional[LoFatConfig] = None,
+    ) -> DatabaseKey:
+        return (
+            program.digest,
+            tuple(int(v) for v in inputs),
+            config_digest(config or LoFatConfig()),
+        )
+
+    # -------------------------------------------------------------- access
+    def lookup(
+        self,
+        program: Program,
+        inputs: Tuple[int, ...],
+        config: Optional[LoFatConfig] = None,
+    ) -> Optional[Tuple[bytes, bytes]]:
+        """Return the stored ``(A, serialized L)`` or None (counts hit/miss)."""
+        entry = self._entries.get(self.key_for(program, inputs, config))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def store(
+        self,
+        program: Program,
+        inputs: Tuple[int, ...],
+        config: Optional[LoFatConfig],
+        measurement: bytes,
+        metadata_bytes: bytes,
+    ) -> None:
+        key = self.key_for(program, inputs, config)
+        self._entries[key] = (bytes(measurement), bytes(metadata_bytes))
+
+    def lookup_or_compute(
+        self,
+        program: Program,
+        inputs: Tuple[int, ...],
+        config: Optional[LoFatConfig] = None,
+        cpu_config=None,
+    ) -> Tuple[bytes, bytes, bool]:
+        """Return ``(A, serialized L, was_hit)``, computing the reference on miss.
+
+        The reference execution streams its trace (nothing is accumulated)
+        and benefits from the process-wide decoded-instruction cache, so even
+        the miss path is as cheap as one monitored run can be.
+        """
+        key = self.key_for(program, inputs, config)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry[0], entry[1], True
+        self.misses += 1
+        _, measurement = attest_execution(
+            program,
+            inputs=list(inputs),
+            config=config,
+            cpu_config=cpu_config,
+            collect_trace=False,
+        )
+        entry = (measurement.measurement, measurement.metadata.to_bytes())
+        self._entries[key] = entry
+        return entry[0], entry[1], False
+
+    # ------------------------------------------------------------ reporting
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
+    def counters(self) -> Tuple[int, int]:
+        """Snapshot of the lifetime (hits, misses) counters."""
+        return (self.hits, self.misses)
+
+    def stats_since(self, counters: Tuple[int, int]) -> dict:
+        """Statistics relative to an earlier :meth:`counters` snapshot.
+
+        The campaign runner uses this so each run reports its own hit/miss
+        numbers even when one database serves many runs.
+        """
+        hits = self.hits - counters[0]
+        misses = self.misses - counters[1]
+        total = hits + misses
+        return {
+            "entries": len(self._entries),
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+        }
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    # ---------------------------------------------------------- persistence
+    def to_json(self) -> str:
+        entries = [
+            {
+                "program_digest": program_digest,
+                "inputs": list(inputs),
+                "config_digest": cfg_digest,
+                "measurement": measurement.hex(),
+                "metadata": metadata.hex(),
+            }
+            for (program_digest, inputs, cfg_digest), (measurement, metadata)
+            in sorted(self._entries.items())
+        ]
+        return json.dumps({"version": 1, "entries": entries}, indent=2)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "MeasurementDatabase":
+        document = json.loads(payload)
+        if document.get("version") != 1:
+            raise ValueError("unsupported measurement database version")
+        database = cls()
+        for entry in document.get("entries", []):
+            key = (
+                str(entry["program_digest"]),
+                tuple(int(v) for v in entry["inputs"]),
+                str(entry["config_digest"]),
+            )
+            database._entries[key] = (
+                bytes.fromhex(entry["measurement"]),
+                bytes.fromhex(entry["metadata"]),
+            )
+        return database
+
+    def save(self, path: str) -> int:
+        """Persist to ``path``; returns the number of entries written."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+        return len(self._entries)
+
+    @classmethod
+    def load(cls, path: str) -> "MeasurementDatabase":
+        with open(path) as handle:
+            return cls.from_json(handle.read())

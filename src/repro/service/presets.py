@@ -1,0 +1,227 @@
+"""Campaign presets: every benchmark experiment (E1-E9) as a campaign.
+
+Each preset re-expresses the workload/config/attack combinations that the
+corresponding ``benchmarks/test_bench_e*.py`` experiment executes as a
+declarative :class:`repro.service.campaign.CampaignSpec`, so the campaign
+runner can attest all of them end to end -- sequentially or fanned out across
+workers -- with one command (``repro campaign --experiment e5`` or
+``--experiment all``).
+
+The presets intentionally reuse the registry names: the campaign runner then
+exercises the same binaries, the same inputs and the same LO-FAT
+configuration points as the benchmarks, which is what makes the E10
+sequential-vs-parallel comparison meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.attacks import ATTACK_REGISTRY
+from repro.service.campaign import (
+    CampaignSpec,
+    ConfigVariant,
+    WorkloadSelection,
+)
+from repro.workloads import WORKLOAD_REGISTRY
+
+#: Workloads dominated by loop execution (used by the granularity and
+#: compression sweeps, mirroring E8/E9's selection).
+_LOOP_HEAVY = [
+    "figure4_loop", "crc32", "bubble_sort", "fir_filter", "matmul",
+    "syringe_pump",
+]
+
+
+def _all_workloads() -> List[WorkloadSelection]:
+    return [WorkloadSelection(name=name) for name in sorted(WORKLOAD_REGISTRY)]
+
+
+def _workloads(names: List[str]) -> List[WorkloadSelection]:
+    return [WorkloadSelection(name=name) for name in names]
+
+
+def experiment_campaign(experiment: str) -> CampaignSpec:
+    """The campaign spec reproducing one benchmark experiment's runs."""
+    experiment = experiment.lower()
+    try:
+        builder = _PRESETS[experiment]
+    except KeyError:
+        raise KeyError(
+            "unknown experiment %r (known: %s)"
+            % (experiment, ", ".join(sorted(_PRESETS)))
+        ) from None
+    return builder()
+
+
+def all_experiments() -> List[str]:
+    """Names of all preset experiment campaigns, in order."""
+    return sorted(_PRESETS)
+
+
+def full_campaign(repeats: int = 1) -> CampaignSpec:
+    """One campaign covering every workload, attack and config sweep point.
+
+    This is the superset of the E1-E9 job populations (deduplicated at the
+    spec level: every workload under every swept config, plus every attack
+    scenario), used by the E10 throughput benchmark and CI smoke run.
+    """
+    sweep_configs = [ConfigVariant()]
+    seen = {config_key(ConfigVariant())}
+    for experiment in all_experiments():
+        for variant in experiment_campaign(experiment).configs:
+            key = config_key(variant)
+            if key not in seen:
+                seen.add(key)
+                sweep_configs.append(variant)
+    return CampaignSpec(
+        name="full",
+        description="all workloads x all swept configs, plus all attacks",
+        workloads=_all_workloads(),
+        configs=sweep_configs,
+        attacks=sorted(ATTACK_REGISTRY),
+        repeats=repeats,
+    )
+
+
+def config_key(variant: ConfigVariant) -> tuple:
+    """Dedup key for a config variant (its parameter overrides)."""
+    return tuple(sorted(variant.lofat_params.items()))
+
+
+def _e1() -> CampaignSpec:
+    return CampaignSpec(
+        name="e1_overhead",
+        description="LO-FAT vs C-FLAT overhead population: every workload, "
+                    "paper configuration",
+        workloads=_all_workloads(),
+    )
+
+
+def _e2() -> CampaignSpec:
+    return CampaignSpec(
+        name="e2_latency",
+        description="engine internal latency population (same executions, "
+                    "latency read from engine statistics)",
+        workloads=_all_workloads(),
+    )
+
+
+def _e3() -> CampaignSpec:
+    # E3 sweeps the area model's (n, l, depth) points; attesting a loop-heavy
+    # workload under each point exercises the corresponding engine shapes.
+    return CampaignSpec(
+        name="e3_area",
+        description="area sweep configuration points, attested on the "
+                    "figure4 loop",
+        workloads=_workloads(["figure4_loop"]),
+        configs=[
+            ConfigVariant(name="paper"),
+            ConfigVariant(name="n2_l8", lofat_params={
+                "indirect_target_bits": 2, "max_branches_per_path": 8,
+                "max_indirect_branches_per_path": 2,
+            }),
+            ConfigVariant(name="n4_l12", lofat_params={
+                "max_branches_per_path": 12,
+                "max_indirect_branches_per_path": 3,
+            }),
+            ConfigVariant(name="depth5", lofat_params={"max_nested_loops": 5}),
+        ],
+    )
+
+
+def _e4() -> CampaignSpec:
+    return CampaignSpec(
+        name="e4_figure4",
+        description="paper Figure 4 loop under growing iteration counts",
+        workloads=[WorkloadSelection(
+            name="figure4_loop",
+            input_sets=[[4], [8], [16], [32], [64]],
+        )],
+    )
+
+
+def _e5() -> CampaignSpec:
+    return CampaignSpec(
+        name="e5_attacks",
+        description="all attack scenarios plus their benign counterparts",
+        workloads=_workloads(sorted({
+            ATTACK_REGISTRY[name]().workload_name for name in ATTACK_REGISTRY
+        })),
+        attacks=sorted(ATTACK_REGISTRY),
+    )
+
+
+def _e6() -> CampaignSpec:
+    return CampaignSpec(
+        name="e6_hash_engine",
+        description="hash engine pressure: event-dense workloads under "
+                    "shrinking input buffers",
+        workloads=_workloads(_LOOP_HEAVY),
+        configs=[
+            ConfigVariant(name="buffer8"),
+            ConfigVariant(name="buffer4",
+                          lofat_params={"hash_input_buffer_depth": 4}),
+            ConfigVariant(name="buffer2",
+                          lofat_params={"hash_input_buffer_depth": 2}),
+        ],
+    )
+
+
+def _e7() -> CampaignSpec:
+    return CampaignSpec(
+        name="e7_protocol",
+        description="full challenge-response protocol over every workload "
+                    "(replay-verified)",
+        workloads=_all_workloads(),
+        verify_mode="replay",
+    )
+
+
+def _e8() -> CampaignSpec:
+    # Counter widths below 8 bits are deliberately absent: they saturate on
+    # long-running loops (the trade-off E8b measures prover-side), and a
+    # saturated counter produces metadata the verifier rightly rejects --
+    # campaign presets only sweep configuration points that stay verifiable
+    # end to end.
+    return CampaignSpec(
+        name="e8_granularity",
+        description="tracking granularity ablation: path width and counter "
+                    "width sweeps",
+        workloads=_workloads(_LOOP_HEAVY),
+        configs=[
+            ConfigVariant(name="paper"),
+            ConfigVariant(name="l8", lofat_params={
+                "max_branches_per_path": 8,
+                "max_indirect_branches_per_path": 2,
+            }),
+            ConfigVariant(name="l24", lofat_params={
+                "max_branches_per_path": 24,
+                "max_indirect_branches_per_path": 4,
+            }),
+            ConfigVariant(name="counter16",
+                          lofat_params={"counter_width_bits": 16}),
+        ],
+    )
+
+
+def _e9() -> CampaignSpec:
+    return CampaignSpec(
+        name="e9_compression",
+        description="loop compression population: loop-heavy workloads, "
+                    "paper configuration",
+        workloads=_workloads(_LOOP_HEAVY),
+    )
+
+
+_PRESETS: Dict[str, Callable[[], CampaignSpec]] = {
+    "e1": _e1,
+    "e2": _e2,
+    "e3": _e3,
+    "e4": _e4,
+    "e5": _e5,
+    "e6": _e6,
+    "e7": _e7,
+    "e8": _e8,
+    "e9": _e9,
+}

@@ -1,0 +1,306 @@
+"""The attestation campaign runner.
+
+:class:`CampaignRunner` is the verifier-side service loop: it expands a
+:class:`repro.service.campaign.CampaignSpec` into jobs, fans the prover
+executions out across worker processes, then verifies every returned report
+centrally -- one verifier per LO-FAT configuration variant, all of them
+backed by a shared :class:`repro.service.database.MeasurementDatabase`.
+
+The decomposition mirrors the deployment the paper assumes: many independent
+prover devices execute in parallel (they share nothing but their program
+images), while the verifier is a single service whose per-report cost is
+pushed from O(re-execution) to O(lookup) by the measurement database.  The
+prover fan-out is embarrassingly parallel, so the recombination step is a
+simple ordered zip of jobs and responses; parallel campaigns are
+result-identical to sequential ones by construction, and the test suite
+asserts it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.attestation.crypto import SecureKeyStore
+from repro.attestation.verifier import Verifier
+from repro.cpu.core import CpuConfig
+from repro.isa.assembler import Program
+from repro.service.campaign import CampaignJob, CampaignSpec
+from repro.service.database import MeasurementDatabase
+from repro.service.worker import ProverResponse, execute_prover_job
+from repro.workloads import get_workload
+
+
+@dataclass
+class JobResult:
+    """The verifier's recombined record of one campaign job."""
+
+    job: CampaignJob
+    accepted: bool
+    reason: str
+    detail: str
+    measurement_hex: str
+    metadata_hex: str
+    output: str
+    exit_code: int
+    instructions: int
+    cycles: int
+    #: Whether the reference measurement came from the database (None when
+    #: the verify mode does not consult it).
+    cache_hit: Optional[bool]
+    prover_seconds: float
+
+    @property
+    def detected(self) -> bool:
+        """True when the report was rejected (an attack was caught)."""
+        return not self.accepted
+
+    @property
+    def ok(self) -> bool:
+        """Job-level success: benign runs accept, attacked runs reject."""
+        if self.job.expects_detection:
+            return not self.accepted
+        return self.accepted
+
+    def identity(self) -> tuple:
+        """The comparison key used to check parallel == sequential results."""
+        return (
+            self.job.job_id,
+            self.accepted,
+            self.reason,
+            self.measurement_hex,
+            self.metadata_hex,
+            self.output,
+            self.exit_code,
+            self.instructions,
+            self.cycles,
+        )
+
+    def as_row(self) -> dict:
+        """Row dictionary for :func:`repro.analysis.report.format_table`."""
+        return {
+            "job": self.job.job_id,
+            "verdict": "ACCEPTED" if self.accepted else "REJECTED",
+            "reason": self.reason,
+            "ok": self.ok,
+            "cache": ("hit" if self.cache_hit else "miss")
+                     if self.cache_hit is not None else "-",
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced, plus service-level metrics."""
+
+    spec_name: str
+    verify_mode: str
+    workers: int
+    results: List[JobResult] = field(default_factory=list)
+    #: Wall-clock seconds of the parallel prover fan-out phase.
+    prover_seconds: float = 0.0
+    #: Wall-clock seconds of the central verification phase.
+    verify_seconds: float = 0.0
+    total_seconds: float = 0.0
+    database_stats: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def ok(self) -> bool:
+        """True when every job behaved as expected (accept/detect)."""
+        return all(result.ok for result in self.results)
+
+    @property
+    def accepted_count(self) -> int:
+        return sum(1 for result in self.results if result.accepted)
+
+    @property
+    def detected_count(self) -> int:
+        return sum(
+            1 for result in self.results
+            if result.job.expects_detection and result.detected
+        )
+
+    @property
+    def failures(self) -> List[JobResult]:
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def jobs_per_second(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return len(self.results) / self.total_seconds
+
+    def identities(self) -> List[tuple]:
+        """Per-job comparison keys (order-sensitive)."""
+        return [result.identity() for result in self.results]
+
+    def summary(self) -> dict:
+        attacks = sum(1 for r in self.results if r.job.expects_detection)
+        return {
+            "campaign": self.spec_name,
+            "verify_mode": self.verify_mode,
+            "workers": self.workers,
+            "jobs": len(self.results),
+            "ok": self.ok,
+            "accepted": self.accepted_count,
+            "attacks_detected": "%d/%d" % (self.detected_count, attacks),
+            "prover_seconds": self.prover_seconds,
+            "verify_seconds": self.verify_seconds,
+            "total_seconds": self.total_seconds,
+            "jobs_per_second": self.jobs_per_second,
+            "database": dict(self.database_stats),
+        }
+
+
+def _worker_context():
+    """Pick the multiprocessing start method (fork where available)."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class CampaignRunner:
+    """Executes attestation campaigns, sequentially or across processes."""
+
+    def __init__(
+        self,
+        database: Optional[MeasurementDatabase] = None,
+        device_id: str = "prover-0",
+        cpu_config: Optional[CpuConfig] = None,
+    ) -> None:
+        self.database = database if database is not None else MeasurementDatabase()
+        self.device_id = device_id
+        self.cpu_config = cpu_config
+
+    # ----------------------------------------------------------- execution
+    def run(self, spec: CampaignSpec, workers: int = 1) -> CampaignResult:
+        """Run ``spec`` end to end and return the recombined results.
+
+        ``workers <= 1`` executes the prover jobs inline (sequential);
+        ``workers > 1`` fans them out over a process pool.  Verification
+        always happens centrally, in job order, so the two modes produce
+        identical results.
+        """
+        jobs = spec.expand()
+        started_total = time.perf_counter()
+        database_counters = self.database.counters()
+
+        verifiers, programs = self._provision(jobs)
+        payloads = [
+            (job, verifiers[job.config_name].challenge(job.workload, job.inputs).nonce)
+            for job in jobs
+        ]
+
+        started_prover = time.perf_counter()
+        responses = self._execute_provers(payloads, workers)
+        prover_seconds = time.perf_counter() - started_prover
+
+        started_verify = time.perf_counter()
+        results = [
+            self._verify(spec, job, response, verifiers, programs)
+            for job, response in zip(jobs, responses)
+        ]
+        verify_seconds = time.perf_counter() - started_verify
+
+        return CampaignResult(
+            spec_name=spec.name,
+            verify_mode=spec.verify_mode,
+            workers=max(1, workers),
+            results=results,
+            prover_seconds=prover_seconds,
+            verify_seconds=verify_seconds,
+            total_seconds=time.perf_counter() - started_total,
+            database_stats=self.database.stats_since(database_counters),
+        )
+
+    # ------------------------------------------------------------ plumbing
+    def _provision(
+        self, jobs: Sequence[CampaignJob]
+    ) -> Tuple[Dict[str, Verifier], Dict[str, Program]]:
+        """Build one verifier per config variant and register all programs.
+
+        Program analyses (CFG, loops) are shared across verifiers through
+        the process-wide knowledge cache, so provisioning N config variants
+        costs one analysis per distinct binary, not N.
+        """
+        verification_key = SecureKeyStore(
+            device_id=self.device_id
+        ).export_for_verifier()
+        verifiers: Dict[str, Verifier] = {}
+        programs: Dict[str, Program] = {}
+        for job in jobs:
+            if job.workload not in programs:
+                programs[job.workload] = get_workload(job.workload).build()
+            verifier = verifiers.get(job.config_name)
+            if verifier is None:
+                verifier = Verifier(
+                    lofat_config=job.lofat_config(), cpu_config=self.cpu_config,
+                )
+                verifier.register_device_key(self.device_id, verification_key)
+                verifiers[job.config_name] = verifier
+            if job.workload not in verifier._programs:
+                verifier.register_program(job.workload, programs[job.workload])
+        return verifiers, programs
+
+    def _execute_provers(
+        self, payloads: Sequence[tuple], workers: int
+    ) -> List[ProverResponse]:
+        execute = partial(
+            execute_prover_job,
+            device_id=self.device_id,
+            cpu_config=self.cpu_config,
+        )
+        if workers <= 1 or len(payloads) <= 1:
+            return [execute(payload) for payload in payloads]
+        context = _worker_context()
+        pool_size = min(workers, len(payloads))
+        chunksize = max(1, len(payloads) // (pool_size * 4))
+        with context.Pool(processes=pool_size) as pool:
+            return pool.map(execute, payloads, chunksize)
+
+    def _verify(
+        self,
+        spec: CampaignSpec,
+        job: CampaignJob,
+        response: ProverResponse,
+        verifiers: Dict[str, Verifier],
+        programs: Dict[str, Program],
+    ) -> JobResult:
+        verifier = verifiers[job.config_name]
+        cache_hit: Optional[bool] = None
+        if spec.verify_mode == "database":
+            measurement, metadata_bytes, cache_hit = self.database.lookup_or_compute(
+                programs[job.workload],
+                job.inputs,
+                job.lofat_config(),
+                cpu_config=self.cpu_config,
+            )
+            verifier.seed_measurement(
+                job.workload, job.inputs, measurement, metadata_bytes,
+            )
+        verdict = verifier.verify(
+            response.report, device_id=self.device_id, mode=spec.verify_mode,
+        )
+        report = response.report
+        return JobResult(
+            job=job,
+            accepted=verdict.accepted,
+            reason=verdict.reason.value,
+            detail=verdict.detail,
+            measurement_hex=report.measurement.hex(),
+            metadata_hex=report.metadata.to_bytes().hex(),
+            output=report.output,
+            exit_code=report.exit_code,
+            instructions=response.instructions,
+            cycles=response.cycles,
+            cache_hit=cache_hit,
+            prover_seconds=response.prover_seconds,
+        )

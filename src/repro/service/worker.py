@@ -1,0 +1,101 @@
+"""Prover-side job execution (runs inside worker processes).
+
+Each campaign job models one remote prover device answering one attestation
+challenge.  The function :func:`execute_prover_job` is the unit the
+:class:`repro.service.runner.CampaignRunner` ships to ``multiprocessing``
+workers; everything it touches is rebuilt from registry names inside the
+worker process, and everything it returns is a plain picklable value -- the
+signed :class:`repro.attestation.protocol.AttestationReport` plus operational
+numbers.  The hardware-protected signing key never crosses the process
+boundary (it is derived in-worker from the device id, and
+:class:`repro.attestation.crypto.SecureKeyStore` refuses to pickle).
+
+Per-process caches keep repeated jobs cheap: assembled programs are reused
+across jobs (``maxsize`` bounded), and the CPU's decoded-instruction cache is
+shared process-wide, so a worker that attests the same binary many times only
+assembles and decodes it once.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from functools import lru_cache
+from typing import Optional, Tuple
+
+from repro.attacks import get_attack
+from repro.attestation.protocol import AttestationChallenge, AttestationReport
+from repro.attestation.prover import Prover
+from repro.cpu.core import CpuConfig
+from repro.isa.assembler import Program
+from repro.service.campaign import CampaignJob
+from repro.workloads import get_workload
+
+#: The payload shipped to a worker: the job plus the challenge nonce minted
+#: by the verifier in the parent process.
+ProverJobPayload = Tuple[CampaignJob, bytes]
+
+
+@dataclass
+class ProverResponse:
+    """What one prover execution sends back to the verifier service."""
+
+    job_id: str
+    report: AttestationReport
+    instructions: int
+    cycles: int
+    pairs_hashed: int
+    control_flow_events: int
+    prover_seconds: float
+
+
+@lru_cache(maxsize=128)
+def _assembled_program(workload_name: str) -> Program:
+    """Assemble (once per worker process) the named workload."""
+    return get_workload(workload_name).build()
+
+
+def execute_prover_job(
+    payload: ProverJobPayload,
+    device_id: str = "prover-0",
+    cpu_config: Optional[CpuConfig] = None,
+) -> ProverResponse:
+    """Run one campaign job on a simulated prover device and sign the result.
+
+    ``cpu_config`` carries the runner's core-model parameters (instruction
+    budget, latencies) to the prover side, so prover and verifier simulate
+    the same machine.  The execution always streams its trace into the
+    LO-FAT engine (``collect_trace`` is forced off): the monitor consumes
+    records as they retire, so memory stays flat no matter how long the
+    workload runs.
+    """
+    job, nonce = payload
+    program = _assembled_program(job.workload)
+    prover = Prover(
+        {job.workload: program},
+        lofat_config=job.lofat_config(),
+        cpu_config=replace(cpu_config or CpuConfig(), collect_trace=False),
+        device_id=device_id,
+    )
+    if job.attack is not None:
+        scenario = get_attack(job.attack)
+        prover.install_attack(scenario.prover_hook(program))
+
+    challenge = AttestationChallenge(
+        program_id=job.workload, inputs=job.inputs, nonce=nonce,
+    )
+    started = time.perf_counter()
+    report = prover.attest(challenge)
+    elapsed = time.perf_counter() - started
+
+    run = prover.last_run
+    stats = run.engine_stats if run else {}
+    return ProverResponse(
+        job_id=job.job_id,
+        report=report,
+        instructions=run.instructions if run else 0,
+        cycles=run.cycles if run else 0,
+        pairs_hashed=int(stats.get("pairs_hashed", 0)),
+        control_flow_events=int(stats.get("control_flow_events", 0)),
+        prover_seconds=elapsed,
+    )

@@ -1,0 +1,134 @@
+"""Tests for the digest-keyed measurement database."""
+
+import pytest
+
+from repro.attestation import Prover, Verifier
+from repro.lofat.config import LoFatConfig
+from repro.lofat.engine import attest_execution
+from repro.service import MeasurementDatabase, config_digest
+from repro.workloads import get_workload
+
+
+@pytest.fixture
+def figure4():
+    workload = get_workload("figure4_loop")
+    return workload, workload.build()
+
+
+class TestKeying:
+    def test_key_includes_program_inputs_and_config(self, figure4):
+        _, program = figure4
+        base = MeasurementDatabase.key_for(program, (5,), LoFatConfig())
+        assert MeasurementDatabase.key_for(program, (5,), LoFatConfig()) == base
+        assert MeasurementDatabase.key_for(program, (6,), LoFatConfig()) != base
+        assert MeasurementDatabase.key_for(
+            program, (5,), LoFatConfig(max_nested_loops=4)
+        ) != base
+
+    def test_key_distinguishes_programs(self, figure4):
+        _, program = figure4
+        other = get_workload("crc32").build()
+        assert MeasurementDatabase.key_for(program, (), None) != \
+               MeasurementDatabase.key_for(other, (), None)
+
+    def test_config_digest_is_construction_independent(self):
+        assert config_digest(LoFatConfig()) == config_digest(LoFatConfig())
+        assert config_digest(LoFatConfig()) != \
+               config_digest(LoFatConfig(counter_width_bits=16))
+
+
+class TestHitMissSemantics:
+    def test_miss_then_hit(self, figure4):
+        _, program = figure4
+        database = MeasurementDatabase()
+        assert database.lookup(program, (5,)) is None
+        assert (database.hits, database.misses) == (0, 1)
+
+        measurement, metadata, hit = database.lookup_or_compute(program, (5,))
+        assert not hit
+        assert len(database) == 1
+        assert (database.hits, database.misses) == (0, 2)
+
+        again, metadata2, hit2 = database.lookup_or_compute(program, (5,))
+        assert hit2
+        assert again == measurement and metadata2 == metadata
+        assert (database.hits, database.misses) == (1, 2)
+        assert database.hit_rate == pytest.approx(1 / 3)
+
+    def test_computed_reference_matches_direct_attestation(self, figure4):
+        workload, program = figure4
+        database = MeasurementDatabase()
+        measurement, metadata, _ = database.lookup_or_compute(
+            program, (5,), LoFatConfig())
+        _, direct = attest_execution(program, inputs=[5])
+        assert measurement == direct.measurement
+        assert metadata == direct.metadata.to_bytes()
+
+    def test_different_config_is_a_different_entry(self, figure4):
+        _, program = figure4
+        database = MeasurementDatabase()
+        database.lookup_or_compute(program, (5,), LoFatConfig())
+        _, _, hit = database.lookup_or_compute(
+            program, (5,), LoFatConfig(max_branches_per_path=8,
+                                       max_indirect_branches_per_path=2))
+        assert not hit
+        assert len(database) == 2
+
+    def test_store_and_reset_counters(self, figure4):
+        _, program = figure4
+        database = MeasurementDatabase()
+        database.store(program, (9,), None, b"\x01" * 64, b"\x02")
+        assert database.lookup(program, (9,)) == (b"\x01" * 64, b"\x02")
+        database.reset_counters()
+        assert (database.hits, database.misses) == (0, 0)
+        assert len(database) == 1
+
+
+class TestPersistence:
+    def test_json_roundtrip(self, figure4, tmp_path):
+        _, program = figure4
+        database = MeasurementDatabase()
+        for iterations in (3, 5, 8):
+            database.lookup_or_compute(program, (iterations,))
+        path = str(tmp_path / "measurements.json")
+        assert database.save(path) == 3
+
+        restored = MeasurementDatabase.load(path)
+        assert len(restored) == 3
+        _, _, hit = restored.lookup_or_compute(program, (5,))
+        assert hit
+
+    def test_version_check(self):
+        with pytest.raises(ValueError, match="version"):
+            MeasurementDatabase.from_json('{"version": 2, "entries": []}')
+
+
+class TestVerifierIntegration:
+    def test_seeded_verifier_accepts_database_mode(self, figure4):
+        workload, program = figure4
+        database = MeasurementDatabase()
+        prover = Prover({workload.name: program})
+        verifier = Verifier()
+        verifier.register_program(workload.name, program)
+        verifier.register_device_key(
+            "prover-0", prover.keystore.export_for_verifier())
+
+        measurement, metadata, _ = database.lookup_or_compute(program, (5,))
+        verifier.seed_measurement(workload.name, (5,), measurement, metadata)
+
+        report = prover.attest(verifier.challenge(workload.name, [5]))
+        assert verifier.verify(report, mode="database").accepted
+
+    def test_seeded_verifier_rejects_wrong_measurement(self, figure4):
+        workload, program = figure4
+        prover = Prover({workload.name: program})
+        verifier = Verifier()
+        verifier.register_program(workload.name, program)
+        verifier.register_device_key(
+            "prover-0", prover.keystore.export_for_verifier())
+        verifier.seed_measurement(workload.name, (5,), b"\x00" * 64, b"")
+
+        report = prover.attest(verifier.challenge(workload.name, [5]))
+        verdict = verifier.verify(report, mode="database")
+        assert not verdict.accepted
+        assert verdict.reason.value == "measurement_mismatch"
