@@ -9,8 +9,12 @@ Hardware* (Dessouky et al., DAC 2017) as a trace-based simulation:
 * :mod:`repro.lofat` -- the paper's contribution: branch filter, loop monitor,
   path encoder, loop counter memory, SHA-3 hash engine, metadata generator and
   the FPGA area model.
+* :mod:`repro.schemes` -- the pluggable attestation-scheme API: one protocol
+  for the ``lofat``, ``cflat`` and ``static`` backends, plus the registry.
 * :mod:`repro.attestation` -- the challenge-response protocol (prover/verifier).
-* :mod:`repro.baselines` -- C-FLAT (software CFA) and static attestation.
+* :mod:`repro.baselines` -- C-FLAT (software CFA) and static attestation
+  (cost models and load-time measurement; the measuring schemes built on
+  them live in :mod:`repro.schemes`).
 * :mod:`repro.attacks` -- the three run-time attack classes of Figure 1.
 * :mod:`repro.workloads` -- embedded evaluation workloads (syringe pump, ...).
 * :mod:`repro.analysis` -- experiment drivers and report formatting.
@@ -33,22 +37,30 @@ Campaign-scale quickstart::
 from repro.attestation import Prover, Verifier
 from repro.lofat import AttestationMeasurement, LoFatConfig, LoFatEngine
 from repro.lofat.engine import attest_execution
+from repro.schemes import AttestationScheme, all_schemes, get_scheme
 from repro.service import CampaignRunner, CampaignSpec, MeasurementDatabase
 from repro.workloads import Workload, all_workloads, get_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 
-def attest_workload(name: str, inputs=None, config=None):
-    """Run a registered workload under LO-FAT and return (result, measurement).
+def attest_workload(name: str, inputs=None, config=None, scheme=None):
+    """Run a registered workload under a scheme and return (result, measurement).
 
-    ``inputs`` overrides the workload's default input vector; ``config`` is an
-    optional :class:`repro.lofat.LoFatConfig`.
+    ``inputs`` overrides the workload's default input vector.  With the
+    default LO-FAT scheme, ``config`` is an optional
+    :class:`repro.lofat.LoFatConfig` and the return matches
+    :func:`repro.lofat.engine.attest_execution`.  Passing ``scheme`` (a
+    registry name, e.g. ``"cflat"``) measures through that backend instead
+    and returns its :class:`repro.schemes.SchemeMeasurement`.
     """
     workload = get_workload(name)
     program = workload.build()
     run_inputs = list(workload.inputs) if inputs is None else list(inputs)
-    return attest_execution(program, inputs=run_inputs, config=config)
+    if scheme is None or scheme == "lofat":
+        return attest_execution(program, inputs=run_inputs, config=config)
+    return get_scheme(scheme).measure_execution(program, run_inputs,
+                                                config=config)
 
 
 __all__ = [
@@ -58,10 +70,13 @@ __all__ = [
     "CampaignSpec",
     "MeasurementDatabase",
     "AttestationMeasurement",
+    "AttestationScheme",
     "LoFatConfig",
     "LoFatEngine",
+    "all_schemes",
     "attest_execution",
     "attest_workload",
+    "get_scheme",
     "Workload",
     "all_workloads",
     "get_workload",

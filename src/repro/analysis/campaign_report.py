@@ -46,7 +46,7 @@ def format_campaign_table(result, limit: Optional[int] = None) -> str:
     shown = rows if limit is None else rows[:limit]
     table = format_table(
         shown,
-        columns=["job", "verdict", "reason", "ok", "cache",
+        columns=["job", "scheme", "verdict", "reason", "ok", "cache",
                  "instructions", "cycles"],
         title="Campaign %r: per-job verdicts" % result.spec_name,
     )

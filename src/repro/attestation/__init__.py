@@ -1,14 +1,19 @@
-"""The LO-FAT challenge-response attestation protocol (paper §3, Figure 2).
+"""The challenge-response attestation protocol (paper §3, Figure 2).
+
+Scheme-agnostic since the :mod:`repro.schemes` redesign: challenges and
+reports carry a ``scheme`` field, and prover/verifier resolve the backend
+(LO-FAT, C-FLAT, static, ...) from the scheme registry per challenge.
 
 * :mod:`repro.attestation.crypto` -- the prover's hardware-protected signing
   key and the signature scheme (HMAC-based, see DESIGN.md for the
   substitution rationale).
 * :mod:`repro.attestation.protocol` -- the wire messages exchanged between
-  verifier and prover (challenge, report).
+  verifier and prover (challenge, report), round-tripping via
+  ``to_bytes``/``from_bytes``/``to_json``.
 * :mod:`repro.attestation.prover` -- the prover device: executes the program
-  under LO-FAT and produces the signed report.
+  under the challenged scheme and produces the signed report.
 * :mod:`repro.attestation.verifier` -- the verifier: nonce management,
-  signature checking, and control-flow path validation against the CFG
+  signature checking, scheme-mismatch rejection, and path validation
   (golden replay, measurement database and structural CFG checks).
 """
 

@@ -4,33 +4,35 @@ Per the protocol (paper §3), the verifier:
 
 1. performs a one-time offline analysis of the program (CFG + loop
    information),
-2. issues challenges containing the program input ``i`` and a fresh nonce,
-3. on receiving the report, checks the signature and the nonce, and
+2. issues challenges containing the program input ``i``, a fresh nonce and
+   the attestation scheme the prover must answer with,
+3. on receiving the report, checks the signature, the nonce and that the
+   report's scheme matches the challenged one (fail closed on mismatch), and
 4. checks that the reported path ``P = (A, L)`` corresponds to a valid
    execution of the program's CFG under input ``i``.
 
 Step 4 is implemented in three complementary modes:
 
 * **Golden replay** (the default): the verifier, who owns the program binary
-  and chose the input, re-executes the program in its own trusted simulator
-  with an identical LO-FAT model and compares the resulting ``(A, L)``.  This
-  is the strongest check and mirrors how C-FLAT/LO-FAT verifiers are
-  evaluated in practice (known-input attestation).
+  and chose the input, re-measures the program through the challenged
+  scheme's own :meth:`reference_measurement` and compares the resulting
+  ``(A, L)``.  This is the strongest check and mirrors how C-FLAT/LO-FAT
+  verifiers are evaluated in practice (known-input attestation).
 * **Measurement database**: expected measurements for a set of inputs are
   precomputed and looked up; useful when the verifier wants O(1) verification
-  cost online.
+  cost online.  Keys include the scheme name, so LO-FAT and C-FLAT references
+  for the same (program, input) never collide.
 * **Structural CFG checks**: independent of the input, the metadata ``L`` is
   validated against the static CFG (every reported loop entry must be the
   target of a backward edge; path encodings must be consistent with the loop
   body).  These checks catch malformed metadata and are also applied in the
-  two modes above.
+  two modes above; schemes without loop metadata pass them trivially.
 """
 
 from __future__ import annotations
 
-import enum
 import json
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.attestation.crypto import fresh_nonce, verify_signature
@@ -38,37 +40,13 @@ from repro.attestation.protocol import AttestationChallenge, AttestationReport
 from repro.cfg.builder import ControlFlowGraph, build_cfg
 from repro.cfg.loops import NaturalLoop, find_natural_loops
 from repro.cfg.paths import PathChecker
-from repro.cpu.core import Cpu, CpuConfig
+from repro.cpu.core import CpuConfig
 from repro.isa.assembler import Program
 from repro.lofat.config import LoFatConfig
-from repro.lofat.engine import LoFatEngine
 from repro.lofat.metadata import LoopMetadata
-
-
-class VerdictReason(enum.Enum):
-    """Why a report was accepted or rejected."""
-
-    ACCEPTED = "accepted"
-    UNKNOWN_PROGRAM = "unknown_program"
-    UNKNOWN_NONCE = "unknown_nonce"
-    NONCE_REUSED = "nonce_reused"
-    BAD_SIGNATURE = "bad_signature"
-    MEASUREMENT_MISMATCH = "measurement_mismatch"
-    METADATA_MISMATCH = "metadata_mismatch"
-    METADATA_CFG_VIOLATION = "metadata_cfg_violation"
-    NO_REFERENCE = "no_reference_measurement"
-
-
-@dataclass
-class VerificationResult:
-    """The verifier's verdict on one attestation report."""
-
-    accepted: bool
-    reason: VerdictReason
-    detail: str = ""
-
-    def __bool__(self) -> bool:
-        return self.accepted
+from repro.schemes import get_scheme
+# Re-exported for backward compatibility: these historically lived here.
+from repro.schemes.base import VerdictReason, VerificationResult  # noqa: F401
 
 
 @dataclass
@@ -101,7 +79,7 @@ def clear_knowledge_cache() -> None:
 
 
 class Verifier:
-    """The remote verifier V."""
+    """The remote verifier V (scheme-agnostic)."""
 
     def __init__(
         self,
@@ -110,11 +88,17 @@ class Verifier:
     ) -> None:
         self.lofat_config = lofat_config or LoFatConfig()
         self.cpu_config = cpu_config
+        #: Per-scheme configurations the verifier replays references with;
+        #: the historical ``lofat_config`` argument seeds the ``lofat`` entry.
+        self._scheme_configs: Dict[str, object] = {"lofat": self.lofat_config}
         self._programs: Dict[str, ProgramKnowledge] = {}
         self._verification_keys: Dict[str, bytes] = {}
         self._outstanding_nonces: Dict[bytes, AttestationChallenge] = {}
         self._used_nonces: set = set()
-        self._measurement_db: Dict[Tuple[str, Tuple[int, ...]], Tuple[bytes, bytes]] = {}
+        #: (scheme, program_id, inputs) -> (A, serialized L).
+        self._measurement_db: Dict[
+            Tuple[str, str, Tuple[int, ...]], Tuple[bytes, bytes]
+        ] = {}
 
     # ------------------------------------------------------- provisioning
     def register_program(self, program_id: str, program: Program) -> ProgramKnowledge:
@@ -152,16 +136,35 @@ class Verifier:
         """Provision the verification key of a prover device."""
         self._verification_keys[device_id] = verification_key
 
+    def configure_scheme(self, scheme: str, config=None) -> None:
+        """Provision the configuration used when replaying ``scheme`` references."""
+        backend = get_scheme(scheme)
+        if config is None or isinstance(config, dict):
+            config = backend.configure(config or {})
+        self._scheme_configs[scheme] = config
+        if scheme == "lofat":
+            self.lofat_config = config
+
+    def scheme_config(self, scheme: str):
+        """The configuration this verifier replays ``scheme`` references with."""
+        config = self._scheme_configs.get(scheme)
+        if config is None:
+            config = get_scheme(scheme).default_config()
+            self._scheme_configs[scheme] = config
+        return config
+
     def precompute_measurement(
-        self, program_id: str, inputs: Sequence[int]
+        self, program_id: str, inputs: Sequence[int], scheme: str = "lofat"
     ) -> Tuple[bytes, bytes]:
-        """Populate the measurement database for (program, input).
+        """Populate the measurement database for (scheme, program, input).
 
         Returns the expected ``(A, serialized L)`` pair.
         """
-        measurement, metadata = self._reference_measurement(program_id, inputs)
-        key = (program_id, tuple(inputs))
-        self._measurement_db[key] = (measurement, metadata.to_bytes())
+        measurement = self._reference_measurement(program_id, inputs, scheme)
+        key = (scheme, program_id, tuple(inputs))
+        self._measurement_db[key] = (
+            measurement.measurement, measurement.metadata.to_bytes(),
+        )
         return self._measurement_db[key]
 
     def seed_measurement(
@@ -170,16 +173,17 @@ class Verifier:
         inputs: Sequence[int],
         measurement: bytes,
         metadata_bytes: bytes,
+        scheme: str = "lofat",
     ) -> None:
         """Install an externally computed reference ``(A, serialized L)``.
 
         The campaign service uses this to share one
         :class:`repro.service.MeasurementDatabase` across verifier instances:
         the database computes (or looks up) the expected measurement keyed by
-        program digest and configuration, then seeds it here so
+        scheme, program digest and configuration, then seeds it here so
         :meth:`verify` in ``"database"`` mode is a pure lookup.
         """
-        self._measurement_db[(program_id, tuple(inputs))] = (
+        self._measurement_db[(scheme, program_id, tuple(inputs))] = (
             measurement,
             metadata_bytes,
         )
@@ -192,12 +196,13 @@ class Verifier:
         """
         entries = [
             {
+                "scheme": scheme,
                 "program_id": program_id,
                 "inputs": list(inputs),
                 "measurement": measurement.hex(),
                 "metadata": metadata.hex(),
             }
-            for (program_id, inputs), (measurement, metadata)
+            for (scheme, program_id, inputs), (measurement, metadata)
             in sorted(self._measurement_db.items())
         ]
         return json.dumps({"version": 1, "entries": entries}, indent=2)
@@ -207,14 +212,19 @@ class Verifier:
 
         Returns the number of imported entries.  Entries for unregistered
         programs are imported as well (the program may be registered later);
-        existing entries with the same key are overwritten.
+        existing entries with the same key are overwritten.  Entries written
+        before the scheme field existed default to ``"lofat"``.
         """
         document = json.loads(payload)
         if document.get("version") != 1:
             raise ValueError("unsupported measurement database version")
         count = 0
         for entry in document.get("entries", []):
-            key = (entry["program_id"], tuple(int(v) for v in entry["inputs"]))
+            key = (
+                str(entry.get("scheme", "lofat")),
+                entry["program_id"],
+                tuple(int(v) for v in entry["inputs"]),
+            )
             self._measurement_db[key] = (
                 bytes.fromhex(entry["measurement"]),
                 bytes.fromhex(entry["metadata"]),
@@ -223,13 +233,22 @@ class Verifier:
         return count
 
     # ----------------------------------------------------------- protocol
-    def challenge(self, program_id: str, inputs: Sequence[int]) -> AttestationChallenge:
-        """Create a fresh challenge for ``program_id`` with input ``inputs``."""
+    def challenge(
+        self, program_id: str, inputs: Sequence[int], scheme: str = "lofat"
+    ) -> AttestationChallenge:
+        """Create a fresh challenge for ``program_id`` with input ``inputs``.
+
+        ``scheme`` names the attestation backend the prover must answer with
+        (resolved against the registry so typos fail here, not at verify
+        time).
+        """
         if program_id not in self._programs:
             raise KeyError("program %r is not registered" % program_id)
+        get_scheme(scheme)  # fail fast on unknown schemes
         nonce = fresh_nonce()
         challenge = AttestationChallenge(
-            program_id=program_id, inputs=tuple(inputs), nonce=nonce
+            program_id=program_id, inputs=tuple(inputs), nonce=nonce,
+            scheme=scheme,
         )
         self._outstanding_nonces[nonce] = challenge
         return challenge
@@ -258,6 +277,32 @@ class Verifier:
             )
             return VerificationResult(False, reason)
 
+        # Fail closed on binding disagreements before any measurement
+        # comparison: the report must answer for the challenged program (the
+        # program id is not covered by the signature, so a compromised
+        # prover could otherwise answer a challenge on A with a valid run of
+        # B) and under the challenged scheme; a report naming a scheme this
+        # verifier does not know is rejected too.
+        if report.program_id != challenge.program_id:
+            return VerificationResult(
+                False, VerdictReason.PROGRAM_MISMATCH,
+                "challenged program %r but report answers for %r"
+                % (challenge.program_id, report.program_id),
+            )
+        if report.scheme != challenge.scheme:
+            return VerificationResult(
+                False, VerdictReason.SCHEME_MISMATCH,
+                "challenged scheme %r but report carries %r"
+                % (challenge.scheme, report.scheme),
+            )
+        try:
+            scheme = get_scheme(report.scheme)
+        except KeyError:
+            return VerificationResult(
+                False, VerdictReason.SCHEME_MISMATCH,
+                "report names unknown scheme %r" % report.scheme,
+            )
+
         key = self._verification_keys.get(device_id)
         if key is None or not verify_signature(
             report.payload, report.nonce, report.signature, key
@@ -278,56 +323,49 @@ class Verifier:
                                       "structural checks only")
         if mode == "database":
             expected = self._measurement_db.get(
-                (report.program_id, tuple(challenge.inputs))
+                (report.scheme, report.program_id, tuple(challenge.inputs))
             )
             if expected is None:
                 return VerificationResult(False, VerdictReason.NO_REFERENCE)
-            expected_measurement, expected_metadata = expected
-            if expected_measurement != report.measurement:
-                return VerificationResult(False, VerdictReason.MEASUREMENT_MISMATCH)
-            if expected_metadata != report.metadata.to_bytes():
-                return VerificationResult(False, VerdictReason.METADATA_MISMATCH)
-            return VerificationResult(True, VerdictReason.ACCEPTED)
+            return scheme.verify(report, expected)
 
-        # Golden replay.
-        expected_measurement, expected_metadata = self._reference_measurement(
-            report.program_id, challenge.inputs
+        # Golden replay through the scheme's own reference measurement.
+        reference = self._reference_measurement(
+            report.program_id, challenge.inputs, report.scheme
         )
-        if expected_measurement != report.measurement:
-            return VerificationResult(
-                False, VerdictReason.MEASUREMENT_MISMATCH,
-                "reported A does not match the verifier's replay",
-            )
-        if expected_metadata.to_bytes() != report.metadata.to_bytes():
-            return VerificationResult(
-                False, VerdictReason.METADATA_MISMATCH,
-                "reported loop metadata L does not match the verifier's replay",
-            )
-        return VerificationResult(True, VerdictReason.ACCEPTED)
+        return scheme.verify(
+            report, (reference.measurement, reference.metadata.to_bytes())
+        )
 
     # -------------------------------------------------------------- internals
     def _reference_measurement(
-        self, program_id: str, inputs: Sequence[int]
-    ) -> Tuple[bytes, LoopMetadata]:
-        """Replay the program in the verifier's trusted simulator.
+        self, program_id: str, inputs: Sequence[int], scheme: str = "lofat"
+    ):
+        """Re-measure the program through the scheme's trusted reference.
 
-        The replay streams records straight into the LO-FAT model without
-        accumulating a trace: only the measurement matters here, and repeat
-        replays of the same binary reuse the decoded-instruction cache.
+        For execution-dependent schemes this replays the program in the
+        verifier's simulator, streaming records straight into a fresh session
+        (no trace accumulation); repeat replays of the same binary reuse the
+        decoded-instruction cache.  Returns a
+        :class:`repro.schemes.SchemeMeasurement`.
         """
         knowledge = self._programs[program_id]
-        config = replace(self.cpu_config or CpuConfig(), collect_trace=False)
-        cpu = Cpu(knowledge.program, inputs=list(inputs), config=config)
-        engine = LoFatEngine(self.lofat_config)
-        cpu.attach_monitor(engine.observe)
-        cpu.run()
-        measurement = engine.finalize()
-        return measurement.measurement, measurement.metadata
+        backend = get_scheme(scheme)
+        return backend.reference_measurement(
+            knowledge.program,
+            inputs,
+            config=self.scheme_config(scheme),
+            cpu_config=self.cpu_config,
+        )
 
     def _check_metadata_structure(
         self, program_id: str, metadata: LoopMetadata
     ) -> VerificationResult:
-        """Validate the loop metadata against the static CFG."""
+        """Validate the loop metadata against the static CFG.
+
+        Schemes that report no loop metadata (C-FLAT as modelled here,
+        static attestation) pass vacuously.
+        """
         knowledge = self._programs[program_id]
         instruction_addresses = {
             instr.address for instr in knowledge.program.instructions

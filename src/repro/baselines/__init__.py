@@ -8,6 +8,12 @@
 * :mod:`repro.baselines.static_attestation` -- conventional static (binary)
   attestation, which measures the program image at load time and therefore
   cannot observe run-time control-flow attacks.
+
+Both baselines are also available as first-class, challenge-drivable
+backends of the unified scheme API (:mod:`repro.schemes`): ``cflat`` and
+``static`` plug into the same prover/verifier/campaign pipeline as
+``lofat``.  This module keeps the historical cost-model imports working and
+re-exports the scheme classes for convenience.
 """
 
 from repro.baselines.cflat import CFlatCostModel, CFlatResult, CFlatAttestation
@@ -17,6 +23,23 @@ __all__ = [
     "CFlatCostModel",
     "CFlatResult",
     "CFlatAttestation",
+    "CFlatScheme",
     "StaticAttestation",
     "StaticMeasurement",
+    "StaticScheme",
 ]
+
+_SCHEME_EXPORTS = {"CFlatScheme": "cflat", "StaticScheme": "static"}
+
+
+def __getattr__(name):
+    # Lazy re-export of the scheme classes: repro.schemes imports this
+    # package's submodules, so importing it eagerly here would be circular.
+    if name in _SCHEME_EXPORTS:
+        import importlib
+
+        module = importlib.import_module(
+            "repro.schemes.%s" % _SCHEME_EXPORTS[name]
+        )
+        return getattr(module, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

@@ -4,19 +4,22 @@ Installed as the ``repro`` (and ``lofat-repro``) console script via setup.py,
 the CLI exposes the most common interactions without writing any Python:
 
 * ``repro list`` -- list the registered workloads and attack scenarios.
+* ``repro schemes`` -- list the registered attestation schemes.
 * ``repro run <workload> [--inputs 1 2 3]`` -- execute a workload on the
   core model (no attestation) and print its output and cycle count.
-* ``repro attest <workload>`` -- run the workload under LO-FAT and print
-  the measurement ``A`` and a summary of the loop metadata ``L``.
-* ``repro protocol <workload>`` -- play the full challenge-response
-  protocol and print the verifier's verdict.
+* ``repro attest <workload> [--scheme lofat]`` -- run the workload under an
+  attestation scheme and print the measurement ``A`` and, for schemes with
+  loop compression, a summary of the loop metadata ``L``.
+* ``repro protocol <workload> [--scheme lofat]`` -- play the full
+  challenge-response protocol and print the verifier's verdict.
 * ``repro attack <scenario>`` -- run an attack scenario end to end and
   show that the verifier rejects the attacked execution.
 * ``repro overhead`` -- print the E1 LO-FAT vs C-FLAT overhead table.
 * ``repro area`` -- print the E3 FPGA resource estimate and sweep.
-* ``repro campaign`` -- run an attestation campaign (workloads x configs x
-  attacks) through the parallel campaign service, e.g.
-  ``repro campaign --experiment all --workers 4``.
+* ``repro campaign`` -- run an attestation campaign (schemes x workloads x
+  configs x attacks) through the parallel campaign service, e.g.
+  ``repro campaign --experiment all --workers 4`` or
+  ``repro campaign --experiment e5 --scheme lofat,cflat,static``.
 """
 
 from __future__ import annotations
@@ -39,7 +42,7 @@ from repro.attestation import Prover, Verifier
 from repro.cpu.core import run_program
 from repro.lofat.area_model import AreaModel, VIRTEX7_XC7Z020
 from repro.lofat.config import LoFatConfig
-from repro.lofat.engine import attest_execution
+from repro.schemes import all_schemes, get_scheme, scheme_names
 from repro.service import (
     CampaignRunner,
     CampaignSpec,
@@ -62,6 +65,16 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    print("Attestation schemes:")
+    for scheme in all_schemes():
+        print("  %-8s %s" % (scheme.name, scheme.description))
+        print("  %-8s measurement %d bytes, detects runtime attacks: %s"
+              % ("", scheme.measurement_bytes,
+                 "yes" if scheme.detects_runtime_attacks else "no"))
+    return 0
+
+
 def _resolve_inputs(args: argparse.Namespace, workload) -> List[int]:
     return list(workload.inputs) if args.inputs is None else list(args.inputs)
 
@@ -81,12 +94,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_attest(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
     inputs = _resolve_inputs(args, workload)
-    result, measurement = attest_execution(workload.build(), inputs=inputs)
+    scheme = get_scheme(args.scheme)
+    result, measurement = scheme.measure_execution(workload.build(), inputs)
+
+    overhead = int(measurement.stats.get("overhead_cycles", 0))
+    cost = ("zero attestation overhead" if overhead == 0
+            else "+%d cycles attestation overhead" % overhead)
+    print("scheme        : %s" % scheme.name)
     print("output        : %s" % result.output)
-    print("cycles        : %d (zero attestation overhead)" % result.cycles)
+    print("cycles        : %d (%s)" % (result.cycles, cost))
     print("measurement A : %s" % measurement.measurement_hex)
     print("pairs hashed  : %d / %d control-flow events"
-          % (measurement.stats["pairs_hashed"], measurement.stats["control_flow_events"]))
+          % (measurement.stats.get("pairs_hashed", 0),
+             measurement.stats.get("control_flow_events", 0)))
     print("metadata L    : %d loop executions, %d bytes"
           % (len(measurement.metadata), measurement.metadata.size_bytes))
     for loop in measurement.metadata:
@@ -109,14 +129,17 @@ def _make_protocol(workload):
 def _cmd_protocol(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
     inputs = _resolve_inputs(args, workload)
+    scheme = get_scheme(args.scheme)
     _, prover, verifier = _make_protocol(workload)
-    challenge = verifier.challenge(workload.name, inputs)
+    challenge = verifier.challenge(workload.name, inputs, scheme=scheme.name)
     report = prover.attest(challenge)
     verdict = verifier.verify(report)
+    print("scheme    : %s" % report.scheme)
     print("nonce     : %s" % challenge.nonce.hex())
     print("output    : %s" % report.output)
-    print("report    : %d bytes (A=64, L=%d, sig=%d)"
-          % (report.size_bytes, report.metadata.size_bytes, len(report.signature)))
+    print("report    : %d bytes (A=%d, L=%d, sig=%d)"
+          % (report.size_bytes, len(report.measurement),
+             report.metadata.size_bytes, len(report.signature)))
     print("verdict   : %s (%s)" % ("ACCEPTED" if verdict.accepted else "REJECTED",
                                    verdict.reason.value))
     return 0 if verdict.accepted else 1
@@ -184,6 +207,9 @@ def _load_campaign_spec(args: argparse.Namespace) -> CampaignSpec:
         spec.repeats = args.repeats
     if args.verify_mode is not None:
         spec.verify_mode = args.verify_mode
+    if args.scheme is not None:
+        spec.schemes = [name.strip() for name in args.scheme.split(",")
+                        if name.strip()]
     spec.validate()
     return spec
 
@@ -230,16 +256,20 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list workloads and attack scenarios")
+    subparsers.add_parser("schemes", help="list the registered attestation schemes")
 
     for name, help_text in (
         ("run", "run a workload without attestation"),
-        ("attest", "run a workload under LO-FAT and print (A, L)"),
+        ("attest", "run a workload under an attestation scheme and print (A, L)"),
         ("protocol", "play the full challenge-response protocol"),
     ):
         sub = subparsers.add_parser(name, help=help_text)
         sub.add_argument("workload", help="workload name (see 'list')")
         sub.add_argument("--inputs", type=int, nargs="*", default=None,
                          help="override the workload's default input values")
+        if name in ("attest", "protocol"):
+            sub.add_argument("--scheme", default="lofat", choices=scheme_names(),
+                             help="attestation scheme (default: lofat)")
 
     attack = subparsers.add_parser("attack", help="demonstrate an attack scenario")
     attack.add_argument("scenario", help="attack scenario name (see 'list')")
@@ -275,6 +305,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the spec's verification mode",
     )
     campaign.add_argument(
+        "--scheme", default=None, metavar="NAMES",
+        help="override the spec's attestation schemes (comma-separated, "
+             "e.g. lofat,cflat,static)",
+    )
+    campaign.add_argument(
         "--database", default=None, metavar="FILE",
         help="measurement database file to load before and save after the run",
     )
@@ -287,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 _COMMANDS = {
     "list": _cmd_list,
+    "schemes": _cmd_schemes,
     "run": _cmd_run,
     "attest": _cmd_attest,
     "protocol": _cmd_protocol,

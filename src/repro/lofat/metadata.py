@@ -22,6 +22,14 @@ from typing import Iterable, List, Optional, Tuple
 from repro.lofat.path_encoder import PathEncoding
 
 
+def _take(blob: bytes, offset: int, count: int) -> Tuple[bytes, int]:
+    """Read ``count`` bytes or raise :class:`ValueError` on truncation."""
+    block = blob[offset:offset + count]
+    if len(block) != count:
+        raise ValueError("truncated loop metadata")
+    return block, offset + count
+
+
 @dataclass(frozen=True)
 class PathRecord:
     """One distinct path of one loop execution.
@@ -42,6 +50,18 @@ class PathRecord:
             + self.iterations.to_bytes(4, "little")
             + self.first_seen_index.to_bytes(2, "little")
         )
+
+    @classmethod
+    def read_from(cls, blob: bytes, offset: int = 0) -> Tuple["PathRecord", int]:
+        """Parse one record from ``blob`` at ``offset``; inverse of
+        :meth:`to_bytes`, returning (record, next offset).  Raises
+        :class:`ValueError` on truncated input."""
+        encoding, offset = PathEncoding.read_from(blob, offset)
+        block, offset = _take(blob, offset, 6)
+        iterations = int.from_bytes(block[0:4], "little")
+        first_seen = int.from_bytes(block[4:6], "little")
+        return cls(encoding=encoding, iterations=iterations,
+                   first_seen_index=first_seen), offset
 
 
 @dataclass
@@ -89,6 +109,33 @@ class LoopRecord:
             blob += (target & 0xFFFFFFFF).to_bytes(4, "little")
         return blob
 
+    @classmethod
+    def read_from(cls, blob: bytes, offset: int = 0) -> Tuple["LoopRecord", int]:
+        """Parse one loop record from ``blob`` at ``offset``; inverse of
+        :meth:`to_bytes`, returning (record, next offset).  Raises
+        :class:`ValueError` on truncated input."""
+        header, offset = _take(blob, offset, 17)
+        entry = int.from_bytes(header[0:4], "little")
+        exit_node = int.from_bytes(header[4:8], "little")
+        depth = header[8]
+        iterations = int.from_bytes(header[9:13], "little")
+        exit_sequence = int.from_bytes(header[13:15], "little")
+        path_count = int.from_bytes(header[15:17], "little")
+        paths = []
+        for _ in range(path_count):
+            path, offset = PathRecord.read_from(blob, offset)
+            paths.append(path)
+        count_byte, offset = _take(blob, offset, 1)
+        target_block, offset = _take(blob, offset, 4 * count_byte[0])
+        targets = [
+            int.from_bytes(target_block[4 * i:4 * i + 4], "little")
+            for i in range(count_byte[0])
+        ]
+        return cls(entry=entry, exit_node=exit_node, depth=depth,
+                   iterations=iterations, paths=paths,
+                   indirect_targets=targets,
+                   exit_sequence=exit_sequence), offset
+
 
 @dataclass
 class LoopMetadata:
@@ -106,6 +153,26 @@ class LoopMetadata:
         for record in self.loops:
             blob += record.to_bytes()
         return blob
+
+    @classmethod
+    def read_from(cls, blob: bytes, offset: int = 0) -> Tuple["LoopMetadata", int]:
+        """Parse the metadata at ``offset``; returns (metadata, next offset).
+        Raises :class:`ValueError` on truncated input."""
+        block, offset = _take(blob, offset, 2)
+        count = int.from_bytes(block, "little")
+        loops = []
+        for _ in range(count):
+            record, offset = LoopRecord.read_from(blob, offset)
+            loops.append(record)
+        return cls(loops=loops), offset
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "LoopMetadata":
+        """Deserialise ``L`` (inverse of :meth:`to_bytes`)."""
+        metadata, offset = cls.read_from(blob, 0)
+        if offset != len(blob):
+            raise ValueError("trailing bytes after loop metadata")
+        return metadata
 
     @property
     def size_bytes(self) -> int:

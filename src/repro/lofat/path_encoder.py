@@ -64,6 +64,42 @@ class PathEncoding:
             + (b"\x01" if self.truncated else b"\x00")
         )
 
+    @classmethod
+    def read_from(cls, blob: bytes, offset: int = 0) -> Tuple["PathEncoding", int]:
+        """Parse one encoding from ``blob`` at ``offset``; return (encoding,
+        next offset).  Inverse of :meth:`to_bytes` for the serialised fields;
+        ``branch_count`` is not on the wire, so it reconstructs as the bit
+        width (re-serialisation stays byte-exact either way).  Raises
+        :class:`ValueError` on truncated input."""
+        def take(count):
+            nonlocal offset
+            block = blob[offset:offset + count]
+            if len(block) != count:
+                raise ValueError("truncated path encoding")
+            offset += count
+            return block
+
+        width = int.from_bytes(take(2), "little")
+        payload = int.from_bytes(take((width + 7) // 8 or 1), "little")
+        bits = format(payload, "0%db" % width) if width else ""
+        code_count = take(1)[0]
+        codes = tuple(take(code_count))
+        truncated = take(1)[0] != 0
+        return cls(
+            bits=bits,
+            indirect_codes=codes,
+            branch_count=len(bits),
+            truncated=truncated,
+        ), offset
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "PathEncoding":
+        """Deserialize one encoding (inverse of :meth:`to_bytes`)."""
+        encoding, offset = cls.read_from(blob, 0)
+        if offset != len(blob):
+            raise ValueError("trailing bytes after path encoding")
+        return encoding
+
     def __str__(self) -> str:
         suffix = " (truncated)" if self.truncated else ""
         return self.bits + suffix

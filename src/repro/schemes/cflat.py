@@ -1,0 +1,135 @@
+"""C-FLAT as a full measuring :class:`AttestationScheme` backend.
+
+This promotes :mod:`repro.baselines.cflat` from a trace-level cost table to a
+first-class scheme that can be driven by a challenge, verified against the
+measurement database and swept in a campaign.  The session computes, while
+streaming, exactly the measurement :meth:`CFlatAttestation.measure_trace`
+computes from a recorded trace -- the cumulative SHA3-512 hash over every
+(Src, Dest) pair of every control-flow event -- so the two stay
+interchangeable and the equivalence is pinned by ``tests/test_schemes.py``.
+
+The *cost* of producing that measurement is what separates C-FLAT from
+LO-FAT: every control-flow instruction is rewritten into a trampoline that
+traps into the TEE for a software hash update, so the overhead is linear in
+the number of executed control-flow events (:class:`CFlatCostModel`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping, Optional
+
+from repro.baselines.cflat import CFlatCostModel
+from repro.cpu.trace import TraceNotRecordedError
+from repro.schemes.base import (
+    AttestationScheme,
+    MeasurementSession,
+    SchemeConfigError,
+    SchemeCost,
+    SchemeMeasurement,
+)
+from repro.schemes.registry import register_scheme
+
+
+class CFlatSession(MeasurementSession):
+    """Streaming C-FLAT measurement of one execution.
+
+    Hashes each control-flow (Src, Dest) pair as the instruction retires;
+    nothing is accumulated, so memory stays flat on arbitrarily long runs.
+    Backward taken transfers are counted as loop events, which is what the
+    cost model's ``loop_event_discount`` (C-FLAT's own loop handling)
+    applies to.
+    """
+
+    def __init__(self, cost_model: Optional[CFlatCostModel] = None) -> None:
+        self.cost_model = cost_model or CFlatCostModel()
+        self._hasher = hashlib.sha3_512()
+        self._events = 0
+        self._loop_events = 0
+        self._last_cycle = 0
+        self._finalized: Optional[SchemeMeasurement] = None
+
+    def observe(self, record) -> None:
+        if self._finalized is not None:
+            raise RuntimeError("C-FLAT session already finalized")
+        self._last_cycle = record.cycle
+        if record.is_control_flow:
+            src, dest = record.src_dest
+            self._hasher.update(
+                src.to_bytes(4, "little") + dest.to_bytes(4, "little")
+            )
+            self._events += 1
+            if record.is_backward:
+                self._loop_events += 1
+
+    def finalize(self) -> SchemeMeasurement:
+        if self._finalized is not None:
+            return self._finalized
+        overhead = self.cost_model.overhead_cycles(
+            self._events, loop_events=self._loop_events
+        )
+        self._finalized = SchemeMeasurement(
+            scheme=CFlatScheme.name,
+            measurement=self._hasher.digest(),
+            stats={
+                "control_flow_events": self._events,
+                "loop_events": self._loop_events,
+                "pairs_hashed": self._events,
+                "compression_ratio": 1.0,
+                "per_event_cycles": self.cost_model.per_event_cycles,
+                "overhead_cycles": overhead,
+                "attested_cycles": self._last_cycle + overhead,
+                "processor_stall_cycles": overhead,
+            },
+        )
+        return self._finalized
+
+
+@register_scheme
+class CFlatScheme(AttestationScheme):
+    """Software control-flow attestation (Abera et al., CCS 2016)."""
+
+    name = "cflat"
+    description = ("software instrumentation: every control-flow event traps "
+                   "into the TEE for a hash update, overhead linear in events")
+    measurement_bytes = 64
+    detects_runtime_attacks = True
+
+    def configure(self, params: Optional[Mapping] = None) -> CFlatCostModel:
+        if isinstance(params, CFlatCostModel):
+            return params
+        try:
+            model = CFlatCostModel(**dict(params or {}))
+        except TypeError as error:
+            raise SchemeConfigError(
+                "invalid cflat parameters: %s" % error
+            ) from None
+        if (model.trampoline_cycles < 0 or model.world_switch_cycles < 0
+                or model.hash_update_cycles < 0):
+            raise SchemeConfigError("cflat cycle costs must be >= 0")
+        if not 0.0 <= model.loop_event_discount <= 1.0:
+            raise SchemeConfigError("loop_event_discount must be in [0, 1]")
+        return model
+
+    def open_session(self, program, config=None) -> CFlatSession:
+        return CFlatSession(config)
+
+    def cost_model(self, trace, config=None) -> SchemeCost:
+        model = config if isinstance(config, CFlatCostModel) else self.configure(config)
+        events = trace.control_flow_events
+        # The loop-event discount needs per-record data; on a streaming
+        # trace (records dropped) fall back to the conservative zero, which
+        # charges every event in full.
+        try:
+            loop_events = sum(
+                1 for record in trace.control_flow_records if record.is_backward
+            )
+        except TraceNotRecordedError:
+            loop_events = 0
+        overhead = model.overhead_cycles(events, loop_events=loop_events)
+        return SchemeCost(
+            scheme=self.name,
+            baseline_cycles=trace.cycles,
+            attested_cycles=trace.cycles + overhead,
+            control_flow_events=events,
+        )

@@ -1,0 +1,98 @@
+"""Decorator-based registry of attestation schemes.
+
+Backends register themselves at import time::
+
+    @register_scheme
+    class MyScheme(AttestationScheme):
+        name = "mine"
+        ...
+
+and everything downstream -- prover, verifier, measurement database, campaign
+specs, CLI -- resolves them with :func:`get_scheme` by the name carried in
+challenges and reports.  Lookup is fail-closed: an unknown name raises
+:class:`SchemeNotFoundError` (a ``KeyError``), never a silent default.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.schemes.base import AttestationScheme, SchemeError
+
+
+class SchemeNotFoundError(KeyError):
+    """Raised when a scheme name is not registered."""
+
+
+class DuplicateSchemeError(SchemeError):
+    """Raised when two backends claim the same scheme name."""
+
+
+class SchemeRegistry:
+    """Name -> scheme instance mapping with decorator registration."""
+
+    def __init__(self) -> None:
+        self._schemes: Dict[str, AttestationScheme] = {}
+
+    def register(self, scheme_class: Type[AttestationScheme]) -> Type[AttestationScheme]:
+        """Register ``scheme_class`` under its ``name`` (decorator-friendly)."""
+        name = getattr(scheme_class, "name", "")
+        if not name:
+            raise SchemeError(
+                "scheme class %s declares no name" % scheme_class.__name__
+            )
+        if name in self._schemes:
+            raise DuplicateSchemeError(
+                "scheme %r is already registered (by %s)"
+                % (name, type(self._schemes[name]).__name__)
+            )
+        self._schemes[name] = scheme_class()
+        return scheme_class
+
+    def get(self, name: str) -> AttestationScheme:
+        """Resolve a scheme by name; raises :class:`SchemeNotFoundError`."""
+        try:
+            return self._schemes[name]
+        except KeyError:
+            raise SchemeNotFoundError(
+                "unknown attestation scheme %r (registered: %s)"
+                % (name, ", ".join(sorted(self._schemes)) or "none")
+            ) from None
+
+    def names(self) -> List[str]:
+        """Registered scheme names, sorted."""
+        return sorted(self._schemes)
+
+    def all(self) -> List[AttestationScheme]:
+        """All registered scheme instances, sorted by name."""
+        return [self._schemes[name] for name in self.names()]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._schemes
+
+    def __len__(self) -> int:
+        return len(self._schemes)
+
+
+#: The process-wide registry the first-class backends register into.
+SCHEME_REGISTRY = SchemeRegistry()
+
+
+def register_scheme(scheme_class: Type[AttestationScheme]) -> Type[AttestationScheme]:
+    """Class decorator registering a backend in :data:`SCHEME_REGISTRY`."""
+    return SCHEME_REGISTRY.register(scheme_class)
+
+
+def get_scheme(name: str) -> AttestationScheme:
+    """Resolve a scheme from the process-wide registry."""
+    return SCHEME_REGISTRY.get(name)
+
+
+def all_schemes() -> List[AttestationScheme]:
+    """All registered schemes, sorted by name."""
+    return SCHEME_REGISTRY.all()
+
+
+def scheme_names() -> List[str]:
+    """Registered scheme names, sorted."""
+    return SCHEME_REGISTRY.names()

@@ -4,17 +4,22 @@ This package scales the single challenge-response protocol of
 :mod:`repro.attestation` into a verifier-side *service* that attests many
 executions at once (see ``docs/ARCHITECTURE.md`` for the layer diagram):
 
-* :mod:`repro.service.campaign` -- declarative campaign specs (workloads x
-  LO-FAT configs x attack injections) and their expansion into picklable jobs.
+* :mod:`repro.service.campaign` -- declarative campaign specs (schemes x
+  workloads x configs x attack injections) and their expansion into
+  picklable jobs.
 * :mod:`repro.service.worker` -- prover-side job execution, the unit shipped
   to ``multiprocessing`` workers.
 * :mod:`repro.service.database` -- the measurement database caching expected
-  ``(A, L)`` keyed by (program digest, inputs, config digest), which makes
-  repeat verification O(lookup) instead of O(re-execution).
+  ``(A, L)`` keyed by (scheme, program digest, inputs, config digest), which
+  makes repeat verification O(lookup) instead of O(re-execution).
 * :mod:`repro.service.runner` -- the campaign runner: parallel prover
   fan-out, central verification, recombined results.
-* :mod:`repro.service.presets` -- every benchmark experiment (E1-E9)
-  expressed as a campaign.
+* :mod:`repro.service.presets` -- every benchmark experiment (E1-E9, plus
+  the E11 scheme matrix) expressed as a campaign.
+
+Campaigns are scheme-parameterized (see :mod:`repro.schemes`): one spec can
+sweep ``lofat`` x ``cflat`` x ``static`` over the same workloads and attacks,
+which is how the paper's LO-FAT-vs-C-FLAT comparison runs end to end.
 
 Quickstart::
 

@@ -2,17 +2,18 @@
 
 The verifier's strongest check -- golden replay -- costs one full simulated
 execution per report.  At campaign scale that dominates the service's work:
-the same (program, input, configuration) triple is verified over and over
-across repeats, sweeps and attack/benign pairs.  This module caches the
+the same (scheme, program, input, configuration) tuple is verified over and
+over across repeats, sweeps and attack/benign pairs.  This module caches the
 expected measurement ``(A, serialized L)`` keyed by
 
-    (program digest, input vector, LO-FAT configuration digest)
+    (scheme name, program digest, input vector, configuration digest)
 
 so that every verification after the first is O(lookup).  Keying by *digest*
 rather than registry name means the cache survives re-assembly, renaming and
 process restarts (via :meth:`MeasurementDatabase.save` /
 :meth:`MeasurementDatabase.load`), and can never confuse two different
-binaries that share a name.
+binaries that share a name; including the scheme name means LO-FAT, C-FLAT
+and static references for the same binary never collide either.
 
 The database stores only public reference values -- the expected measurement
 and metadata for known inputs -- so persisting or sharing it does not weaken
@@ -21,39 +22,34 @@ the protocol (freshness still comes from the per-challenge nonce).
 
 from __future__ import annotations
 
-import hashlib
 import json
-from dataclasses import asdict
 from typing import Dict, Optional, Tuple
 
 from repro.isa.assembler import Program
 from repro.lofat.config import LoFatConfig
-from repro.lofat.engine import attest_execution
+from repro.schemes import get_scheme
 
-#: A database key: (program digest, inputs, config digest).
-DatabaseKey = Tuple[str, Tuple[int, ...], str]
+#: A database key: (scheme, program digest, inputs, config digest).
+DatabaseKey = Tuple[str, str, Tuple[int, ...], str]
 
 
-def config_digest(config: LoFatConfig) -> str:
+def config_digest(config: Optional[LoFatConfig] = None) -> str:
     """Canonical SHA3-256 digest of a LO-FAT configuration.
 
-    Two configurations with identical parameters hash identically regardless
-    of how they were constructed; any parameter change (tracking granularity,
-    hash engine sizing, ...) produces a different key, because it can change
-    the measurement.
+    Retained for backward compatibility; the scheme-generic form is
+    ``get_scheme(name).config_digest(config)``, which this delegates to.
     """
-    canonical = json.dumps(asdict(config), sort_keys=True)
-    return hashlib.sha3_256(canonical.encode("utf-8")).hexdigest()
+    return get_scheme("lofat").config_digest(config)
 
 
 class MeasurementDatabase:
-    """Cache of expected measurements, keyed by (digest, inputs, config).
+    """Cache of expected measurements, keyed by (scheme, digest, inputs, config).
 
     ``lookup_or_compute`` is the service's main entry point: a hit returns
-    the stored ``(A, L)`` immediately; a miss computes the reference by
-    running the program once under LO-FAT (streaming, no trace accumulation)
-    and stores it.  Hit/miss counters feed the campaign reports and the E10
-    benchmark's cache-speedup measurement.
+    the stored ``(A, L)`` immediately; a miss computes the reference through
+    the scheme's own ``reference_measurement`` (streaming, no trace
+    accumulation) and stores it.  Hit/miss counters feed the campaign
+    reports and the E10 benchmark's cache-speedup measurement.
     """
 
     def __init__(self) -> None:
@@ -66,12 +62,15 @@ class MeasurementDatabase:
     def key_for(
         program: Program,
         inputs: Tuple[int, ...],
-        config: Optional[LoFatConfig] = None,
+        config=None,
+        scheme: str = "lofat",
     ) -> DatabaseKey:
+        backend = get_scheme(scheme)
         return (
+            backend.name,
             program.digest,
             tuple(int(v) for v in inputs),
-            config_digest(config or LoFatConfig()),
+            backend.config_digest(config),
         )
 
     # -------------------------------------------------------------- access
@@ -79,10 +78,11 @@ class MeasurementDatabase:
         self,
         program: Program,
         inputs: Tuple[int, ...],
-        config: Optional[LoFatConfig] = None,
+        config=None,
+        scheme: str = "lofat",
     ) -> Optional[Tuple[bytes, bytes]]:
         """Return the stored ``(A, serialized L)`` or None (counts hit/miss)."""
-        entry = self._entries.get(self.key_for(program, inputs, config))
+        entry = self._entries.get(self.key_for(program, inputs, config, scheme))
         if entry is None:
             self.misses += 1
         else:
@@ -93,38 +93,40 @@ class MeasurementDatabase:
         self,
         program: Program,
         inputs: Tuple[int, ...],
-        config: Optional[LoFatConfig],
+        config,
         measurement: bytes,
         metadata_bytes: bytes,
+        scheme: str = "lofat",
     ) -> None:
-        key = self.key_for(program, inputs, config)
+        key = self.key_for(program, inputs, config, scheme)
         self._entries[key] = (bytes(measurement), bytes(metadata_bytes))
 
     def lookup_or_compute(
         self,
         program: Program,
         inputs: Tuple[int, ...],
-        config: Optional[LoFatConfig] = None,
+        config=None,
         cpu_config=None,
+        scheme: str = "lofat",
     ) -> Tuple[bytes, bytes, bool]:
         """Return ``(A, serialized L, was_hit)``, computing the reference on miss.
 
         The reference execution streams its trace (nothing is accumulated)
         and benefits from the process-wide decoded-instruction cache, so even
-        the miss path is as cheap as one monitored run can be.
+        the miss path is as cheap as one measured run can be; schemes whose
+        measurement is execution-independent (static) skip the run entirely.
         """
-        key = self.key_for(program, inputs, config)
+        key = self.key_for(program, inputs, config, scheme)
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
             return entry[0], entry[1], True
         self.misses += 1
-        _, measurement = attest_execution(
+        measurement = get_scheme(scheme).reference_measurement(
             program,
             inputs=list(inputs),
             config=config,
             cpu_config=cpu_config,
-            collect_trace=False,
         )
         entry = (measurement.measurement, measurement.metadata.to_bytes())
         self._entries[key] = entry
@@ -175,25 +177,32 @@ class MeasurementDatabase:
     def to_json(self) -> str:
         entries = [
             {
+                "scheme": scheme,
                 "program_digest": program_digest,
                 "inputs": list(inputs),
                 "config_digest": cfg_digest,
                 "measurement": measurement.hex(),
                 "metadata": metadata.hex(),
             }
-            for (program_digest, inputs, cfg_digest), (measurement, metadata)
+            for (scheme, program_digest, inputs, cfg_digest), (measurement, metadata)
             in sorted(self._entries.items())
         ]
         return json.dumps({"version": 1, "entries": entries}, indent=2)
 
     @classmethod
     def from_json(cls, payload: str) -> "MeasurementDatabase":
+        """Parse a persisted database.
+
+        Entries written before the scheme field existed default to
+        ``"lofat"`` so old database files stay loadable.
+        """
         document = json.loads(payload)
         if document.get("version") != 1:
             raise ValueError("unsupported measurement database version")
         database = cls()
         for entry in document.get("entries", []):
             key = (
+                str(entry.get("scheme", "lofat")),
                 str(entry["program_digest"]),
                 tuple(int(v) for v in entry["inputs"]),
                 str(entry["config_digest"]),

@@ -1,11 +1,12 @@
-"""Campaign presets: every benchmark experiment (E1-E9) as a campaign.
+"""Campaign presets: every benchmark experiment (E1-E9, E11) as a campaign.
 
 Each preset re-expresses the workload/config/attack combinations that the
 corresponding ``benchmarks/test_bench_e*.py`` experiment executes as a
 declarative :class:`repro.service.campaign.CampaignSpec`, so the campaign
 runner can attest all of them end to end -- sequentially or fanned out across
 workers -- with one command (``repro campaign --experiment e5`` or
-``--experiment all``).
+``--experiment all``).  The ``e11`` preset is the scheme matrix: the same
+population attested under LO-FAT, C-FLAT and static attestation in one run.
 
 The presets intentionally reuse the registry names: the campaign runner then
 exercises the same binaries, the same inputs and the same LO-FAT
@@ -214,6 +215,22 @@ def _e9() -> CampaignSpec:
     )
 
 
+def _e11() -> CampaignSpec:
+    # The paper's comparative claim as one campaign: every loop-heavy
+    # workload and every attack scenario attested under all three registered
+    # schemes.  LO-FAT and C-FLAT detect every attack; static attestation is
+    # *expected* to accept the attacked runs (it cannot see them), which the
+    # scheme-aware job expectations encode.
+    return CampaignSpec(
+        name="e11_scheme_matrix",
+        description="scheme comparison: lofat vs cflat vs static over the "
+                    "loop-heavy workloads plus all attacks",
+        workloads=_workloads(_LOOP_HEAVY),
+        schemes=["lofat", "cflat", "static"],
+        attacks=sorted(ATTACK_REGISTRY),
+    )
+
+
 _PRESETS: Dict[str, Callable[[], CampaignSpec]] = {
     "e1": _e1,
     "e2": _e2,
@@ -224,4 +241,5 @@ _PRESETS: Dict[str, Callable[[], CampaignSpec]] = {
     "e7": _e7,
     "e8": _e8,
     "e9": _e9,
+    "e11": _e11,
 }

@@ -3,8 +3,9 @@
 :class:`CampaignRunner` is the verifier-side service loop: it expands a
 :class:`repro.service.campaign.CampaignSpec` into jobs, fans the prover
 executions out across worker processes, then verifies every returned report
-centrally -- one verifier per LO-FAT configuration variant, all of them
-backed by a shared :class:`repro.service.database.MeasurementDatabase`.
+centrally -- one verifier per (attestation scheme, configuration variant)
+sweep point, all of them backed by a shared
+:class:`repro.service.database.MeasurementDatabase`.
 
 The decomposition mirrors the deployment the paper assumes: many independent
 prover devices execute in parallel (they share nothing but their program
@@ -83,6 +84,7 @@ class JobResult:
         """Row dictionary for :func:`repro.analysis.report.format_table`."""
         return {
             "job": self.job.job_id,
+            "scheme": self.job.scheme,
             "verdict": "ACCEPTED" if self.accepted else "REJECTED",
             "reason": self.reason,
             "ok": self.ok,
@@ -195,7 +197,8 @@ class CampaignRunner:
 
         verifiers, programs = self._provision(jobs)
         payloads = [
-            (job, verifiers[job.config_name].challenge(job.workload, job.inputs).nonce)
+            (job, verifiers[(job.scheme, job.config_name)]
+                  .challenge(job.workload, job.inputs, scheme=job.scheme).nonce)
             for job in jobs
         ]
 
@@ -224,28 +227,28 @@ class CampaignRunner:
     # ------------------------------------------------------------ plumbing
     def _provision(
         self, jobs: Sequence[CampaignJob]
-    ) -> Tuple[Dict[str, Verifier], Dict[str, Program]]:
-        """Build one verifier per config variant and register all programs.
+    ) -> Tuple[Dict[Tuple[str, str], Verifier], Dict[str, Program]]:
+        """Build one verifier per (scheme, config variant) and register programs.
 
         Program analyses (CFG, loops) are shared across verifiers through
-        the process-wide knowledge cache, so provisioning N config variants
+        the process-wide knowledge cache, so provisioning N sweep points
         costs one analysis per distinct binary, not N.
         """
         verification_key = SecureKeyStore(
             device_id=self.device_id
         ).export_for_verifier()
-        verifiers: Dict[str, Verifier] = {}
+        verifiers: Dict[Tuple[str, str], Verifier] = {}
         programs: Dict[str, Program] = {}
         for job in jobs:
             if job.workload not in programs:
                 programs[job.workload] = get_workload(job.workload).build()
-            verifier = verifiers.get(job.config_name)
+            key = (job.scheme, job.config_name)
+            verifier = verifiers.get(key)
             if verifier is None:
-                verifier = Verifier(
-                    lofat_config=job.lofat_config(), cpu_config=self.cpu_config,
-                )
+                verifier = Verifier(cpu_config=self.cpu_config)
+                verifier.configure_scheme(job.scheme, job.scheme_config())
                 verifier.register_device_key(self.device_id, verification_key)
-                verifiers[job.config_name] = verifier
+                verifiers[key] = verifier
             if job.workload not in verifier._programs:
                 verifier.register_program(job.workload, programs[job.workload])
         return verifiers, programs
@@ -271,20 +274,22 @@ class CampaignRunner:
         spec: CampaignSpec,
         job: CampaignJob,
         response: ProverResponse,
-        verifiers: Dict[str, Verifier],
+        verifiers: Dict[Tuple[str, str], Verifier],
         programs: Dict[str, Program],
     ) -> JobResult:
-        verifier = verifiers[job.config_name]
+        verifier = verifiers[(job.scheme, job.config_name)]
         cache_hit: Optional[bool] = None
         if spec.verify_mode == "database":
             measurement, metadata_bytes, cache_hit = self.database.lookup_or_compute(
                 programs[job.workload],
                 job.inputs,
-                job.lofat_config(),
+                job.scheme_config(),
                 cpu_config=self.cpu_config,
+                scheme=job.scheme,
             )
             verifier.seed_measurement(
                 job.workload, job.inputs, measurement, metadata_bytes,
+                scheme=job.scheme,
             )
         verdict = verifier.verify(
             response.report, device_id=self.device_id, mode=spec.verify_mode,

@@ -1,13 +1,15 @@
 """Prover-side job execution (runs inside worker processes).
 
 Each campaign job models one remote prover device answering one attestation
-challenge.  The function :func:`execute_prover_job` is the unit the
+challenge under the job's attestation scheme (LO-FAT, C-FLAT, static, ...).
+The function :func:`execute_prover_job` is the unit the
 :class:`repro.service.runner.CampaignRunner` ships to ``multiprocessing``
 workers; everything it touches is rebuilt from registry names inside the
-worker process, and everything it returns is a plain picklable value -- the
-signed :class:`repro.attestation.protocol.AttestationReport` plus operational
-numbers.  The hardware-protected signing key never crosses the process
-boundary (it is derived in-worker from the device id, and
+worker process -- including the scheme and its configuration, resolved from
+:mod:`repro.schemes` -- and everything it returns is a plain picklable value
+-- the signed :class:`repro.attestation.protocol.AttestationReport` plus
+operational numbers.  The hardware-protected signing key never crosses the
+process boundary (it is derived in-worker from the device id, and
 :class:`repro.attestation.crypto.SecureKeyStore` refuses to pickle).
 
 Per-process caches keep repeated jobs cheap: assembled programs are reused
@@ -65,24 +67,25 @@ def execute_prover_job(
     ``cpu_config`` carries the runner's core-model parameters (instruction
     budget, latencies) to the prover side, so prover and verifier simulate
     the same machine.  The execution always streams its trace into the
-    LO-FAT engine (``collect_trace`` is forced off): the monitor consumes
-    records as they retire, so memory stays flat no matter how long the
-    workload runs.
+    scheme's measurement session (``collect_trace`` is forced off): the
+    monitor consumes records as they retire, so memory stays flat no matter
+    how long the workload runs.
     """
     job, nonce = payload
     program = _assembled_program(job.workload)
     prover = Prover(
         {job.workload: program},
-        lofat_config=job.lofat_config(),
         cpu_config=replace(cpu_config or CpuConfig(), collect_trace=False),
         device_id=device_id,
     )
+    prover.configure_scheme(job.scheme, job.scheme_config())
     if job.attack is not None:
         scenario = get_attack(job.attack)
         prover.install_attack(scenario.prover_hook(program))
 
     challenge = AttestationChallenge(
         program_id=job.workload, inputs=job.inputs, nonce=nonce,
+        scheme=job.scheme,
     )
     started = time.perf_counter()
     report = prover.attest(challenge)

@@ -88,6 +88,84 @@ class TestSpecParsing:
             CampaignSpec.from_json("{nope")
 
 
+class TestSchemeSweep:
+    def test_schemes_default_to_lofat(self):
+        spec = CampaignSpec.from_dict({"name": "demo", "workloads": ["crc32"]})
+        assert spec.schemes == ["lofat"]
+        assert all(job.scheme == "lofat" for job in spec.expand())
+
+    def test_scheme_sweep_multiplies_jobs(self):
+        spec = CampaignSpec(name="demo",
+                            workloads=[WorkloadSelection("crc32")],
+                            schemes=["lofat", "cflat", "static"])
+        jobs = spec.expand()
+        assert len(jobs) == 3
+        assert {job.scheme for job in jobs} == {"lofat", "cflat", "static"}
+        assert len({job.job_id for job in jobs}) == 3
+
+    def test_unknown_scheme_rejected(self):
+        spec = CampaignSpec(name="demo", workloads=[WorkloadSelection("crc32")],
+                            schemes=["quantum"])
+        with pytest.raises(CampaignSpecError, match="unknown scheme"):
+            spec.validate()
+
+    def test_duplicate_scheme_rejected(self):
+        spec = CampaignSpec(name="demo", workloads=[WorkloadSelection("crc32")],
+                            schemes=["lofat", "lofat"])
+        with pytest.raises(CampaignSpecError, match="duplicate scheme"):
+            spec.validate()
+
+    def test_empty_schemes_rejected(self):
+        spec = CampaignSpec(name="demo", workloads=[WorkloadSelection("crc32")],
+                            schemes=[])
+        with pytest.raises(CampaignSpecError, match="no attestation schemes"):
+            spec.validate()
+
+    def test_per_scheme_config_params(self):
+        spec = CampaignSpec.from_dict({
+            "name": "demo",
+            "workloads": ["crc32"],
+            "schemes": ["lofat", "cflat"],
+            "configs": [{"name": "tuned",
+                         "lofat": {"max_nested_loops": 5},
+                         "params": {"cflat": {"world_switch_cycles": 0}}}],
+        })
+        jobs = {job.scheme: job for job in spec.expand()}
+        assert jobs["lofat"].lofat_config().max_nested_loops == 5
+        assert jobs["cflat"].scheme_config().world_switch_cycles == 0
+        assert jobs["cflat"].lofat_params == ()
+
+    def test_invalid_per_scheme_params_rejected(self):
+        spec = CampaignSpec(
+            name="demo",
+            workloads=[WorkloadSelection("crc32")],
+            schemes=["static"],
+            configs=[ConfigVariant("bad", scheme_params={"static": {"x": 1}})],
+        )
+        with pytest.raises(CampaignSpecError, match="not valid for scheme"):
+            spec.validate()
+
+    def test_scheme_spec_json_roundtrip(self):
+        spec = CampaignSpec(
+            name="matrix",
+            workloads=[WorkloadSelection("figure4_loop")],
+            schemes=["lofat", "cflat", "static"],
+            attacks=["auth_flag_flip"],
+        )
+        restored = CampaignSpec.from_json(spec.to_json())
+        assert restored.schemes == spec.schemes
+        assert [j.job_id for j in restored.expand()] == \
+               [j.job_id for j in spec.expand()]
+
+    def test_expects_detection_is_scheme_aware(self):
+        spec = CampaignSpec(name="demo", attacks=["auth_flag_flip"],
+                            include_benign=False,
+                            schemes=["lofat", "cflat", "static"])
+        expectations = {job.scheme: job.expects_detection
+                        for job in spec.expand()}
+        assert expectations == {"lofat": True, "cflat": True, "static": False}
+
+
 class TestSpecValidation:
     def test_unknown_workload(self):
         spec = CampaignSpec(name="x", workloads=[WorkloadSelection("nope")])

@@ -85,6 +85,66 @@ class TestParallelExecution:
         assert len(result.results) == 1
 
 
+class TestSchemeMatrixExecution:
+    """One campaign sweeping all three schemes, end to end (the tentpole
+    acceptance criterion)."""
+
+    @pytest.fixture
+    def matrix_spec(self):
+        return CampaignSpec(
+            name="matrix",
+            workloads=[WorkloadSelection("figure4_loop"),
+                       WorkloadSelection("auth_check")],
+            schemes=["lofat", "cflat", "static"],
+            attacks=["auth_flag_flip"],
+        )
+
+    def test_matrix_runs_end_to_end(self, matrix_spec):
+        database = MeasurementDatabase()
+        result = CampaignRunner(database=database).run(matrix_spec)
+        assert result.ok
+        by_scheme = {}
+        for job_result in result.results:
+            by_scheme.setdefault(job_result.job.scheme, []).append(job_result)
+        assert set(by_scheme) == {"lofat", "cflat", "static"}
+        # Control-flow schemes reject the attack; static accepts it (and
+        # that acceptance is the expected outcome).
+        for scheme in ("lofat", "cflat"):
+            attacked = [r for r in by_scheme[scheme] if r.job.attack]
+            assert attacked and all(r.detected and r.ok for r in attacked)
+        static_attacked = [r for r in by_scheme["static"] if r.job.attack]
+        assert static_attacked
+        assert all(r.accepted and r.ok for r in static_attacked)
+        # The measurement database holds scheme-separated references.
+        assert len(database) > 0
+
+    def test_matrix_parallel_identical_to_sequential(self, matrix_spec):
+        sequential = CampaignRunner().run(matrix_spec, workers=1)
+        parallel = CampaignRunner().run(matrix_spec, workers=4)
+        assert parallel.identities() == sequential.identities()
+        assert parallel.ok
+
+    def test_matrix_replay_mode(self, matrix_spec):
+        matrix_spec.verify_mode = "replay"
+        assert CampaignRunner().run(matrix_spec).ok
+
+    def test_e11_preset_runs(self):
+        result = CampaignRunner().run(experiment_campaign("e11"), workers=2)
+        assert result.ok
+        assert {r.job.scheme for r in result.results} == \
+               {"lofat", "cflat", "static"}
+
+    def test_matrix_database_roundtrip_warm_run(self, matrix_spec, tmp_path):
+        database = MeasurementDatabase()
+        CampaignRunner(database=database).run(matrix_spec)
+        path = str(tmp_path / "matrix.json")
+        database.save(path)
+        warm = CampaignRunner(database=MeasurementDatabase.load(path))
+        second = warm.run(matrix_spec)
+        assert second.ok
+        assert all(r.cache_hit for r in second.results)
+
+
 class TestMeasurementCaching:
     def test_repeat_campaign_hits_database(self, small_spec):
         database = MeasurementDatabase()
