@@ -24,6 +24,8 @@ def format_campaign_summary(result) -> str:
         "" if summary["workers"] == 1 else "s",
     )]
     summary.pop("workers")
+    lines.append("  execution path   : %s"
+                 % ("fast" if summary.pop("fast_path", True) else "legacy"))
     lines.append("  jobs             : %d" % summary.pop("jobs"))
     lines.append("  all as expected  : %s" % summary.pop("ok"))
     lines.append("  accepted reports : %d" % summary.pop("accepted"))

@@ -58,6 +58,11 @@ def buffer_depth_sweep(
     cpu_config: Optional[CpuConfig] = None,
 ) -> List[Dict[str, object]]:
     """Hash-input buffer occupancy and drops per workload and depth (E6)."""
+    if cpu_config is None:
+        # Cycle-model experiment: observe per record so pair arrival times
+        # match the hardware's per-cycle snoop (the batched fast path is
+        # digest-identical but coarsens the transient occupancy numbers).
+        cpu_config = CpuConfig(fast_path=False)
     rows: List[Dict[str, object]] = []
     for workload in workloads:
         program = workload.build()
@@ -137,6 +142,10 @@ def hash_density_sweep(
     engine's busy fraction relative to the program run time, and the buffer
     high-water mark.
     """
+    if cpu_config is None:
+        # Cycle-model experiment: per-record observation for exact arrival
+        # timing (see buffer_depth_sweep).
+        cpu_config = CpuConfig(fast_path=False)
     rows: List[Dict[str, object]] = []
     for workload in workloads:
         program = workload.build()

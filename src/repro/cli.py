@@ -16,6 +16,10 @@ the CLI exposes the most common interactions without writing any Python:
   show that the verifier rejects the attacked execution.
 * ``repro overhead`` -- print the E1 LO-FAT vs C-FLAT overhead table.
 * ``repro area`` -- print the E3 FPGA resource estimate and sweep.
+* ``repro fastpath [--workload NAME]`` -- verify that the fused fast-path
+  interpreter is enabled by default and produces byte-identical
+  measurements to the legacy per-instruction loop, and print the
+  per-scheme instructions/sec speedup (the CI smoke check for E12).
 * ``repro campaign`` -- run an attestation campaign (schemes x workloads x
   configs x attacks) through the parallel campaign service, e.g.
   ``repro campaign --experiment all --workers 4`` or
@@ -27,6 +31,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from typing import List, Optional
 
 from repro.analysis.campaign_report import (
@@ -39,7 +44,7 @@ from repro.analysis.report import format_table
 from repro.analysis.sweep import area_sweep
 from repro.attacks import all_attacks, get_attack
 from repro.attestation import Prover, Verifier
-from repro.cpu.core import run_program
+from repro.cpu.core import CpuConfig, run_program
 from repro.lofat.area_model import AreaModel, VIRTEX7_XC7Z020
 from repro.lofat.config import LoFatConfig
 from repro.schemes import all_schemes, get_scheme, scheme_names
@@ -79,10 +84,15 @@ def _resolve_inputs(args: argparse.Namespace, workload) -> List[int]:
     return list(workload.inputs) if args.inputs is None else list(args.inputs)
 
 
+def _cpu_config(args: argparse.Namespace) -> CpuConfig:
+    """The core-model configuration implied by the CLI flags."""
+    return CpuConfig(fast_path=not getattr(args, "legacy_loop", False))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
     inputs = _resolve_inputs(args, workload)
-    result = run_program(workload.build(), inputs=inputs)
+    result = run_program(workload.build(), inputs=inputs, config=_cpu_config(args))
     print("output      : %s" % result.output)
     print("exit code   : %d" % result.exit_code)
     print("instructions: %d" % result.instructions)
@@ -95,7 +105,8 @@ def _cmd_attest(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
     inputs = _resolve_inputs(args, workload)
     scheme = get_scheme(args.scheme)
-    result, measurement = scheme.measure_execution(workload.build(), inputs)
+    result, measurement = scheme.measure_execution(
+        workload.build(), inputs, cpu_config=_cpu_config(args))
 
     overhead = int(measurement.stats.get("overhead_cycles", 0))
     cost = ("zero attestation overhead" if overhead == 0
@@ -195,6 +206,44 @@ def _cmd_area(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fastpath(args: argparse.Namespace) -> int:
+    """Smoke-check the fast execution pipeline against the legacy loop."""
+    workload = get_workload(args.workload)
+    program = workload.build()
+    inputs = list(workload.inputs)
+
+    default_on = CpuConfig().fast_path
+    print("fast path enabled by default: %s" % default_on)
+    all_identical = True
+
+    for scheme in all_schemes():
+        measurements = {}
+        rates = {}
+        for label, fast in (("legacy", False), ("fast", True)):
+            config = CpuConfig(fast_path=fast, collect_trace=False)
+            best = None
+            for _ in range(max(1, args.repeats)):
+                started = time.perf_counter()
+                result, measured = scheme.measure_execution(
+                    program, inputs, cpu_config=config)
+                elapsed = time.perf_counter() - started
+                best = elapsed if best is None else min(best, elapsed)
+            measurements[label] = (measured.measurement,
+                                   measured.metadata.to_bytes())
+            rates[label] = result.instructions / best if best else 0.0
+        identical = measurements["legacy"] == measurements["fast"]
+        all_identical = all_identical and identical
+        speedup = rates["fast"] / rates["legacy"] if rates["legacy"] else 0.0
+        print("  %-8s measurements %s  legacy %8.0f i/s  fast %8.0f i/s  "
+              "speedup %.2fx"
+              % (scheme.name, "identical" if identical else "DIFFER",
+                 rates["legacy"], rates["fast"], speedup))
+
+    ok = default_on and all_identical
+    print("fastpath check: %s" % ("OK" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
 def _load_campaign_spec(args: argparse.Namespace) -> CampaignSpec:
     if args.spec is not None:
         with open(args.spec) as handle:
@@ -226,7 +275,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     except (ValueError, OSError) as error:
         print("error: %s" % error, file=sys.stderr)
         return 2
-    runner = CampaignRunner(database=database)
+    runner = CampaignRunner(database=database, cpu_config=_cpu_config(args))
 
     result = runner.run(spec, workers=args.workers)
 
@@ -267,6 +316,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("workload", help="workload name (see 'list')")
         sub.add_argument("--inputs", type=int, nargs="*", default=None,
                          help="override the workload's default input values")
+        if name in ("run", "attest"):
+            sub.add_argument("--legacy-loop", action="store_true",
+                             help="force the legacy per-instruction interpreter "
+                                  "loop instead of the fused fast path")
         if name in ("attest", "protocol"):
             sub.add_argument("--scheme", default="lofat", choices=scheme_names(),
                              help="attestation scheme (default: lofat)")
@@ -276,6 +329,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("overhead", help="print the LO-FAT vs C-FLAT overhead table")
     subparsers.add_parser("area", help="print the FPGA resource estimates")
+
+    fastpath = subparsers.add_parser(
+        "fastpath",
+        help="check fast-path/legacy digest equality and print the speedup",
+    )
+    fastpath.add_argument(
+        "--workload", default="syringe_pump",
+        help="workload to execute under every scheme (default: syringe_pump)",
+    )
+    fastpath.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="timing repetitions per configuration (best-of-N, default 3)",
+    )
 
     campaign = subparsers.add_parser(
         "campaign",
@@ -317,6 +383,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-jobs", action="store_true",
         help="print the per-job verdict table",
     )
+    campaign.add_argument(
+        "--legacy-loop", action="store_true",
+        help="run prover and verifier executions on the legacy "
+             "per-instruction loop instead of the fused fast path",
+    )
     return parser
 
 
@@ -329,6 +400,7 @@ _COMMANDS = {
     "attack": _cmd_attack,
     "overhead": _cmd_overhead,
     "area": _cmd_area,
+    "fastpath": _cmd_fastpath,
     "campaign": _cmd_campaign,
 }
 

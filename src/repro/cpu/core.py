@@ -69,6 +69,16 @@ class CpuConfig:
     #: and stream records straight to the monitors, keeping only summary
     #: counters in memory.
     collect_trace: bool = True
+    #: Run the fused fetch/decode/dispatch inner loop (:meth:`Cpu.run_fast`)
+    #: instead of the per-instruction :meth:`Cpu.step` loop.  The fast path is
+    #: architecturally identical -- same registers, cycles, outputs, trace
+    #: records and attestation measurements -- and only engages when every
+    #: attached monitor supports batched observation; set this to False to
+    #: force the legacy loop (the e12 benchmark measures the difference).
+    fast_path: bool = True
+    #: Number of control-flow records buffered before a batch is flushed to
+    #: the attached monitors on the fast path.
+    monitor_batch_size: int = 256
     #: Clock frequency of the core in MHz (Pulpino/LO-FAT run at 80 MHz on
     #: the Zedboard prototype); used only to convert cycles to wall time in
     #: reports.
@@ -119,11 +129,29 @@ class Cpu:
             if self.config.decoded_instruction_cache
             else None
         )
+        # The fast-path dispatch table (pc -> (executor, instruction, word,
+        # kind, is_control_flow)) is shared across runs of the same program
+        # image exactly like the decode cache; without the shared cache each
+        # Cpu keeps a private table.
+        self._fast_table: Dict[int, tuple] = (
+            DECODE_CACHE.fast_table_for(program)
+            if self.config.decoded_instruction_cache
+            else {}
+        )
         self.pc = program.entry
         self.cycle = 0
         self.retired = 0
         self.halted = False
         self._monitors: List[Monitor] = []
+        #: Batched observers resolved from the attached monitors (None for a
+        #: monitor that only supports per-record delivery).
+        self._batch_monitors: List[Optional[Callable]] = []
+        #: End-of-run hooks (``finish_run(instructions, cycle)``) used by the
+        #: fast path to sync final counters to batch monitors.
+        self._finish_monitors: List[Callable] = []
+        #: Straight-line sync hooks (``sync_straight_line(next_pc, cycle)``)
+        #: used when a pre-hook redirect ends batched observation mid-run.
+        self._linear_sync_monitors: List[Callable] = []
         self._pre_hooks: List[PreInstructionHook] = []
         self._setup_memory()
         self._setup_registers()
@@ -151,8 +179,26 @@ class Cpu:
         self.registers["gp"] = self.program.data_base
 
     def attach_monitor(self, monitor: Monitor) -> None:
-        """Attach a retired-instruction observer (e.g. the LO-FAT engine)."""
+        """Attach a retired-instruction observer (e.g. the LO-FAT engine).
+
+        Monitors whose owner exposes ``observe_batch`` (every first-class
+        :class:`repro.schemes.base.MeasurementSession` and the LO-FAT engine)
+        can consume batches of control-flow records on the fast path; plain
+        callables force the legacy per-record loop so they keep seeing every
+        retired instruction.
+        """
         self._monitors.append(monitor)
+        # A monitor is usually a bound ``observe`` method: resolve the batch
+        # entry point on the owning object, falling back to the callable
+        # itself (the LO-FAT engine is directly callable).
+        owner = getattr(monitor, "__self__", monitor)
+        self._batch_monitors.append(getattr(owner, "observe_batch", None))
+        finish = getattr(owner, "finish_run", None)
+        if finish is not None:
+            self._finish_monitors.append(finish)
+        sync = getattr(owner, "sync_straight_line", None)
+        if sync is not None:
+            self._linear_sync_monitors.append(sync)
 
     def add_pre_instruction_hook(self, hook: PreInstructionHook) -> None:
         """Attach a hook invoked before each instruction executes.
@@ -165,9 +211,161 @@ class Cpu:
 
     # ----------------------------------------------------------- execution
     def run(self) -> ExecutionResult:
-        """Run the program to completion and return the execution result."""
+        """Run the program to completion and return the execution result.
+
+        Dispatches to the fused fast path (:meth:`run_fast`) when the
+        configuration allows it and every attached monitor supports batched
+        observation; otherwise falls back to the legacy per-instruction
+        :meth:`step` loop.  Both paths are architecturally identical.
+        """
+        if self.config.fast_path and all(self._batch_monitors):
+            return self.run_fast()
         while not self.halted:
             self.step()
+        return self._result()
+
+    def run_fast(self) -> ExecutionResult:
+        """Fused fetch/decode/dispatch inner loop.
+
+        The hot-path variant of :meth:`run`: attribute lookups are hoisted
+        out of the loop, fetch+decode+classify happen once per program
+        counter through the shared per-program dispatch table, and
+        :class:`TraceRecord` objects are only materialized for control-flow
+        instructions (when monitors are attached) or when the configuration
+        asks for a full trace.  Control-flow records are delivered to the
+        monitors in batches via their ``observe_batch`` hook; because
+        monitors observe retired instructions and can never influence
+        architectural state, the deferred delivery is unobservable outside
+        cycle-model statistics.
+        """
+        config = self.config
+        table = self._fast_table
+        table_get = table.get
+        build_entry = self._build_fast_entry
+        pre_hooks = self._pre_hooks
+        batch_monitors = self._batch_monitors
+        collect = config.collect_trace
+        streaming = not collect
+        append_record = self.trace.append if collect else None
+        fuel = config.max_instructions
+        taken_penalty = config.taken_branch_penalty
+        flush_at = max(1, config.monitor_batch_size)
+        make_record = TraceRecord
+
+        pc = self.pc
+        cycle = self.cycle
+        retired = self.retired
+        start_retired = retired
+        cf_events = 0
+        taken_cf_events = 0
+        by_kind: Dict[str, int] = {}
+        batch: List[TraceRecord] = []
+        #: Set when a pre-hook redirects control flow: such a transfer has no
+        #: trace record, so batched observers could not reconstruct the
+        #: straight-line runs around it -- the rest of the execution then
+        #: finishes on the legacy per-record loop (identical semantics).
+        hook_redirected = False
+        redirect_from = 0
+        try:
+            while not self.halted:
+                if retired >= fuel:
+                    raise OutOfFuelError(fuel)
+                if pre_hooks:
+                    self.pc = pc
+                    self.cycle = cycle
+                    self.retired = retired
+                    for hook in pre_hooks:
+                        # self.pc, not the local: a hook that redirects
+                        # control flow is visible to the hooks after it,
+                        # exactly as on the legacy loop.
+                        hook(self, self.pc, retired)
+                    if self.pc != pc:
+                        redirect_from = pc
+                        pc = self.pc
+                        hook_redirected = True
+                        break
+
+                entry = table_get(pc)
+                if entry is None:
+                    entry = build_entry(pc)
+                executor, instruction, word, kind, is_control_flow = entry
+
+                next_pc, taken, extra_cycles = executor(self, instruction, pc)
+                cycle += 1 + extra_cycles
+                if is_control_flow:
+                    if taken:
+                        cycle += taken_penalty
+                    if streaming:
+                        # Summary counters for the streaming trace; with a
+                        # collected trace they would be recomputed from the
+                        # records, so skip the bookkeeping entirely.
+                        cf_events += 1
+                        if taken:
+                            taken_cf_events += 1
+                        kind_name = kind.value
+                        by_kind[kind_name] = by_kind.get(kind_name, 0) + 1
+                    if batch_monitors or collect:
+                        record = make_record(
+                            retired, cycle, pc, word, instruction,
+                            next_pc, kind, taken,
+                        )
+                        if collect:
+                            append_record(record)
+                        if batch_monitors:
+                            batch.append(record)
+                            if len(batch) >= flush_at:
+                                # Re-bind before delivering: if a monitor
+                                # raises mid-flush, the finally block must
+                                # not re-deliver these records.
+                                flush = batch
+                                batch = []
+                                for deliver in batch_monitors:
+                                    deliver(flush)
+                elif collect:
+                    append_record(make_record(
+                        retired, cycle, pc, word, instruction,
+                        next_pc, kind, False,
+                    ))
+                retired += 1
+                pc = next_pc
+        finally:
+            self.pc = pc
+            self.cycle = cycle
+            self.retired = retired
+            if batch:
+                flush = batch
+                batch = []
+                for deliver in batch_monitors:
+                    deliver(flush)
+            # Batched delivery only carries control-flow records: sync the
+            # final retirement count and cycle so monitor statistics cover
+            # the straight-line tail of the run as well.
+            for finish in self._finish_monitors:
+                finish(retired, cycle)
+            if not collect:
+                self.trace.absorb_counts(
+                    instructions=retired - start_retired,
+                    cycles=cycle,
+                    control_flow_events=cf_events,
+                    taken_control_flow_events=taken_cf_events,
+                    by_kind=by_kind,
+                )
+        if hook_redirected:
+            # The straight-line instructions retired since the last
+            # control-flow record produced no records; hand their pc range
+            # to the monitors (loop-exit checks) before observation resumes
+            # per record.
+            for sync in self._linear_sync_monitors:
+                sync(redirect_from, cycle)
+            # The hooks for this retirement already ran (and redirected):
+            # execute the redirect target without re-firing them, then
+            # finish the run per record -- exactly the legacy behaviour.
+            self.step(_skip_hooks=True)
+            while not self.halted:
+                self.step()
+        return self._result()
+
+    def _result(self) -> ExecutionResult:
         return ExecutionResult(
             trace=self.trace,
             exit_code=self.syscalls.exit_code or 0,
@@ -177,15 +375,38 @@ class Cpu:
             registers=self.registers.snapshot(),
         )
 
-    def step(self) -> Optional[TraceRecord]:
+    def _build_fast_entry(self, pc: int) -> tuple:
+        """Fetch, decode and classify the instruction at ``pc`` once.
+
+        Code memory is read-execute, so the pc -> word mapping is immutable
+        within one program image and the resulting dispatch entry can be
+        reused for every subsequent visit (and, through the shared cache,
+        every subsequent run of the same program).
+        """
+        word = self.memory.fetch_word(pc)
+        instruction = self._decode(pc, word)
+        executor = _EXECUTORS.get(instruction.mnemonic)
+        if executor is None:  # pragma: no cover - decoder only emits known ops
+            raise IllegalInstructionError(pc, word)
+        kind = classify_branch(instruction)
+        entry = (executor, instruction, word, kind, kind.is_control_flow)
+        self._fast_table[pc] = entry
+        # Keep the legacy decode cache coherent so mixed step()/run() use of
+        # the same program image never decodes twice.
+        if self._decode_cache is not None:
+            self._decode_cache[pc] = (word, instruction)
+        return entry
+
+    def step(self, _skip_hooks: bool = False) -> Optional[TraceRecord]:
         """Fetch, decode and execute a single instruction."""
         if self.halted:
             return None
         if self.retired >= self.config.max_instructions:
             raise OutOfFuelError(self.config.max_instructions)
 
-        for hook in self._pre_hooks:
-            hook(self, self.pc, self.retired)
+        if not _skip_hooks:
+            for hook in self._pre_hooks:
+                hook(self, self.pc, self.retired)
 
         pc = self.pc
         word = self.memory.fetch_word(pc)
@@ -335,19 +556,32 @@ def _alu(value_fn, latency_attr: Optional[str] = None):
 
 
 def _div_value(rs1_s: int, rs2_s: int) -> int:
+    """RV32M ``div``: signed division truncating toward zero.
+
+    Division by zero returns -1 (all ones) and the signed-overflow case
+    ``INT_MIN / -1`` returns ``INT_MIN``, per the RISC-V M specification.
+    Computed in exact integer arithmetic (``//`` on magnitudes) rather than
+    via float division, which cannot represent every 32-bit quotient.
+    """
     if rs2_s == 0:
         return -1
     if rs1_s == -(1 << 31) and rs2_s == -1:
         return rs1_s
-    return int(rs1_s / rs2_s)  # truncating division
+    quotient = abs(rs1_s) // abs(rs2_s)
+    return -quotient if (rs1_s < 0) != (rs2_s < 0) else quotient
 
 
 def _rem_value(rs1_s: int, rs2_s: int) -> int:
+    """RV32M ``rem``: remainder of truncating division (sign of dividend).
+
+    Remainder by zero returns the dividend and ``INT_MIN rem -1`` returns 0,
+    per the RISC-V M specification.
+    """
     if rs2_s == 0:
         return rs1_s
     if rs1_s == -(1 << 31) and rs2_s == -1:
         return 0
-    return rs1_s - int(rs1_s / rs2_s) * rs2_s
+    return rs1_s - _div_value(rs1_s, rs2_s) * rs2_s
 
 
 _EXECUTORS: Dict[str, Callable] = {
@@ -437,6 +671,9 @@ class DecodedInstructionCache:
     def __init__(self, max_programs: int = 64) -> None:
         self.max_programs = max_programs
         self._tables: Dict[str, Dict[int, Tuple[int, Instruction]]] = {}
+        #: Fast-path dispatch tables, keyed like :attr:`_tables`: pc ->
+        #: (executor, instruction, word, kind, is_control_flow).
+        self._fast_tables: Dict[str, Dict[int, tuple]] = {}
 
     def table_for(self, program: Program) -> Dict[int, Tuple[int, Instruction]]:
         """The (lazily filled) pc -> (word, instruction) table for ``program``."""
@@ -445,8 +682,21 @@ class DecodedInstructionCache:
         if table is None:
             if len(self._tables) >= self.max_programs:
                 self._tables.clear()
+                self._fast_tables.clear()
             table = {}
             self._tables[digest] = table
+        return table
+
+    def fast_table_for(self, program: Program) -> Dict[int, tuple]:
+        """The (lazily filled) fast-path dispatch table for ``program``."""
+        digest = program.digest
+        table = self._fast_tables.get(digest)
+        if table is None:
+            if len(self._fast_tables) >= self.max_programs:
+                self._tables.clear()
+                self._fast_tables.clear()
+            table = {}
+            self._fast_tables[digest] = table
         return table
 
     @property
@@ -459,6 +709,7 @@ class DecodedInstructionCache:
 
     def clear(self) -> None:
         self._tables.clear()
+        self._fast_tables.clear()
 
 
 #: The shared decode cache (one per process; workers each build their own).

@@ -199,6 +199,30 @@ class StreamingTrace:
             if record.taken:
                 self._taken_control_flow_events += 1
 
+    def absorb_counts(
+        self,
+        instructions: int,
+        cycles: int,
+        control_flow_events: int,
+        taken_control_flow_events: int,
+        by_kind: Dict[str, int],
+    ) -> None:
+        """Fold the summary counters of a fast-path run into the trace.
+
+        The fused inner loop (:meth:`repro.cpu.core.Cpu.run_fast`) counts
+        retirements locally instead of materializing a :class:`TraceRecord`
+        per instruction; this absorbs those counters in one call so the
+        streaming trace reports the same summary as per-record appends.
+        ``cycles`` is the absolute cycle of the last retired instruction.
+        """
+        self._instructions += instructions
+        if cycles > self._cycles:
+            self._cycles = cycles
+        self._control_flow_events += control_flow_events
+        self._taken_control_flow_events += taken_control_flow_events
+        for kind, count in by_kind.items():
+            self._by_kind[kind] = self._by_kind.get(kind, 0) + count
+
     def __len__(self) -> int:
         return self._instructions
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from repro.cpu.trace import BranchKind, TraceRecord
 from repro.lofat.config import LoFatConfig
@@ -94,15 +94,26 @@ class BranchFilter:
         config: LoFatConfig,
         loop_monitor: LoopMonitor,
         hash_non_loop: Callable[[TraceRecord], None],
+        hash_non_loop_run: Optional[Callable[[Sequence[TraceRecord]], None]] = None,
         record_events: bool = False,
     ) -> None:
         self.config = config
         self.loop_monitor = loop_monitor
         self.hash_non_loop = hash_non_loop
+        #: Optional batched variant of ``hash_non_loop``: absorbs a run of
+        #: consecutive non-loop branches in one hash-engine call (same bytes,
+        #: same order).  When absent, batched observation falls back to the
+        #: per-record callback.
+        self.hash_non_loop_run = hash_non_loop_run
         self.stats = FilterStats()
         self.events: List[FilterEvent] = []
         self._record_events = record_events
         self._call_depth = 0
+        #: ``next_pc`` of the most recently observed record: the start of the
+        #: straight-line run leading to the next observed record.  Batched
+        #: (control-flow-only) observation uses it to perform the loop-exit
+        #: check over the whole run at once.
+        self._linear_start: Optional[int] = None
         #: Cycles of internal latency accumulated (2 per branch event plus 5
         #: per loop exit); these overlap with program execution and do not
         #: stall the core -- they are reported by experiment E2.
@@ -134,6 +145,7 @@ class BranchFilter:
     def observe(self, record: TraceRecord) -> None:
         """Process one retired instruction (the per-cycle pipeline snoop)."""
         self.stats.instructions_observed += 1
+        self._linear_start = record.next_pc
         monitor = self.loop_monitor
 
         # 1. Loop-exit detection based on the current PC.  Only applies when
@@ -172,6 +184,132 @@ class BranchFilter:
             self.hash_non_loop(record)
             self.stats.non_loop_branches += 1
             self._emit(FilterEventKind.NON_LOOP_BRANCH, record, record.pc)
+
+    def observe_batch(self, records: Sequence[TraceRecord]) -> None:
+        """Process a batch of retired *control-flow* records.
+
+        The fast execution pipeline only materializes control-flow records;
+        every instruction between two observed records is a straight-line run
+        from the previous record's ``next_pc`` up to the next record's
+        ``pc``.  Because program counters in such a run increase
+        monotonically, the per-instruction loop-exit check reduces to one
+        range check per observed record (``run_start < entry`` or
+        ``pc >= exit_node``), and consecutive non-loop branches are hashed as
+        a single run through :attr:`hash_non_loop_run`.
+
+        The pair sequence reaching the hash engine -- hence the measurement
+        and the loop metadata -- is identical to per-record observation.
+        ``instructions_observed`` is synchronized from the record retirement
+        indices, so it excludes any straight-line tail after the last
+        control-flow instruction.
+        """
+        monitor = self.loop_monitor
+        stats = self.stats
+        branch_latency = self.config.branch_tracking_latency
+        #: Consecutive directly-hashable branches awaiting one absorb call.
+        pending: List[TraceRecord] = []
+        for record in records:
+            stats.instructions_observed = record.index + 1
+            run_start = self._linear_start
+            if run_start is None:
+                run_start = record.pc
+
+            # 1. Loop-exit detection over the straight-line run
+            #    [run_start, record.pc].
+            if monitor.active_loops:
+                self._exit_loops_in_range(run_start, record.pc, record.cycle)
+
+            kind = record.kind
+            if not kind.is_control_flow:
+                # Contract: batches carry control-flow records only; keep a
+                # stray record harmless (it carries no pair to hash).
+                self._linear_start = record.next_pc
+                continue
+
+            stats.control_flow_instructions += 1
+            self.internal_latency_cycles += branch_latency
+
+            # 2. Call-depth tracking for the exit heuristic.
+            if kind.is_linking:
+                self._call_depth += 1
+            elif kind is BranchKind.RETURN:
+                if self._call_depth > 0:
+                    self._call_depth -= 1
+                elif monitor.active_loops:
+                    self._exit_all_loops(record)
+
+            # 3. / 4. Back-edge handling and ordinary control flow.  Back
+            # edges and loop events may trigger loop-path hashing, so the
+            # pending direct run is flushed first to preserve absorb order.
+            if self._is_loop_back_edge(record):
+                if pending:
+                    self._flush_direct_run(pending)
+                    pending = []
+                self._handle_back_edge(record)
+            elif monitor.active_loops:
+                monitor.loop_branch(record)
+                stats.loop_branches += 1
+                self._emit(FilterEventKind.LOOP_BRANCH, record, record.pc)
+            else:
+                pending.append(record)
+                stats.non_loop_branches += 1
+                self._emit(FilterEventKind.NON_LOOP_BRANCH, record, record.pc)
+            self._linear_start = record.next_pc
+        if pending:
+            self._flush_direct_run(pending)
+
+    def sync_straight_line(self, next_pc: int, cycle: int) -> None:
+        """Apply loop-exit checks for an unobserved straight-line run.
+
+        Called when batched observation ends mid-run (a pre-hook redirected
+        control flow): straight-line execution advanced from the last
+        observed record's ``next_pc`` up to -- but not including --
+        ``next_pc``, and produced no records.  This performs the same
+        range-based exit check :meth:`observe_batch` would have applied at
+        the next control-flow record, so switching to per-record observation
+        afterwards starts from the correct loop state.
+        """
+        run_start = self._linear_start
+        # The straight-line continuity is broken after this point.
+        self._linear_start = None
+        if run_start is None or run_start >= next_pc:
+            return  # nothing retired since the last observed record
+        self._exit_loops_in_range(run_start, next_pc - 4, cycle)
+
+    def sync_instructions_observed(self, instructions: int) -> None:
+        """Raise ``instructions_observed`` to the true retirement count.
+
+        Batched observation can only count up to the last control-flow
+        record; the CPU reports the full count (including the straight-line
+        tail) at the end of the run.
+        """
+        if instructions > self.stats.instructions_observed:
+            self.stats.instructions_observed = instructions
+
+    def _flush_direct_run(self, records: Sequence[TraceRecord]) -> None:
+        if self.hash_non_loop_run is not None:
+            self.hash_non_loop_run(records)
+        else:
+            for record in records:
+                self.hash_non_loop(record)
+
+    def _exit_loops_in_range(self, run_start: int, last_pc: int, cycle: int) -> None:
+        """Pop active loops exited by the monotone pc run [run_start, last_pc].
+
+        The one loop-exit stack walk behind every observation mode: some pc
+        in the run is past the exit node iff the last one is, and some pc
+        precedes the loop entry iff the first one does -- so the per-record
+        check is simply the degenerate run ``run_start == last_pc``.
+        """
+        monitor = self.loop_monitor
+        while monitor.active_loops:
+            top = monitor.top_loop
+            if self._call_depth != top.call_depth:
+                return
+            if last_pc >= top.exit_node or run_start < top.entry:
+                self._exit_top_loop(cycle, last_pc)
+                continue
+            return
 
     # ---------------------------------------------------------- back edges
     def _handle_back_edge(self, record: TraceRecord) -> None:
@@ -229,15 +367,7 @@ class BranchFilter:
 
     # --------------------------------------------------------------- exits
     def _check_loop_exits(self, record: TraceRecord) -> None:
-        monitor = self.loop_monitor
-        while monitor.active_loops:
-            top = monitor.top_loop
-            if self._call_depth != top.call_depth:
-                return
-            if record.pc >= top.exit_node or record.pc < top.entry:
-                self._exit_top_loop(record.cycle, record.pc)
-                continue
-            return
+        self._exit_loops_in_range(record.pc, record.pc, record.cycle)
 
     def _exit_top_loop(self, cycle: int, pc: int) -> None:
         self.loop_monitor.exit_loop(cycle)

@@ -72,6 +72,7 @@ class LoFatEngine:
             config=self.config,
             loop_monitor=self.loop_monitor,
             hash_non_loop=self._hash_non_loop_branch,
+            hash_non_loop_run=self._hash_non_loop_run,
             record_events=record_filter_events,
         )
         self._last_cycle = 0
@@ -89,10 +90,17 @@ class LoFatEngine:
         The pairs are already sitting in the branches memory (a BRAM), so the
         hash engine controller streams them out at one pair per cycle rather
         than presenting them all in the same cycle -- hence the staggered
-        arrival times in the cycle model.
+        arrival times in the cycle model.  The whole run is absorbed with one
+        sponge update.
         """
-        for index, (src, dest) in enumerate(pairs):
-            self.hash_engine.absorb_pair(src, dest, arrival_cycle=cycle + index)
+        self.hash_engine.absorb_run(pairs, arrivals=range(cycle, cycle + len(pairs)))
+
+    def _hash_non_loop_run(self, records: Sequence[TraceRecord]) -> None:
+        """Hash a straight run of non-loop branches in one absorb call."""
+        self.hash_engine.absorb_run(
+            [(record.pc, record.next_pc) for record in records],
+            arrivals=[record.cycle for record in records],
+        )
 
     # -------------------------------------------------------------- input
     def observe(self, record: TraceRecord) -> None:
@@ -101,6 +109,47 @@ class LoFatEngine:
             raise RuntimeError("LO-FAT engine already finalized")
         self._last_cycle = record.cycle
         self.branch_filter.observe(record)
+
+    def observe_batch(self, records: Sequence[TraceRecord]) -> None:
+        """Observe a batch of retired *control-flow* records.
+
+        The fast execution pipeline delivers only control-flow-relevant
+        records, in retirement order; the branch filter reconstructs the
+        straight-line runs between them from each record's ``next_pc``.  The
+        absorbed byte sequence -- and therefore the measurement ``A`` and
+        metadata ``L`` -- is identical to per-record observation; only
+        cycle-model bookkeeping (which overlaps execution in hardware) is
+        coarser.
+        """
+        if self._finalized is not None:
+            raise RuntimeError("LO-FAT engine already finalized")
+        if not records:
+            return
+        self._last_cycle = records[-1].cycle
+        self.branch_filter.observe_batch(records)
+
+    def sync_straight_line(self, next_pc: int, cycle: int) -> None:
+        """Close loops left by an unobserved straight-line run (see
+        :meth:`repro.lofat.branch_filter.BranchFilter.sync_straight_line`)."""
+        if self._finalized is not None:
+            return
+        if cycle > self._last_cycle:
+            self._last_cycle = cycle
+        self.branch_filter.sync_straight_line(next_pc, cycle)
+
+    def finish_run(self, instructions: int, cycle: int) -> None:
+        """End-of-run sync from the fast path.
+
+        Batches carry control-flow records only; this delivers the final
+        retirement count and cycle so the filter's ``instructions_observed``
+        and the finalize-time loop-closing cycle match per-record
+        observation exactly (covering the straight-line tail of the run).
+        """
+        if self._finalized is not None:
+            return
+        if cycle > self._last_cycle:
+            self._last_cycle = cycle
+        self.branch_filter.sync_instructions_observed(instructions)
 
     # Allow the engine object itself to be used as the monitor callback.
     __call__ = observe

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.lofat.config import LoFatConfig
 
@@ -93,6 +93,39 @@ class HashEngine:
         if arrival_cycle is not None:
             self._advance_cycle_model(arrival_cycle)
 
+    def absorb_run(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        arrivals: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Absorb a run of (Src, Dest) pairs with a single hasher update.
+
+        Byte-for-byte equivalent to calling :meth:`absorb_pair` once per
+        pair -- the digest depends only on the absorbed byte sequence -- but
+        the sponge is fed one concatenated buffer, which is what makes the
+        batched observation path cheap.  ``arrivals`` optionally carries the
+        per-pair engine arrival cycles; the cycle model is then advanced in
+        one amortized pass over the run instead of one call per pair.
+        """
+        if self._finalized is not None:
+            raise RuntimeError("hash engine already finalized")
+        if not pairs:
+            return
+        chunk = bytearray()
+        masked = []
+        for src, dest in pairs:
+            src &= 0xFFFFFFFF
+            dest &= 0xFFFFFFFF
+            chunk += src.to_bytes(4, "little") + dest.to_bytes(4, "little")
+            masked.append((src, dest))
+        self._hasher.update(bytes(chunk))
+        self._absorbed.extend(masked)
+        self.stats.pairs_absorbed += len(masked)
+        if arrivals is not None:
+            advance = self._advance_cycle_model
+            for arrival in arrivals:
+                advance(arrival)
+
     def absorb_bytes(self, data: bytes) -> None:
         """Absorb raw bytes (used to append the loop metadata to the digest)."""
         if self._finalized is not None:
@@ -100,12 +133,25 @@ class HashEngine:
         self._hasher.update(data)
 
     def finalize(self) -> bytes:
-        """Close the message and return the 64-byte SHA3-512 measurement."""
+        """Close the message and return the 64-byte SHA3-512 measurement.
+
+        Any pairs still queued in the input cache buffer are drained first,
+        so post-finalize statistics never report in-flight pairs as pending
+        (``buffer_occupancy``) or understate the stall cycles they incur.
+        """
         if self._finalized is None:
+            self.flush_cycle_model()
             self._finalized = self._hasher.digest()
             # End-of-message: the permutation over the final (padded) block.
             self._engine_cycle += self.config.hash_permutation_cycles
         return self._finalized
+
+    def statistics(self) -> dict:
+        """Stats dictionary including the live buffer/cycle state."""
+        stats = self.stats.as_dict()
+        stats["buffer_occupancy"] = len(self._buffer)
+        stats["engine_cycle"] = self._engine_cycle
+        return stats
 
     @property
     def digest_hex(self) -> str:

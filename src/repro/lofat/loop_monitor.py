@@ -144,7 +144,7 @@ class LoopMonitor:
             encoder.on_indirect(record.next_pc)
         else:  # direct jumps and direct calls
             encoder.on_direct_jump()
-        loop.pair_buffer.append(record.src_dest)
+        loop.pair_buffer.append((record.pc, record.next_pc))
 
     def iteration_boundary(self, record: TraceRecord) -> None:
         """Close the current iteration of the innermost loop.
@@ -192,8 +192,10 @@ class LoopMonitor:
     # -------------------------------------------------------------- helpers
     def _complete_path(self, loop: ActiveLoop, cycle: int) -> None:
         encoding = loop.encoder.finish()
-        pairs = list(loop.pair_buffer)
-        loop.pair_buffer.clear()
+        # Hand the buffered pairs over without copying: the buffer is re-bound
+        # to a fresh list, so the hash engine owns the old one outright.
+        pairs = loop.pair_buffer
+        loop.pair_buffer = []
         loop.iterations += 1
         self.stats.iterations_total += 1
 

@@ -131,6 +131,16 @@ class MeasurementSession(abc.ABC):
     (``cpu.attach_monitor(session.observe)``), consumes the stream as it
     retires -- so memory stays flat regardless of execution length -- and is
     closed with :meth:`finalize`, which must be idempotent.
+
+    Sessions may additionally implement ``observe_batch(records)``, which
+    receives batches of *control-flow* records only (in retirement order).
+    When every attached monitor provides it, the CPU uses its fused
+    fast-path loop (:meth:`repro.cpu.core.Cpu.run_fast`) and never
+    materializes records for straight-line instructions; a batch
+    implementation must therefore produce the same measurement from the
+    control-flow stream alone.  All three first-class schemes do.  Sessions
+    without the hook keep the legacy per-record loop and continue to see
+    every retired instruction.
     """
 
     @abc.abstractmethod
@@ -140,6 +150,15 @@ class MeasurementSession(abc.ABC):
     @abc.abstractmethod
     def finalize(self) -> SchemeMeasurement:
         """Close the session and return the measurement (idempotent)."""
+
+    def finish_run(self, instructions: int, cycle: int) -> None:
+        """End-of-run sync from the CPU's fast path (optional override).
+
+        Called once when a fast-path run ends, with the total retirement
+        count and the final cycle -- information a batch implementation
+        cannot recover from control-flow records alone.  The default does
+        nothing; sessions tracking per-instruction counters override it.
+        """
 
     # Allow the session object itself to be used as the monitor callback.
     def __call__(self, record) -> None:

@@ -31,6 +31,15 @@ class LoFatSession(MeasurementSession):
     def observe(self, record) -> None:
         self.engine.observe(record)
 
+    def observe_batch(self, records) -> None:
+        self.engine.observe_batch(records)
+
+    def sync_straight_line(self, next_pc, cycle) -> None:
+        self.engine.sync_straight_line(next_pc, cycle)
+
+    def finish_run(self, instructions, cycle) -> None:
+        self.engine.finish_run(instructions, cycle)
+
     def finalize(self) -> SchemeMeasurement:
         measurement = self.engine.finalize()
         return SchemeMeasurement(

@@ -45,6 +45,11 @@ class StaticSession(MeasurementSession):
         # retired; run-time records carry no information for this scheme.
         pass
 
+    def observe_batch(self, records) -> None:
+        # Batched delivery carries no information either; declaring the hook
+        # keeps static-scheme executions on the CPU's fast path.
+        pass
+
     def finalize(self) -> SchemeMeasurement:
         if self._finalized is not None:
             return self._finalized

@@ -102,6 +102,9 @@ class CampaignResult:
     spec_name: str
     verify_mode: str
     workers: int
+    #: Whether prover and verifier executions used the fused fast-path
+    #: interpreter (the opt-out :attr:`repro.cpu.core.CpuConfig.fast_path`).
+    fast_path: bool = True
     results: List[JobResult] = field(default_factory=list)
     #: Wall-clock seconds of the parallel prover fan-out phase.
     prover_seconds: float = 0.0
@@ -149,6 +152,7 @@ class CampaignResult:
             "campaign": self.spec_name,
             "verify_mode": self.verify_mode,
             "workers": self.workers,
+            "fast_path": self.fast_path,
             "jobs": len(self.results),
             "ok": self.ok,
             "accepted": self.accepted_count,
@@ -217,6 +221,7 @@ class CampaignRunner:
             spec_name=spec.name,
             verify_mode=spec.verify_mode,
             workers=max(1, workers),
+            fast_path=(self.cpu_config or CpuConfig()).fast_path,
             results=results,
             prover_seconds=prover_seconds,
             verify_seconds=verify_seconds,

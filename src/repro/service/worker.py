@@ -25,6 +25,8 @@ from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import Optional, Tuple
 
+import hashlib
+
 from repro.attacks import get_attack
 from repro.attestation.protocol import AttestationChallenge, AttestationReport
 from repro.attestation.prover import Prover
@@ -51,10 +53,47 @@ class ProverResponse:
     prover_seconds: float
 
 
+def _build_signature(workload) -> str:
+    """Digest identifying what ``workload.build()`` would produce.
+
+    For a plain :class:`repro.workloads.common.Workload` the assembly source
+    is the sole input of ``build()``, so the signature covers exactly that.
+    A subclass may parameterize ``build()`` on any instance attribute, so
+    for subclasses every attribute is folded in via ``repr``; either way a
+    registry re-registration under the same name never serves a stale
+    cached :class:`Program`.  The failure mode is deliberately asymmetric:
+    an attribute without a value-bearing repr (a callable, say) yields a
+    fresh signature per registry instantiation, costing a cache miss and a
+    reassembly -- never a wrong program.
+    """
+    from repro.workloads.common import Workload
+
+    hasher = hashlib.sha3_256()
+    hasher.update(type(workload).__qualname__.encode("utf-8"))
+    hasher.update(b"\x00")
+    if type(workload) is Workload:
+        hasher.update(workload.source.encode("utf-8"))
+    else:
+        for key, value in sorted(vars(workload).items()):
+            hasher.update(("%s=%r;" % (key, value)).encode("utf-8"))
+    return hasher.hexdigest()
+
+
 @lru_cache(maxsize=128)
-def _assembled_program(workload_name: str) -> Program:
-    """Assemble (once per worker process) the named workload."""
+def _assemble_cached(workload_name: str, build_signature: str) -> Program:
+    """Assemble (once per worker process) the identified workload build."""
     return get_workload(workload_name).build()
+
+
+def _assembled_program(workload_name: str) -> Program:
+    """The assembled program for ``workload_name``, cached per build.
+
+    The cache key includes the build signature, not just the name: two jobs
+    that share a workload name but were registered with different sources
+    (common in tests that re-register workloads) each get their own
+    :class:`Program`.
+    """
+    return _assemble_cached(workload_name, _build_signature(get_workload(workload_name)))
 
 
 def execute_prover_job(

@@ -37,6 +37,33 @@ def _run_binary_op(mnemonic, lhs, rhs):
     return int(run_program(assemble(source)).output)
 
 
+def _ref_div(a, b):
+    """RV32M div: truncating signed division with the spec's special cases.
+
+    Deliberately computed via exact rationals + trunc -- a different
+    structure from the implementation's magnitude-//-and-sign-fixup -- so
+    the property tests are an independent oracle, not a mirror.
+    """
+    import math
+    from fractions import Fraction
+
+    a, b = _signed(a), _signed(b)
+    if b == 0:
+        return -1
+    if a == -(1 << 31) and b == -1:
+        return a
+    return math.trunc(Fraction(a, b))
+
+
+def _ref_rem(a, b):
+    a, b = _signed(a), _signed(b)
+    if b == 0:
+        return a
+    if a == -(1 << 31) and b == -1:
+        return 0
+    return a - _ref_div(a, b) * b
+
+
 REFERENCES = {
     "add": lambda a, b: _signed(a + b),
     "sub": lambda a, b: _signed(a - b),
@@ -46,7 +73,15 @@ REFERENCES = {
     "slt": lambda a, b: 1 if _signed(a) < _signed(b) else 0,
     "sltu": lambda a, b: 1 if (a & 0xFFFFFFFF) < (b & 0xFFFFFFFF) else 0,
     "mul": lambda a, b: _signed(_signed(a) * _signed(b)),
+    "mulh": lambda a, b: _signed((_signed(a) * _signed(b)) >> 32),
     "mulhu": lambda a, b: _signed(((a & 0xFFFFFFFF) * (b & 0xFFFFFFFF)) >> 32),
+    "mulhsu": lambda a, b: _signed((_signed(a) * (b & 0xFFFFFFFF)) >> 32),
+    "div": _ref_div,
+    "rem": _ref_rem,
+    "divu": lambda a, b: _signed(0xFFFFFFFF if (b & 0xFFFFFFFF) == 0
+                                 else (a & 0xFFFFFFFF) // (b & 0xFFFFFFFF)),
+    "remu": lambda a, b: _signed((a & 0xFFFFFFFF) if (b & 0xFFFFFFFF) == 0
+                                 else (a & 0xFFFFFFFF) % (b & 0xFFFFFFFF)),
 }
 
 
@@ -56,6 +91,35 @@ class TestAluProperties:
     @settings(max_examples=30, deadline=None)
     def test_binary_op_matches_reference(self, mnemonic, lhs, rhs):
         assert _run_binary_op(mnemonic, lhs, rhs) == REFERENCES[mnemonic](lhs, rhs)
+
+    # (lhs, rhs) -> literal expected (div, rem, divu, remu), as the signed
+    # values the print_int syscall emits.  Pinned by hand from the RISC-V M
+    # specification table, so these cases do not depend on any Python
+    # reference implementation.
+    @pytest.mark.parametrize("lhs,rhs,expected", [
+        # INT_MIN / -1: signed overflow wraps to INT_MIN, rem 0.
+        (0x80000000, 0xFFFFFFFF, (-2147483648, 0, 0, -2147483648)),
+        # Division by zero: div all-ones, rem passes the dividend through.
+        (0x80000000, 0, (-1, -2147483648, -1, -2147483648)),
+        (0, 0, (-1, 0, -1, 0)),
+        (0xFFFFFFFF, 0, (-1, -1, -1, -1)),
+        # INT_MAX / -1 (no overflow; unsigned view is huge divisor).
+        (0x7FFFFFFF, 0xFFFFFFFF, (-2147483647, 0, 0, 2147483647)),
+        # INT_MIN / 1.
+        (0x80000000, 1, (-2147483648, 0, -2147483648, 0)),
+        # -6 / 3: exact negative quotient; unsigned view 4294967290 / 3.
+        (0xFFFFFFFA, 3, (-2, 0, 1431655763, 1)),
+        # -7 / 2: truncation toward zero, rem takes the dividend's sign.
+        (0xFFFFFFF9, 2, (-3, -1, 2147483644, 1)),
+        # 7 / -2: truncation toward zero from the positive side.
+        (7, 0xFFFFFFFE, (-3, 1, 0, 7)),
+        # Large positive magnitudes.
+        (0x7FFFFFFF, 2, (1073741823, 1, 1073741823, 1)),
+    ])
+    def test_div_rem_m_extension_edges(self, lhs, rhs, expected):
+        """The RISC-V M special cases, pinned to hand-computed constants."""
+        for mnemonic, value in zip(("div", "rem", "divu", "remu"), expected):
+            assert _run_binary_op(mnemonic, lhs, rhs) == value, mnemonic
 
     @given(lhs=_WORD, rhs=_WORD)
     @settings(max_examples=30, deadline=None)

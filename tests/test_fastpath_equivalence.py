@@ -1,0 +1,270 @@
+"""Fast-path pipeline equivalence: the fused loop must change nothing.
+
+The fused fetch/decode/dispatch interpreter (:meth:`repro.cpu.core.Cpu.run_fast`)
+and the batched observation path through the LO-FAT engine are pure
+performance work.  These tests pin down, across every attestation scheme and
+a spread of workloads (including the loop-heavy ones, where the batched
+absorb and the range-based loop-exit check actually diverge in code path),
+that the fast path produces byte-identical measurements, metadata,
+architectural results and verifier verdicts.
+"""
+
+import pytest
+
+from repro.attestation import Prover, Verifier
+from repro.cpu.core import Cpu, CpuConfig
+from repro.schemes import get_scheme, scheme_names
+from repro.workloads import all_workloads, get_workload
+
+#: At least five workloads, biased toward loop-heavy/nested control flow.
+WORKLOAD_NAMES = [
+    "figure4_loop",   # the paper's data-dependent loop
+    "syringe_pump",   # nested loops + calls (paper workload)
+    "matmul",         # deep nesting
+    "quicksort",      # recursion + loops
+    "crc32",          # nested data-dependent loops
+    "dispatcher",     # indirect control flow
+    "fibonacci",      # recursion
+]
+
+SCHEMES = scheme_names()
+
+
+def _measure(scheme_name, workload, fast, collect=False):
+    scheme = get_scheme(scheme_name)
+    config = CpuConfig(fast_path=fast, collect_trace=collect)
+    result, measured = scheme.measure_execution(
+        workload.build(), list(workload.inputs), cpu_config=config)
+    return result, measured
+
+
+class TestMeasurementEquivalence:
+    @pytest.mark.parametrize("workload_name", WORKLOAD_NAMES)
+    @pytest.mark.parametrize("scheme_name", SCHEMES)
+    def test_batched_equals_per_pair(self, scheme_name, workload_name):
+        """Fast (batched) and legacy (per-pair) measurements are identical."""
+        workload = get_workload(workload_name)
+        legacy_result, legacy = _measure(scheme_name, workload, fast=False)
+        fast_result, fast = _measure(scheme_name, workload, fast=True)
+
+        assert fast.measurement == legacy.measurement
+        assert fast.metadata.to_bytes() == legacy.metadata.to_bytes()
+        assert fast_result.output == legacy_result.output
+        assert fast_result.exit_code == legacy_result.exit_code
+        assert fast_result.instructions == legacy_result.instructions
+        assert fast_result.cycles == legacy_result.cycles
+        assert fast_result.registers == legacy_result.registers
+
+    @pytest.mark.parametrize("scheme_name", SCHEMES)
+    def test_fast_path_with_collected_trace(self, scheme_name):
+        """Trace collection does not perturb the batched measurement."""
+        workload = get_workload("figure4_loop")
+        _, streamed = _measure(scheme_name, workload, fast=True, collect=False)
+        collected_result, collected = _measure(
+            scheme_name, workload, fast=True, collect=True)
+        assert collected.measurement == streamed.measurement
+        assert collected.metadata.to_bytes() == streamed.metadata.to_bytes()
+        # The collected trace itself matches a legacy-loop trace.
+        legacy_result, _ = _measure(
+            scheme_name, workload, fast=False, collect=True)
+        assert len(collected_result.trace) == len(legacy_result.trace)
+        for lhs, rhs in zip(collected_result.trace, legacy_result.trace):
+            assert (lhs.pc, lhs.next_pc, lhs.cycle, lhs.kind, lhs.taken) == \
+                   (rhs.pc, rhs.next_pc, rhs.cycle, rhs.kind, rhs.taken)
+
+    @pytest.mark.parametrize("workload_name", WORKLOAD_NAMES)
+    def test_lofat_compression_stats_identical(self, workload_name):
+        """Loop compression behaves identically under batched observation."""
+        workload = get_workload(workload_name)
+        _, legacy = _measure("lofat", workload, fast=False)
+        _, fast = _measure("lofat", workload, fast=True)
+        for key in ("pairs_hashed", "control_flow_events", "pairs_compressed",
+                    "compression_ratio"):
+            assert fast.stats[key] == legacy.stats[key], key
+        assert fast.stats["loops"] == legacy.stats["loops"]
+
+
+class TestVerifierEquivalence:
+    @pytest.mark.parametrize("scheme_name", SCHEMES)
+    def test_fast_prover_accepted_by_legacy_verifier(self, scheme_name):
+        """Reports measured on the fast path verify against a legacy replay
+        (and vice versa): the wire format is pipeline-agnostic."""
+        workload = get_workload("syringe_pump")
+        program = workload.build()
+        for prover_fast, verifier_fast in ((True, False), (False, True)):
+            prover = Prover(
+                {workload.name: program},
+                cpu_config=CpuConfig(fast_path=prover_fast,
+                                     collect_trace=False),
+            )
+            verifier = Verifier(
+                cpu_config=CpuConfig(fast_path=verifier_fast,
+                                     collect_trace=False),
+            )
+            verifier.register_program(workload.name, program)
+            verifier.register_device_key(
+                "prover-0", prover.keystore.export_for_verifier())
+            challenge = verifier.challenge(
+                workload.name, list(workload.inputs), scheme=scheme_name)
+            report = prover.attest(challenge)
+            verdict = verifier.verify(report)
+            assert verdict.accepted, (scheme_name, prover_fast, verdict.reason)
+
+
+class TestFastPathFallback:
+    def test_plain_monitor_forces_legacy_loop(self):
+        """A monitor without observe_batch keeps seeing every instruction."""
+        workload = get_workload("figure4_loop")
+        program = workload.build()
+        seen = []
+        cpu = Cpu(program, inputs=list(workload.inputs))
+        cpu.attach_monitor(seen.append)
+        result = cpu.run()
+        assert len(seen) == result.instructions  # every retirement observed
+
+    def test_fast_path_opt_out_flag(self):
+        workload = get_workload("figure4_loop")
+        program = workload.build()
+        cpu = Cpu(program, inputs=list(workload.inputs),
+                  config=CpuConfig(fast_path=False))
+        legacy = cpu.run()
+        fast = Cpu(program, inputs=list(workload.inputs)).run()
+        assert legacy.cycles == fast.cycles
+        assert legacy.output == fast.output
+
+    def test_fast_path_enabled_by_default(self):
+        assert CpuConfig().fast_path is True
+
+    def test_raising_batch_monitor_does_not_duplicate_delivery(self):
+        """If a monitor raises mid-flush, earlier monitors in the same
+        flush must not receive the batch a second time from cleanup."""
+        class Recorder:
+            def __init__(self, explode=False):
+                self.records = []
+                self.explode = explode
+
+            def observe(self, record):
+                pass
+
+            def observe_batch(self, records):
+                if self.explode:
+                    raise RuntimeError("monitor failure")
+                self.records.extend(records)
+
+        workload = get_workload("figure4_loop")
+        good, bad = Recorder(), Recorder(explode=True)
+        cpu = Cpu(workload.build(), inputs=list(workload.inputs),
+                  config=CpuConfig(collect_trace=False, monitor_batch_size=4))
+        cpu.attach_monitor(good.observe)
+        cpu.attach_monitor(bad.observe)
+        with pytest.raises(RuntimeError, match="monitor failure"):
+            cpu.run()
+        indices = [record.index for record in good.records]
+        assert indices == sorted(set(indices))  # delivered at most once
+
+    def test_redirecting_pre_hook_preserves_equivalence(self):
+        """A hook that redirects control flow (no trace record exists for
+        the transfer) must not break fast/legacy measurement identity: the
+        fast path detects the redirect and finishes per record."""
+        from repro.lofat.engine import LoFatEngine
+
+        workload = get_workload("figure4_loop")
+        program = workload.build()
+
+        def make_hook():
+            state = {"fired": False}
+
+            def hook(cpu, pc, retired):
+                # Skip one instruction mid-loop, once.
+                if retired == 30 and not state["fired"]:
+                    state["fired"] = True
+                    cpu.pc = pc + 4
+            return hook
+
+        results = {}
+        for fast in (False, True):
+            cpu = Cpu(program, inputs=list(workload.inputs),
+                      config=CpuConfig(fast_path=fast, collect_trace=False))
+            engine = LoFatEngine()
+            cpu.attach_monitor(engine.observe)
+            cpu.add_pre_instruction_hook(make_hook())
+            result = cpu.run()
+            measurement = engine.finalize()
+            results[fast] = (
+                measurement.measurement,
+                measurement.metadata.to_bytes(),
+                result.instructions,
+                result.cycles,
+                result.output,
+            )
+        assert results[True] == results[False]
+
+    def test_redirect_into_active_loop_region_preserves_equivalence(self):
+        """Nastier redirect: execution falls through past a loop's exit node
+        (straight-line, so the fast path has no records for it yet) and a
+        hook then redirects back into the loop body.  The legacy loop exits
+        the loop at the fall-through; the fast path must reconstruct that
+        from the unobserved straight-line run before switching to per-record
+        observation, or the loop wrongly stays active and the metadata
+        diverges."""
+        from repro.cpu.trace import BranchKind
+        from repro.isa.assembler import assemble
+        from repro.lofat.engine import LoFatEngine
+
+        source = """
+        _start:
+            li t1, 2
+        loop:
+            addi t1, t1, -1
+            bne t1, zero, loop
+            addi t2, t2, 0
+            addi t2, t2, 0
+            addi t2, t2, 0
+            li a0, 0
+            li a7, 93
+            ecall
+        """
+        program = assemble(source)
+        reference = Cpu(program, config=CpuConfig(fast_path=False)).run()
+        branch_pc = next(r.pc for r in reference.trace
+                         if r.kind is BranchKind.CONDITIONAL)
+        trigger_pc = branch_pc + 12  # third straight-line addi past the exit
+
+        def make_hook():
+            state = {"fired": False}
+
+            def hook(cpu, pc, retired):
+                if pc == trigger_pc and not state["fired"]:
+                    state["fired"] = True
+                    cpu.pc = branch_pc  # back into [entry, exit_node)
+            return hook
+
+        results = {}
+        for fast in (False, True):
+            cpu = Cpu(program, config=CpuConfig(fast_path=fast,
+                                                collect_trace=False))
+            engine = LoFatEngine()
+            cpu.attach_monitor(engine.observe)
+            cpu.add_pre_instruction_hook(make_hook())
+            result = cpu.run()
+            measurement = engine.finalize()
+            results[fast] = (
+                measurement.measurement,
+                measurement.metadata.to_bytes(),
+                result.instructions,
+                result.cycles,
+            )
+        assert results[True] == results[False]
+
+    def test_pre_hooks_run_on_fast_path(self):
+        """Attack-style pre-instruction hooks fire on the fused loop too."""
+        workload = get_workload("figure4_loop")
+        program = workload.build()
+        fired = []
+        cpu = Cpu(program, inputs=list(workload.inputs),
+                  config=CpuConfig(collect_trace=False))
+        cpu.add_pre_instruction_hook(
+            lambda c, pc, retired: fired.append((pc, retired)))
+        result = cpu.run()
+        assert len(fired) == result.instructions
+        assert fired[0] == (program.entry, 0)

@@ -155,3 +155,77 @@ class TestCycleModel:
         stats = engine.stats.as_dict()
         assert stats["pairs_absorbed"] == 1
         assert "max_buffer_occupancy" in stats
+
+
+class TestFinalizeDrain:
+    """Regression: finalize must drain the cycle model before reporting.
+
+    Previously :meth:`HashEngine.finalize` left queued pairs in the input
+    cache buffer, so a measurement could report non-zero ``buffer_occupancy``
+    and understated stall cycles after finalize.
+    """
+
+    def test_finalize_drains_pending_buffer(self):
+        engine = HashEngine()
+        for index in range(30):
+            engine.absorb_pair(index, index, arrival_cycle=index)
+        assert engine.buffer_occupancy > 0  # pairs genuinely in flight
+        engine.finalize()
+        assert engine.buffer_occupancy == 0
+        assert engine.stats.last_absorb_cycle > 0
+
+    def test_finalize_stall_accounting_matches_explicit_flush(self):
+        absorbed = HashEngine()
+        flushed = HashEngine()
+        for index in range(30):
+            absorbed.absorb_pair(index, index, arrival_cycle=index)
+            flushed.absorb_pair(index, index, arrival_cycle=index)
+        flushed.flush_cycle_model()
+        flushed.finalize()
+        absorbed.finalize()  # no explicit flush: must account identically
+        assert absorbed.stats.as_dict() == flushed.stats.as_dict()
+        assert absorbed.engine_cycle == flushed.engine_cycle
+
+    def test_statistics_reports_live_buffer_state(self):
+        engine = HashEngine()
+        for index in range(30):
+            engine.absorb_pair(index, index, arrival_cycle=index)
+        assert engine.statistics()["buffer_occupancy"] > 0
+        engine.finalize()
+        stats = engine.statistics()
+        assert stats["buffer_occupancy"] == 0
+        assert stats["engine_cycle"] == engine.engine_cycle
+
+
+class TestAbsorbRun:
+    """The batched absorb path is byte- and stats-identical to per-pair."""
+
+    def test_absorb_run_matches_per_pair_digest(self):
+        pairs = [(index * 4, index * 4 + 8) for index in range(25)]
+        per_pair = HashEngine()
+        for cycle, (src, dest) in enumerate(pairs):
+            per_pair.absorb_pair(src, dest, arrival_cycle=cycle)
+        batched = HashEngine()
+        batched.absorb_run(pairs, arrivals=range(len(pairs)))
+        assert batched.finalize() == per_pair.finalize()
+        assert batched.stats.as_dict() == per_pair.stats.as_dict()
+        assert batched.absorbed_pairs == per_pair.absorbed_pairs
+
+    def test_absorb_run_without_arrivals_skips_cycle_model(self):
+        engine = HashEngine()
+        engine.absorb_run([(1, 2), (3, 4)])
+        assert engine.stats.pairs_absorbed == 2
+        assert engine.engine_cycle == 0
+
+    def test_absorb_run_masks_to_32_bits(self):
+        wide = HashEngine()
+        wide.absorb_run([(0x1_0000_0001, 0x2_0000_0002)])
+        narrow = HashEngine()
+        narrow.absorb_pair(1, 2)
+        assert wide.finalize() == narrow.finalize()
+
+    def test_absorb_run_after_finalize_rejected(self):
+        engine = HashEngine()
+        engine.finalize()
+        with pytest.raises(RuntimeError):
+            engine.absorb_run([(1, 2)])

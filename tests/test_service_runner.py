@@ -225,3 +225,88 @@ class TestJobResults:
             assert job_result.instructions > 0
             assert job_result.cycles >= job_result.instructions
             assert job_result.measurement_hex
+
+
+class TestWorkerProgramCache:
+    """Regression: the per-worker program cache must key on the build, not
+    just the workload name -- a re-registration under the same name (or a
+    parameterized build) must never serve a stale Program."""
+
+    def _register(self, name, return_value):
+        from repro.workloads import WORKLOAD_REGISTRY
+        from repro.workloads.common import Workload
+
+        source = """
+        _start:
+            li a0, %d
+            li a7, 93
+            ecall
+        """ % return_value
+        WORKLOAD_REGISTRY[name] = lambda: Workload(
+            name=name, description="cache regression probe", source=source)
+
+    def test_reregistered_workload_is_reassembled(self):
+        from repro.service.worker import _assembled_program
+        from repro.workloads import WORKLOAD_REGISTRY
+
+        name = "_worker_cache_probe"
+        try:
+            self._register(name, 1)
+            first = _assembled_program(name)
+            assert _assembled_program(name) is first  # cached within a build
+            self._register(name, 2)
+            second = _assembled_program(name)
+            assert second is not first
+            assert second.digest != first.digest
+        finally:
+            WORKLOAD_REGISTRY.pop(name, None)
+
+    def test_campaign_picks_up_reregistered_workload(self):
+        from repro.workloads import WORKLOAD_REGISTRY
+
+        name = "_worker_cache_probe_campaign"
+        try:
+            self._register(name, 1)
+            spec = CampaignSpec(
+                name="probe",
+                workloads=[WorkloadSelection(name)],
+                verify_mode="replay",
+            )
+            assert CampaignRunner().run(spec).ok
+            self._register(name, 2)  # same name, different binary
+            assert CampaignRunner().run(spec).ok  # stale cache would reject
+        finally:
+            WORKLOAD_REGISTRY.pop(name, None)
+
+    def test_parameterized_subclass_build_not_served_stale(self):
+        from dataclasses import dataclass, field
+        from repro.service.worker import _assembled_program
+        from repro.workloads import WORKLOAD_REGISTRY
+        from repro.workloads.common import Workload
+
+        @dataclass
+        class ScaledWorkload(Workload):
+            scale: int = 1
+
+            def build(self):
+                from repro.isa.assembler import assemble
+                return assemble(self.source % self.scale)
+
+        name = "_worker_cache_probe_scaled"
+        template = """
+        _start:
+            li a0, %d
+            li a7, 93
+            ecall
+        """
+        try:
+            WORKLOAD_REGISTRY[name] = lambda: ScaledWorkload(
+                name=name, description="", source=template, scale=1)
+            first = _assembled_program(name)
+            # Same name, same source template, different build parameter.
+            WORKLOAD_REGISTRY[name] = lambda: ScaledWorkload(
+                name=name, description="", source=template, scale=2)
+            second = _assembled_program(name)
+            assert second.digest != first.digest
+        finally:
+            WORKLOAD_REGISTRY.pop(name, None)
