@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.analysis.performance import compare_all_workloads
 from repro.analysis.report import format_table
-from repro.baselines.cflat import CFlatCostModel
+from repro.schemes.cflat import CFlatCostModel
 from repro.lofat.engine import attest_execution
 from repro.workloads import all_workloads, get_workload
 

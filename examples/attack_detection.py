@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro.analysis import format_table
 from repro.attacks import all_attacks
 from repro.attestation import Prover, Verifier
-from repro.baselines import CFlatAttestation, StaticAttestation
+from repro.schemes import CFlatAttestation, StaticAttestation
 from repro.cpu.core import Cpu
 from repro.workloads import get_workload
 

@@ -14,7 +14,7 @@ Usage::
 from __future__ import annotations
 
 from repro.analysis import compare_all_workloads, format_table
-from repro.baselines import CFlatCostModel
+from repro.schemes import CFlatCostModel
 from repro.workloads import all_workloads
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.attacks import get_attack
 from repro.attestation import Prover, Verifier
-from repro.baselines import StaticAttestation
+from repro.schemes import StaticAttestation
 from repro.workloads import get_workload
 
 

@@ -12,9 +12,9 @@ Hardware* (Dessouky et al., DAC 2017) as a trace-based simulation:
 * :mod:`repro.schemes` -- the pluggable attestation-scheme API: one protocol
   for the ``lofat``, ``cflat`` and ``static`` backends, plus the registry.
 * :mod:`repro.attestation` -- the challenge-response protocol (prover/verifier).
-* :mod:`repro.baselines` -- C-FLAT (software CFA) and static attestation
-  (cost models and load-time measurement; the measuring schemes built on
-  them live in :mod:`repro.schemes`).
+* :mod:`repro.baselines` -- deprecated shim: the C-FLAT cost model and the
+  static load-time measurement now live next to their scheme backends in
+  :mod:`repro.schemes`.
 * :mod:`repro.attacks` -- the three run-time attack classes of Figure 1.
 * :mod:`repro.workloads` -- embedded evaluation workloads (syringe pump, ...).
 * :mod:`repro.analysis` -- experiment drivers and report formatting.

@@ -17,6 +17,7 @@ def format_campaign_summary(result) -> str:
     """A compact key/value block summarising one campaign run."""
     summary = result.summary()
     database = summary.pop("database", {})
+    capture = summary.pop("capture", {})
     lines = ["Campaign %r (%s verification, %d worker%s)" % (
         summary.pop("campaign"),
         summary.pop("verify_mode"),
@@ -24,21 +25,50 @@ def format_campaign_summary(result) -> str:
         "" if summary["workers"] == 1 else "s",
     )]
     summary.pop("workers")
-    lines.append("  execution path   : %s"
-                 % ("fast" if summary.pop("fast_path", True) else "legacy"))
+    pipeline = summary.pop("pipeline", "capture")
+    lines.append("  execution path   : %s, %s pipeline"
+                 % ("fast" if summary.pop("fast_path", True) else "legacy",
+                    "capture/attest" if pipeline == "capture" else "live"))
     lines.append("  jobs             : %d" % summary.pop("jobs"))
     lines.append("  all as expected  : %s" % summary.pop("ok"))
     lines.append("  accepted reports : %d" % summary.pop("accepted"))
     lines.append("  attacks detected : %s" % summary.pop("attacks_detected"))
+    if capture:
+        lines.append(
+            "  capture stage    : %.3f s -- %d unique execution%s for %d jobs "
+            "(%d deduped), %d simulated, %d from store, %d reference"
+            % (summary.get("capture_seconds", 0.0),
+               capture.get("unique_executions", 0),
+               "" if capture.get("unique_executions", 0) == 1 else "s",
+               capture.get("jobs", 0),
+               capture.get("deduped_jobs", 0),
+               capture.get("captured", 0),
+               capture.get("store_hits", 0),
+               capture.get("reference_executions", 0)))
+        lines.append(
+            "  attest stage     : %.3f s -- %d replayed, %d live"
+            % (summary.get("attest_seconds", 0.0),
+               capture.get("replayed_jobs", 0),
+               capture.get("live_jobs", 0)))
+    summary.pop("capture_seconds", None)
+    summary.pop("attest_seconds", None)
     lines.append("  prover fan-out   : %.3f s" % summary.pop("prover_seconds"))
     lines.append("  verification     : %.3f s" % summary.pop("verify_seconds"))
     lines.append("  total            : %.3f s (%.1f jobs/s)" % (
         summary.pop("total_seconds"), summary.pop("jobs_per_second")))
     if database:
         lines.append(
-            "  measurement db   : %d entries, %d hits / %d misses (%.0f%% hit rate)"
-            % (database.get("entries", 0), database.get("hits", 0),
-               database.get("misses", 0), 100.0 * database.get("hit_rate", 0.0)))
+            "  measurement db   : %d entries (+%d trace-keyed), "
+            "%d hits / %d misses (%.0f%% hit rate)"
+            % (database.get("entries", 0), database.get("trace_entries", 0),
+               database.get("hits", 0), database.get("misses", 0),
+               100.0 * database.get("hit_rate", 0.0)))
+        worker_totals = (database.get("worker_replay_hits", 0),
+                         database.get("worker_replay_misses", 0))
+        if any(worker_totals):
+            lines.append(
+                "  prover replay db : %d hits / %d misses across worker "
+                "processes" % worker_totals)
     return "\n".join(lines)
 
 
@@ -49,7 +79,7 @@ def format_campaign_table(result, limit: Optional[int] = None) -> str:
     table = format_table(
         shown,
         columns=["job", "scheme", "verdict", "reason", "ok", "cache",
-                 "instructions", "cycles"],
+                 "source", "instructions", "cycles"],
         title="Campaign %r: per-job verdicts" % result.spec_name,
     )
     if limit is not None and len(rows) > limit:

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.baselines.cflat import CFlatAttestation, CFlatCostModel
+from repro.schemes.cflat import CFlatAttestation, CFlatCostModel
 from repro.cpu.core import Cpu, CpuConfig
 from repro.lofat.config import LoFatConfig
 from repro.lofat.engine import LoFatEngine

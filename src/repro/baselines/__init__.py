@@ -1,23 +1,20 @@
-"""Baseline attestation schemes LO-FAT is compared against.
+"""Deprecated: the baseline attestation models moved to :mod:`repro.schemes`.
 
-* :mod:`repro.baselines.cflat` -- C-FLAT (Abera et al., CCS 2016), the
-  software control-flow attestation scheme whose instrumentation overhead
-  motivates LO-FAT.  Modelled as a per-control-flow-event cycle cost added to
-  the uninstrumented execution (the overhead is linear in the number of
-  control-flow events, which is the paper's comparison point).
-* :mod:`repro.baselines.static_attestation` -- conventional static (binary)
-  attestation, which measures the program image at load time and therefore
-  cannot observe run-time control-flow attacks.
+This package historically held the C-FLAT cost model and the static
+(load-time) attestation model separately from the measuring scheme backends
+built on top of them, which duplicated the split across two packages.  The
+classes now live next to their schemes:
 
-Both baselines are also available as first-class, challenge-drivable
-backends of the unified scheme API (:mod:`repro.schemes`): ``cflat`` and
-``static`` plug into the same prover/verifier/campaign pipeline as
-``lofat``.  This module keeps the historical cost-model imports working and
-re-exports the scheme classes for convenience.
+* :class:`repro.schemes.cflat.CFlatCostModel` / ``CFlatResult`` /
+  ``CFlatAttestation`` -- C-FLAT (Abera et al., CCS 2016);
+* :class:`repro.schemes.static.StaticAttestation` / ``StaticMeasurement``
+  -- conventional static (binary) attestation.
+
+Importing any of them through ``repro.baselines`` keeps working but emits a
+:class:`DeprecationWarning`; migrate to ``repro.schemes``.
 """
 
-from repro.baselines.cflat import CFlatCostModel, CFlatResult, CFlatAttestation
-from repro.baselines.static_attestation import StaticAttestation, StaticMeasurement
+import warnings
 
 __all__ = [
     "CFlatCostModel",
@@ -29,17 +26,40 @@ __all__ = [
     "StaticScheme",
 ]
 
-_SCHEME_EXPORTS = {"CFlatScheme": "cflat", "StaticScheme": "static"}
+_EXPORTS = {
+    "CFlatCostModel": "repro.schemes.cflat",
+    "CFlatResult": "repro.schemes.cflat",
+    "CFlatAttestation": "repro.schemes.cflat",
+    "CFlatScheme": "repro.schemes.cflat",
+    "StaticAttestation": "repro.schemes.static",
+    "StaticMeasurement": "repro.schemes.static",
+    "StaticScheme": "repro.schemes.static",
+}
+
+
+#: Submodules historically reachable as attributes after ``import
+#: repro.baselines`` (the eager imports bound them); resolve to the shim
+#: submodules so that access pattern keeps working too.
+_SUBMODULES = ("cflat", "static_attestation")
 
 
 def __getattr__(name):
-    # Lazy re-export of the scheme classes: repro.schemes imports this
-    # package's submodules, so importing it eagerly here would be circular.
-    if name in _SCHEME_EXPORTS:
-        import importlib
+    import importlib
 
-        module = importlib.import_module(
-            "repro.schemes.%s" % _SCHEME_EXPORTS[name]
+    if name in _SUBMODULES:
+        warnings.warn(
+            "repro.baselines.%s is deprecated; use repro.schemes" % name,
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return getattr(module, name)
-    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+        return importlib.import_module("%s.%s" % (__name__, name))
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError("module %r has no attribute %r" % (__name__, name))
+    warnings.warn(
+        "repro.baselines is deprecated; import %s from %s"
+        % (name, module_name),
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(module_name), name)

@@ -1,137 +1,24 @@
-"""C-FLAT: software control-flow attestation (the paper's main comparison).
+"""Deprecated: the C-FLAT model moved to :mod:`repro.schemes.cflat`.
 
-C-FLAT instruments every control-flow instruction of the target program so
-that it traps into an attestation runtime inside a TEE (TrustZone secure
-world), which updates a running hash with the (source, destination) pair
-before resuming the program.  Its performance cost is therefore *linear in
-the number of executed control-flow events*: each event replaces a single
-branch with a trampoline, a world switch and a software hash update.
-
-LO-FAT's claim (paper §6.1) is that it provides the same measurement without
-any of that cost because the recording happens in parallel hardware.  To
-reproduce the comparison we model C-FLAT as a cost function applied to the
-same execution trace used for LO-FAT:
-
-``attested_cycles = baseline_cycles + events * per_event_cycles``
-
-where ``per_event_cycles`` decomposes into the trampoline, the world switch
-and the software hash.  The default constants are deliberately conservative
-(favourable to C-FLAT); the experiment sweeps them to show the conclusion is
-insensitive to the exact values.
-
-Functionally, the C-FLAT measurement over a trace is the same cumulative hash
-of (Src, Dest) pairs, so the scheme detects the same control-flow deviations;
-only the cost differs.
+Importing through this module keeps working but emits a
+:class:`DeprecationWarning`; migrate to ``repro.schemes.cflat`` (or the
+``repro.schemes`` package exports).
 """
 
-from __future__ import annotations
+import warnings
 
-import hashlib
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
-
-from repro.cpu.core import Cpu, CpuConfig, ExecutionResult
-from repro.cpu.trace import ExecutionTrace
-from repro.isa.assembler import Program
+__all__ = ["CFlatCostModel", "CFlatResult", "CFlatAttestation"]
 
 
-@dataclass
-class CFlatCostModel:
-    """Per-event cycle costs of the software attestation runtime.
+def __getattr__(name):
+    if name not in __all__ and name != "CFlatScheme":
+        raise AttributeError("module %r has no attribute %r" % (__name__, name))
+    warnings.warn(
+        "repro.baselines.cflat is deprecated; import %s from "
+        "repro.schemes.cflat" % name,
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.schemes import cflat
 
-    Attributes:
-        trampoline_cycles: executing the rewritten branch stub (register
-            spills, computing the original target).
-        world_switch_cycles: entering and leaving the TEE (SMC/secure monitor
-            round trip); set to 0 to model a same-world software monitor.
-        hash_update_cycles: software hash absorb of one 64-bit (Src, Dest)
-            pair (BLAKE2s-style software hashing on a small in-order core).
-        loop_event_discount: fraction of loop-internal events whose hash
-            update is skipped thanks to C-FLAT's own loop handling (the
-            trampoline still executes); 0.0 means every event is hashed.
-    """
-
-    trampoline_cycles: int = 20
-    world_switch_cycles: int = 50
-    hash_update_cycles: int = 80
-    loop_event_discount: float = 0.0
-
-    @property
-    def per_event_cycles(self) -> int:
-        """Total extra cycles charged per control-flow event."""
-        return self.trampoline_cycles + self.world_switch_cycles + self.hash_update_cycles
-
-    def overhead_cycles(self, events: int, loop_events: int = 0) -> int:
-        """Extra cycles for a run with ``events`` control-flow events."""
-        full = self.trampoline_cycles + self.world_switch_cycles + self.hash_update_cycles
-        discounted = self.trampoline_cycles + self.world_switch_cycles
-        loop_events = min(loop_events, events)
-        if self.loop_event_discount <= 0.0:
-            return events * full
-        skipped = int(loop_events * self.loop_event_discount)
-        return (events - skipped) * full + skipped * discounted
-
-
-@dataclass
-class CFlatResult:
-    """Outcome of attesting one execution with the C-FLAT cost model."""
-
-    baseline_cycles: int
-    attested_cycles: int
-    control_flow_events: int
-    measurement: bytes
-    instrumented_instructions: int
-
-    @property
-    def overhead_cycles(self) -> int:
-        """Extra cycles caused by the software attestation."""
-        return self.attested_cycles - self.baseline_cycles
-
-    @property
-    def overhead_ratio(self) -> float:
-        """Relative slowdown (0.0 = no overhead)."""
-        if self.baseline_cycles == 0:
-            return 0.0
-        return self.overhead_cycles / self.baseline_cycles
-
-
-class CFlatAttestation:
-    """Software control-flow attestation applied to a program execution."""
-
-    def __init__(self, cost_model: Optional[CFlatCostModel] = None) -> None:
-        self.cost_model = cost_model or CFlatCostModel()
-
-    def instrumented_instruction_count(self, program: Program) -> int:
-        """Number of control-flow instructions that would be rewritten."""
-        return sum(1 for instr in program.instructions if instr.is_control_flow)
-
-    def measure_trace(self, trace: ExecutionTrace) -> bytes:
-        """The cumulative measurement C-FLAT would compute for ``trace``."""
-        hasher = hashlib.sha3_512()
-        for record in trace.control_flow_records:
-            src, dest = record.src_dest
-            hasher.update(src.to_bytes(4, "little") + dest.to_bytes(4, "little"))
-        return hasher.digest()
-
-    def attest(self, program: Program, result: ExecutionResult) -> CFlatResult:
-        """Apply the cost model to an existing (uninstrumented) execution."""
-        events = result.trace.control_flow_events
-        overhead = self.cost_model.overhead_cycles(events)
-        return CFlatResult(
-            baseline_cycles=result.cycles,
-            attested_cycles=result.cycles + overhead,
-            control_flow_events=events,
-            measurement=self.measure_trace(result.trace),
-            instrumented_instructions=self.instrumented_instruction_count(program),
-        )
-
-    def attest_program(
-        self,
-        program: Program,
-        inputs: Optional[List[int]] = None,
-        cpu_config: Optional[CpuConfig] = None,
-    ) -> Tuple[ExecutionResult, CFlatResult]:
-        """Run ``program`` and attest it with the C-FLAT cost model."""
-        cpu = Cpu(program, inputs=inputs, config=cpu_config)
-        result = cpu.run()
-        return result, self.attest(program, result)
+    return getattr(cflat, name)

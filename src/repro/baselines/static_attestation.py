@@ -1,63 +1,24 @@
-"""Conventional static (binary) attestation.
+"""Deprecated: static attestation moved to :mod:`repro.schemes.static`.
 
-Static attestation measures the program image (code and initialised data) at
-load time and reports the hash to the verifier.  It establishes that the
-right binary was loaded but, as the paper stresses, "cannot detect run-time
-exploitation techniques, since run-time attacks do not modify the program
-binary" (§2).  The security experiment (E5) uses this baseline to show which
-attack classes each scheme detects.
+Importing through this module keeps working but emits a
+:class:`DeprecationWarning`; migrate to ``repro.schemes.static`` (or the
+``repro.schemes`` package exports).
 """
 
-from __future__ import annotations
+import warnings
 
-import hashlib
-from dataclasses import dataclass
-from typing import Optional
-
-from repro.cpu.core import ExecutionResult
-from repro.isa.assembler import Program
+__all__ = ["StaticAttestation", "StaticMeasurement"]
 
 
-@dataclass(frozen=True)
-class StaticMeasurement:
-    """The load-time measurement of a program image."""
+def __getattr__(name):
+    if name not in __all__ and name != "StaticScheme":
+        raise AttributeError("module %r has no attribute %r" % (__name__, name))
+    warnings.warn(
+        "repro.baselines.static_attestation is deprecated; import %s from "
+        "repro.schemes.static" % name,
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.schemes import static
 
-    digest: bytes
-    code_bytes: int
-    data_bytes: int
-
-    @property
-    def hex(self) -> str:
-        return self.digest.hex()
-
-
-class StaticAttestation:
-    """Binary attestation of the loaded program image."""
-
-    def measure(self, program: Program) -> StaticMeasurement:
-        """Hash the program image exactly as a boot-time measurement would."""
-        hasher = hashlib.sha3_256()
-        hasher.update(program.code_base.to_bytes(4, "little"))
-        hasher.update(program.code)
-        hasher.update(program.data_base.to_bytes(4, "little"))
-        hasher.update(program.data)
-        return StaticMeasurement(
-            digest=hasher.digest(),
-            code_bytes=len(program.code),
-            data_bytes=len(program.data),
-        )
-
-    def verify(self, program: Program, reported: StaticMeasurement) -> bool:
-        """Check a reported load-time measurement against the expected image."""
-        return self.measure(program).digest == reported.digest
-
-    def detects_runtime_attack(self, baseline: ExecutionResult,
-                               attacked: ExecutionResult,
-                               program: Program) -> bool:
-        """Whether static attestation notices a run-time control-flow attack.
-
-        The measurement only depends on the program image, which run-time
-        attacks leave untouched, so this always returns False when the code
-        was not modified -- that is precisely the gap LO-FAT fills.
-        """
-        return False
+    return getattr(static, name)

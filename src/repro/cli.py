@@ -23,7 +23,15 @@ the CLI exposes the most common interactions without writing any Python:
 * ``repro campaign`` -- run an attestation campaign (schemes x workloads x
   configs x attacks) through the parallel campaign service, e.g.
   ``repro campaign --experiment all --workers 4`` or
-  ``repro campaign --experiment e5 --scheme lofat,cflat,static``.
+  ``repro campaign --experiment e5 --scheme lofat,cflat,static``.  Jobs are
+  deduplicated by execution signature and attested from stored traces
+  (``--pipeline live`` forces one fused execution per job); ``--trace-dir``
+  persists the capture store across invocations.
+* ``repro trace capture`` -- stage 1 only: simulate every unique execution
+  a campaign needs and persist the control-flow traces to ``--trace-dir``.
+* ``repro trace attest`` -- run a campaign against a capture store
+  populated earlier (the verify-many half: no simulation for executions
+  already captured).
 """
 
 from __future__ import annotations
@@ -52,6 +60,7 @@ from repro.service import (
     CampaignRunner,
     CampaignSpec,
     MeasurementDatabase,
+    TraceStore,
     all_experiments,
     experiment_campaign,
     full_campaign,
@@ -263,21 +272,34 @@ def _load_campaign_spec(args: argparse.Namespace) -> CampaignSpec:
     return spec
 
 
+def _make_runner(args: argparse.Namespace, database=None) -> CampaignRunner:
+    trace_store = None
+    trace_dir = getattr(args, "trace_dir", None)
+    if trace_dir is not None:
+        trace_store = TraceStore(directory=trace_dir)
+    return CampaignRunner(
+        database=database,
+        cpu_config=_cpu_config(args),
+        trace_store=trace_store,
+    )
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    # Spec and database files are user input: report parse problems as CLI
-    # errors rather than tracebacks.  Errors raised later, from inside the
-    # runner, are genuine bugs and propagate.
+    # Spec, database and trace-store files are user input: report parse
+    # problems as CLI errors rather than tracebacks.  Errors raised later,
+    # from inside the runner, are genuine bugs and propagate.
     try:
         spec = _load_campaign_spec(args)
         database = None
         if args.database is not None and os.path.exists(args.database):
             database = MeasurementDatabase.load(args.database)
+        runner = _make_runner(args, database)
     except (ValueError, OSError) as error:
         print("error: %s" % error, file=sys.stderr)
         return 2
-    runner = CampaignRunner(database=database, cpu_config=_cpu_config(args))
 
-    result = runner.run(spec, workers=args.workers)
+    result = runner.run(spec, workers=args.workers,
+                        pipeline=getattr(args, "pipeline", "capture"))
 
     if args.database is not None:
         try:
@@ -294,6 +316,33 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print()
         print(format_campaign_failures(result))
     return 0 if result.ok else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Capture-once / verify-many trace-store operations."""
+    if args.trace_command == "capture":
+        try:
+            spec = _load_campaign_spec(args)
+            runner = _make_runner(args)
+        except (ValueError, OSError) as error:
+            print("error: %s" % error, file=sys.stderr)
+            return 2
+        stats = runner.capture(spec, workers=args.workers)
+        store = stats.pop("store", {})
+        print("Captured campaign %r into %s" % (spec.name, args.trace_dir))
+        print("  jobs                : %d" % stats.get("jobs", 0))
+        print("  unique executions   : %d (%d jobs deduped)"
+              % (stats.get("unique_executions", 0),
+                 stats.get("deduped_jobs", 0)))
+        print("  reference captures  : %d" % stats.get("reference_executions", 0))
+        print("  simulated this run  : %d (%d already in store)"
+              % (stats.get("captured", 0), stats.get("store_hits", 0)))
+        print("  capture time        : %.3f s" % stats.get("capture_seconds", 0.0))
+        print("  store               : %d captures, %d unique traces"
+              % (store.get("captures", 0), store.get("unique_traces", 0)))
+        return 0
+    # "attest": a full campaign run against the populated store.
+    return _cmd_campaign(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -343,50 +392,92 @@ def build_parser() -> argparse.ArgumentParser:
         help="timing repetitions per configuration (best-of-N, default 3)",
     )
 
+    def add_campaign_options(target, full=True):
+        source = target.add_mutually_exclusive_group()
+        source.add_argument(
+            "--experiment", default="all",
+            choices=all_experiments() + ["all"],
+            help="preset campaign: one benchmark experiment or 'all' (default)",
+        )
+        source.add_argument(
+            "--spec", default=None, metavar="FILE",
+            help="JSON campaign spec file (see repro.service.CampaignSpec)",
+        )
+        target.add_argument(
+            "--workers", type=int, default=1, metavar="N",
+            help="prover worker processes (1 = sequential, default)",
+        )
+        target.add_argument(
+            "--repeats", type=int, default=None, metavar="N",
+            help="override the spec's repeat count",
+        )
+        target.add_argument(
+            "--verify-mode", default=None,
+            choices=["database", "replay", "structural"],
+            help="override the spec's verification mode",
+        )
+        target.add_argument(
+            "--scheme", default=None, metavar="NAMES",
+            help="override the spec's attestation schemes (comma-separated, "
+                 "e.g. lofat,cflat,static)",
+        )
+        target.add_argument(
+            "--legacy-loop", action="store_true",
+            help="run prover and verifier executions on the legacy "
+                 "per-instruction loop instead of the fused fast path",
+        )
+        if full:
+            target.add_argument(
+                "--database", default=None, metavar="FILE",
+                help="measurement database file to load before and save "
+                     "after the run",
+            )
+            target.add_argument(
+                "--show-jobs", action="store_true",
+                help="print the per-job verdict table",
+            )
+            target.add_argument(
+                "--pipeline", default="capture",
+                choices=["capture", "live"],
+                help="report production: 'capture' dedupes executions and "
+                     "attests from stored traces (default); 'live' runs one "
+                     "fused execution per job",
+            )
+
     campaign = subparsers.add_parser(
         "campaign",
         help="run an attestation campaign through the parallel service",
     )
-    source = campaign.add_mutually_exclusive_group()
-    source.add_argument(
-        "--experiment", default="all",
-        choices=all_experiments() + ["all"],
-        help="preset campaign: one benchmark experiment or 'all' (default)",
-    )
-    source.add_argument(
-        "--spec", default=None, metavar="FILE",
-        help="JSON campaign spec file (see repro.service.CampaignSpec)",
-    )
+    add_campaign_options(campaign)
     campaign.add_argument(
-        "--workers", type=int, default=1, metavar="N",
-        help="prover worker processes (1 = sequential, default)",
+        "--trace-dir", default=None, metavar="DIR",
+        help="persist the capture store in DIR (reused across invocations)",
     )
-    campaign.add_argument(
-        "--repeats", type=int, default=None, metavar="N",
-        help="override the spec's repeat count",
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="capture-once / verify-many operations on a persistent "
+             "trace store",
     )
-    campaign.add_argument(
-        "--verify-mode", default=None,
-        choices=["database", "replay", "structural"],
-        help="override the spec's verification mode",
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_capture = trace_sub.add_parser(
+        "capture",
+        help="simulate every unique execution of a campaign and persist "
+             "the control-flow traces",
     )
-    campaign.add_argument(
-        "--scheme", default=None, metavar="NAMES",
-        help="override the spec's attestation schemes (comma-separated, "
-             "e.g. lofat,cflat,static)",
+    add_campaign_options(trace_capture, full=False)
+    trace_capture.add_argument(
+        "--trace-dir", required=True, metavar="DIR",
+        help="directory of the persistent capture store",
     )
-    campaign.add_argument(
-        "--database", default=None, metavar="FILE",
-        help="measurement database file to load before and save after the run",
+    trace_attest = trace_sub.add_parser(
+        "attest",
+        help="run a campaign against a previously captured trace store",
     )
-    campaign.add_argument(
-        "--show-jobs", action="store_true",
-        help="print the per-job verdict table",
-    )
-    campaign.add_argument(
-        "--legacy-loop", action="store_true",
-        help="run prover and verifier executions on the legacy "
-             "per-instruction loop instead of the fused fast path",
+    add_campaign_options(trace_attest)
+    trace_attest.add_argument(
+        "--trace-dir", required=True, metavar="DIR",
+        help="directory of the persistent capture store",
     )
     return parser
 
@@ -402,6 +493,7 @@ _COMMANDS = {
     "area": _cmd_area,
     "fastpath": _cmd_fastpath,
     "campaign": _cmd_campaign,
+    "trace": _cmd_trace,
 }
 
 

@@ -169,6 +169,142 @@ class TraceNotRecordedError(RuntimeError):
     """Raised when per-record trace data is requested from a streaming trace."""
 
 
+class ControlFlowTrace:
+    """Control-flow records plus straight-line run counters (capture format).
+
+    The compact representation behind the capture-once / verify-many
+    pipeline: only the control-flow :class:`TraceRecord` objects are kept --
+    exactly the stream the fast execution path delivers to batched monitors
+    -- together with the summary counters of the straight-line instructions
+    between them.  Replaying the records through a scheme session's
+    ``observe_batch`` (plus one ``finish_run`` with the stored totals)
+    produces the same measurement as live execution, while the stored size
+    is O(control-flow events), not O(instructions).
+
+    A :class:`ControlFlowTrace` doubles as a CPU monitor: attach
+    :meth:`observe` via :meth:`repro.cpu.core.Cpu.attach_monitor` and the
+    fast path feeds it through :meth:`observe_batch`/:meth:`finish_run`,
+    while the legacy per-record loop goes through :meth:`observe`.  The
+    statistics surface mirrors :class:`ExecutionTrace` (``cycles``,
+    ``control_flow_events``, ``summary()``, ``len()``), so cost models work
+    on it unchanged; per-instruction record access raises
+    :class:`TraceNotRecordedError` like a streaming trace.
+    """
+
+    def __init__(
+        self,
+        records: Optional[List[TraceRecord]] = None,
+        instructions: int = 0,
+        cycles: int = 0,
+        replayable: bool = True,
+    ) -> None:
+        self._cf_records: List[TraceRecord] = list(records or [])
+        self._instructions = instructions
+        self._cycles = cycles
+        #: False when the capture observed a control-flow redirect without a
+        #: record (a pre-hook rewrote the PC): the straight-line continuity
+        #: batched replay relies on is broken, so replaying these records
+        #: could diverge from the live measurement.
+        self._replayable = replayable
+
+    @classmethod
+    def from_trace(cls, trace: "ExecutionTrace") -> "ControlFlowTrace":
+        """Compact a full per-instruction trace into its control-flow form."""
+        return cls(
+            records=trace.control_flow_records,
+            instructions=len(trace),
+            cycles=trace.cycles,
+        )
+
+    # ------------------------------------------------------- capture (input)
+    def observe(self, record: TraceRecord) -> None:
+        """Per-record capture hook (legacy interpreter loop)."""
+        self._instructions += 1
+        if record.cycle > self._cycles:
+            self._cycles = record.cycle
+        if record.kind.is_control_flow:
+            self._cf_records.append(record)
+
+    def observe_batch(self, records) -> None:
+        """Batched capture hook (fast path; control-flow records only)."""
+        if records:
+            self._cf_records.extend(records)
+            last_cycle = records[-1].cycle
+            if last_cycle > self._cycles:
+                self._cycles = last_cycle
+
+    def finish_run(self, instructions: int, cycle: int) -> None:
+        """End-of-run sync from the fast path (totals incl. straight-line tail)."""
+        if instructions > self._instructions:
+            self._instructions = instructions
+        if cycle > self._cycles:
+            self._cycles = cycle
+
+    def sync_straight_line(self, next_pc: int, cycle: int) -> None:
+        """A pre-hook redirected control flow: mark the capture non-replayable."""
+        self._replayable = False
+
+    # ---------------------------------------------------------- statistics
+    @property
+    def replayable(self) -> bool:
+        """True when batched replay of the records reproduces the live run."""
+        return self._replayable
+
+    @property
+    def control_flow_records(self) -> List[TraceRecord]:
+        """The captured control-flow records, in retirement order."""
+        return self._cf_records
+
+    @property
+    def control_flow_events(self) -> int:
+        return len(self._cf_records)
+
+    @property
+    def taken_control_flow_events(self) -> int:
+        return sum(1 for r in self._cf_records if r.taken)
+
+    @property
+    def executed_edges(self) -> List[tuple]:
+        return [r.src_dest for r in self._cf_records]
+
+    @property
+    def cycles(self) -> int:
+        return self._cycles
+
+    def __len__(self) -> int:
+        return self._instructions
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        raise TraceNotRecordedError(
+            "a control-flow trace keeps only control-flow records; iterate "
+            "control_flow_records (offline replay must go through a "
+            "session's observe_batch, not per-record observe)"
+        )
+
+    def __getitem__(self, index):
+        raise TraceNotRecordedError(
+            "per-instruction records were not kept in a control-flow trace"
+        )
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        raise TraceNotRecordedError(
+            "per-instruction records were not kept in a control-flow trace"
+        )
+
+    def summary(self) -> dict:
+        kinds: Dict[str, int] = {}
+        for record in self._cf_records:
+            kinds[record.kind.value] = kinds.get(record.kind.value, 0) + 1
+        return {
+            "instructions": self._instructions,
+            "cycles": self._cycles,
+            "control_flow_events": len(self._cf_records),
+            "taken_control_flow_events": self.taken_control_flow_events,
+            "by_kind": kinds,
+        }
+
+
 class StreamingTrace:
     """Trace statistics without record accumulation.
 

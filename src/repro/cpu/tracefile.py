@@ -1,18 +1,28 @@
 """Serialisation of execution traces (capture once, attest offline).
 
 The LO-FAT hardware consumes the retired-instruction stream live, but for
-development, debugging and regression archiving it is convenient to capture a
-trace once and re-run the attestation engine over it offline -- exactly what
-the authors did with their ModelSim dumps.  This module provides a compact,
-versioned binary format for :class:`repro.cpu.trace.ExecutionTrace` plus a
-helper that replays a stored trace through any monitor (e.g. a
+development, debugging, regression archiving -- and, at campaign scale, the
+capture-once / verify-many pipeline -- it is convenient to capture a trace
+once and re-run the attestation engines over it offline -- exactly what the
+authors did with their ModelSim dumps.  This module provides a compact,
+versioned binary format for :class:`repro.cpu.trace.ExecutionTrace` (format
+v1) and :class:`repro.cpu.trace.ControlFlowTrace` (format v2) plus a helper
+that replays a stored full trace through any monitor (e.g. a
 :class:`repro.lofat.engine.LoFatEngine`).
 
 Format (little-endian):
 
 * header: magic ``LFTR``, format version (u16), record count (u32)
+* v2 only: flags (u8; bit 0 = replayable), total retired instructions (u64),
+  final cycle (u64) -- the straight-line run counters a control-flow-only
+  capture cannot derive from its records
 * per record: index (u32), cycle (u32), pc (u32), word (u32), next_pc (u32),
   kind (u8), taken (u8)
+
+Version negotiation happens in the reader: v1 archives deserialise to a full
+:class:`ExecutionTrace` exactly as before, v2 files to a
+:class:`ControlFlowTrace`.  v1 cannot represent a fast-path (control-flow
+only) capture -- writing one as v1 is an error rather than a silent loss.
 
 The decoded instruction is reconstructed from the stored instruction word, so
 round-tripping a trace preserves everything the LO-FAT engine needs.
@@ -20,19 +30,31 @@ round-tripping a trace preserves everything the LO-FAT engine needs.
 
 from __future__ import annotations
 
+import hashlib
 import io
 import struct
 from typing import BinaryIO, Callable, Iterable, Union
 
-from repro.cpu.trace import BranchKind, ExecutionTrace, TraceRecord
+from repro.cpu.trace import (
+    BranchKind,
+    ControlFlowTrace,
+    ExecutionTrace,
+    TraceRecord,
+)
 from repro.isa.encoding import decode
 
 #: File magic and current format version.
 MAGIC = b"LFTR"
-VERSION = 1
+VERSION = 2
+#: Versions this reader understands.
+SUPPORTED_VERSIONS = (1, 2)
 
 _HEADER = struct.Struct("<4sHI")
+_V2_COUNTERS = struct.Struct("<BQQ")
 _RECORD = struct.Struct("<IIIIIBB")
+
+#: v2 flag bits.
+_FLAG_REPLAYABLE = 0x01
 
 #: Stable numeric codes for the branch kinds.
 _KIND_TO_CODE = {
@@ -51,41 +73,69 @@ class TraceFormatError(ValueError):
     """Raised when a trace file is malformed or has an unsupported version."""
 
 
-def dump_trace(trace: ExecutionTrace, stream: BinaryIO) -> int:
-    """Write ``trace`` to a binary ``stream``; returns the number of bytes."""
-    written = stream.write(_HEADER.pack(MAGIC, VERSION, len(trace)))
-    for record in trace:
-        written += stream.write(_RECORD.pack(
-            record.index,
-            record.cycle,
-            record.pc,
-            record.word,
-            record.next_pc,
-            _KIND_TO_CODE[record.kind],
-            1 if record.taken else 0,
-        ))
+def _pack_record(record: TraceRecord) -> bytes:
+    return _RECORD.pack(
+        record.index,
+        record.cycle,
+        record.pc,
+        record.word,
+        record.next_pc,
+        _KIND_TO_CODE[record.kind],
+        1 if record.taken else 0,
+    )
+
+
+def dump_trace(
+    trace: Union[ExecutionTrace, ControlFlowTrace],
+    stream: BinaryIO,
+    version: int = None,
+) -> int:
+    """Write ``trace`` to a binary ``stream``; returns the number of bytes.
+
+    The version is negotiated from the trace type by default: a full
+    :class:`ExecutionTrace` keeps the v1 layout (existing archives and
+    tooling stay byte-identical), a :class:`ControlFlowTrace` needs v2.
+    Passing ``version`` explicitly forces a format; requesting v1 for a
+    control-flow-only capture raises :class:`TraceFormatError` because v1
+    has no way to carry the straight-line run counters.
+    """
+    cf_only = isinstance(trace, ControlFlowTrace)
+    if version is None:
+        version = 2 if cf_only else 1
+    if version not in SUPPORTED_VERSIONS:
+        raise TraceFormatError("unsupported trace version: %d" % version)
+    if version == 1:
+        if cf_only:
+            raise TraceFormatError(
+                "format v1 cannot represent a control-flow-only capture "
+                "(straight-line run counters would be lost); write v2"
+            )
+        written = stream.write(_HEADER.pack(MAGIC, 1, len(trace)))
+        for record in trace:
+            written += stream.write(_pack_record(record))
+        return written
+
+    if not cf_only:
+        trace = ControlFlowTrace.from_trace(trace)
+    records = trace.control_flow_records
+    flags = _FLAG_REPLAYABLE if trace.replayable else 0
+    written = stream.write(_HEADER.pack(MAGIC, 2, len(records)))
+    written += stream.write(_V2_COUNTERS.pack(flags, len(trace), trace.cycles))
+    for record in records:
+        written += stream.write(_pack_record(record))
     return written
 
 
-def dumps_trace(trace: ExecutionTrace) -> bytes:
+def dumps_trace(
+    trace: Union[ExecutionTrace, ControlFlowTrace], version: int = None
+) -> bytes:
     """Serialise ``trace`` to bytes."""
     buffer = io.BytesIO()
-    dump_trace(trace, buffer)
+    dump_trace(trace, buffer, version=version)
     return buffer.getvalue()
 
 
-def load_trace(stream: BinaryIO) -> ExecutionTrace:
-    """Read an :class:`ExecutionTrace` from a binary ``stream``."""
-    header = stream.read(_HEADER.size)
-    if len(header) != _HEADER.size:
-        raise TraceFormatError("truncated trace header")
-    magic, version, count = _HEADER.unpack(header)
-    if magic != MAGIC:
-        raise TraceFormatError("bad magic: %r" % magic)
-    if version != VERSION:
-        raise TraceFormatError("unsupported trace version: %d" % version)
-
-    trace = ExecutionTrace()
+def _read_records(stream: BinaryIO, count: int):
     for _ in range(count):
         raw = stream.read(_RECORD.size)
         if len(raw) != _RECORD.size:
@@ -93,7 +143,7 @@ def load_trace(stream: BinaryIO) -> ExecutionTrace:
         index, cycle, pc, word, next_pc, kind_code, taken = _RECORD.unpack(raw)
         if kind_code not in _CODE_TO_KIND:
             raise TraceFormatError("unknown branch-kind code: %d" % kind_code)
-        trace.append(TraceRecord(
+        yield TraceRecord(
             index=index,
             cycle=cycle,
             pc=pc,
@@ -102,22 +152,67 @@ def load_trace(stream: BinaryIO) -> ExecutionTrace:
             next_pc=next_pc,
             kind=_CODE_TO_KIND[kind_code],
             taken=bool(taken),
-        ))
-    return trace
+        )
 
 
-def loads_trace(data: bytes) -> ExecutionTrace:
+def load_trace(stream: BinaryIO) -> Union[ExecutionTrace, ControlFlowTrace]:
+    """Read a trace from a binary ``stream`` (negotiates the format version).
+
+    Returns an :class:`ExecutionTrace` for v1 files and a
+    :class:`ControlFlowTrace` for v2 files.
+    """
+    header = stream.read(_HEADER.size)
+    if len(header) != _HEADER.size:
+        raise TraceFormatError("truncated trace header")
+    magic, version, count = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise TraceFormatError("bad magic: %r" % magic)
+    if version not in SUPPORTED_VERSIONS:
+        raise TraceFormatError("unsupported trace version: %d" % version)
+
+    if version == 1:
+        trace = ExecutionTrace()
+        for record in _read_records(stream, count):
+            trace.append(record)
+        return trace
+
+    counters = stream.read(_V2_COUNTERS.size)
+    if len(counters) != _V2_COUNTERS.size:
+        raise TraceFormatError("truncated v2 trace counters")
+    flags, instructions, cycles = _V2_COUNTERS.unpack(counters)
+    return ControlFlowTrace(
+        records=list(_read_records(stream, count)),
+        instructions=instructions,
+        cycles=cycles,
+        replayable=bool(flags & _FLAG_REPLAYABLE),
+    )
+
+
+def loads_trace(data: bytes) -> Union[ExecutionTrace, ControlFlowTrace]:
     """Deserialise a trace from bytes."""
     return load_trace(io.BytesIO(data))
 
 
-def save_trace(trace: ExecutionTrace, path: str) -> int:
+def trace_digest(data: bytes) -> str:
+    """Content address of a serialised trace (SHA3-256 over the bytes).
+
+    This is the key the content-addressed trace store and the measurement
+    database's trace-keyed entries use: two captures that produced the same
+    serialised trace share one digest, whatever signature they were captured
+    under.
+    """
+    return hashlib.sha3_256(data).hexdigest()
+
+
+def save_trace(
+    trace: Union[ExecutionTrace, ControlFlowTrace], path: str, version: int = None
+) -> int:
     """Write ``trace`` to ``path``; returns the number of bytes written."""
     with open(path, "wb") as handle:
-        return dump_trace(trace, handle)
+        return dump_trace(trace, handle, version=version)
 
 
-def open_trace(path: str) -> ExecutionTrace:
+def open_trace(path: str) -> Union[ExecutionTrace, ControlFlowTrace]:
     """Load a trace previously written by :func:`save_trace`."""
     with open(path, "rb") as handle:
         return load_trace(handle)
@@ -127,11 +222,16 @@ def replay_trace(
     trace: Union[ExecutionTrace, Iterable[TraceRecord]],
     monitor: Callable[[TraceRecord], None],
 ) -> int:
-    """Feed every record of ``trace`` to ``monitor``; returns the record count.
+    """Feed every record of a *full* ``trace`` to ``monitor``; returns the count.
 
-    This is the offline-attestation path: replaying a stored trace through a
-    fresh :class:`repro.lofat.engine.LoFatEngine` yields exactly the same
-    measurement and metadata as live observation did.
+    This is the per-record offline-attestation path: replaying a stored full
+    trace through a fresh :class:`repro.lofat.engine.LoFatEngine` yields
+    exactly the same measurement and metadata as live observation did.  A
+    :class:`ControlFlowTrace` cannot be replayed per record (the monitor
+    would miss the straight-line instructions its loop-exit checks need);
+    replay those through a scheme's
+    :meth:`repro.schemes.base.AttestationScheme.replay_measurement`, which
+    drives the batched observation path instead.
     """
     count = 0
     for record in trace:

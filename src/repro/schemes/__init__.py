@@ -51,9 +51,21 @@ from repro.schemes.registry import (
 
 # Importing the modules populates the registry.
 from repro.schemes import cflat, lofat, static  # noqa: F401  (registration)
-from repro.schemes.cflat import CFlatScheme, CFlatSession
+from repro.schemes.cflat import (
+    CFlatAttestation,
+    CFlatCostModel,
+    CFlatResult,
+    CFlatScheme,
+    CFlatSession,
+)
 from repro.schemes.lofat import LoFatScheme, LoFatSession
-from repro.schemes.static import StaticConfig, StaticScheme, StaticSession
+from repro.schemes.static import (
+    StaticAttestation,
+    StaticConfig,
+    StaticMeasurement,
+    StaticScheme,
+    StaticSession,
+)
 
 __all__ = [
     "AttestationScheme",
@@ -76,7 +88,12 @@ __all__ = [
     "LoFatSession",
     "CFlatScheme",
     "CFlatSession",
+    "CFlatCostModel",
+    "CFlatResult",
+    "CFlatAttestation",
     "StaticScheme",
     "StaticSession",
     "StaticConfig",
+    "StaticAttestation",
+    "StaticMeasurement",
 ]

@@ -17,6 +17,9 @@ The contract (see ``docs/SCHEMES.md`` for the how-to-add-a-backend guide):
   ``observe`` hook is attached as a CPU monitor.
 * ``verify(report, expected)`` -- compare a report against the expected
   ``(A, serialized L)`` reference.
+* ``replay_measurement(program, trace, config)`` -- the verify-many half of
+  the capture-once pipeline: measure a stored control-flow trace through a
+  fresh session, no CPU in the loop, byte-identical to live execution.
 * ``cost_model(trace, config)`` -- the scheme's runtime cost applied to an
   execution (the E1/E11 overhead comparisons).
 
@@ -179,6 +182,10 @@ class AttestationScheme(abc.ABC):
     #: binary", paper §2) -- the campaign service uses this to decide whether
     #: an attacked execution is *expected* to be rejected.
     detects_runtime_attacks: ClassVar[bool] = True
+    #: Whether :meth:`reference_measurement` needs an execution of the
+    #: program.  Static attestation only hashes the image, so the campaign
+    #: service skips planning a benign capture for its references.
+    reference_requires_execution: ClassVar[bool] = True
 
     # ------------------------------------------------------- configuration
     @abc.abstractmethod
@@ -235,6 +242,51 @@ class AttestationScheme(abc.ABC):
         cpu.attach_monitor(session.observe)
         result = cpu.run()
         return result, session.finalize()
+
+    def replay_measurement(
+        self,
+        program,
+        trace,
+        config=None,
+        batch_size: int = 256,
+    ) -> SchemeMeasurement:
+        """Measure a stored trace through a fresh session -- no CPU in the loop.
+
+        The verify-many half of the capture-once pipeline: ``trace`` is a
+        :class:`repro.cpu.trace.ControlFlowTrace` (or a full
+        :class:`~repro.cpu.trace.ExecutionTrace`, whose control-flow records
+        are used) captured from one execution of ``program``; its records
+        are streamed into the session's ``observe_batch`` hook in
+        retirement order, followed by one ``finish_run`` carrying the stored
+        instruction/cycle totals -- the same delivery the CPU's fast path
+        performs live, so the measurement ``A``, the metadata ``L`` and the
+        session statistics are byte-identical to live execution.
+
+        Raises :class:`SchemeError` for a session without batched
+        observation (per-record replay of a control-flow-only trace would
+        miss the straight-line instructions its loop tracking needs) and for
+        a capture marked non-replayable (a pre-instruction hook redirected
+        control flow mid-run, breaking the straight-line continuity batched
+        observation reconstructs).
+        """
+        session = self.open_session(program, config)
+        observe_batch = getattr(session, "observe_batch", None)
+        if observe_batch is None:
+            raise SchemeError(
+                "%s session does not support batched observation; a "
+                "control-flow trace cannot be replayed through it" % self.name
+            )
+        if not getattr(trace, "replayable", True):
+            raise SchemeError(
+                "trace is not replayable (a pre-instruction hook redirected "
+                "control flow during capture); re-attest live instead"
+            )
+        records = trace.control_flow_records
+        step = max(1, batch_size)
+        for start in range(0, len(records), step):
+            observe_batch(records[start:start + step])
+        session.finish_run(len(trace), trace.cycles)
+        return session.finalize()
 
     def reference_measurement(
         self,

@@ -1,26 +1,44 @@
 """C-FLAT as a full measuring :class:`AttestationScheme` backend.
 
-This promotes :mod:`repro.baselines.cflat` from a trace-level cost table to a
-first-class scheme that can be driven by a challenge, verified against the
-measurement database and swept in a campaign.  The session computes, while
-streaming, exactly the measurement :meth:`CFlatAttestation.measure_trace`
-computes from a recorded trace -- the cumulative SHA3-512 hash over every
-(Src, Dest) pair of every control-flow event -- so the two stay
-interchangeable and the equivalence is pinned by ``tests/test_schemes.py``.
+C-FLAT (Abera et al., CCS 2016) instruments every control-flow instruction of
+the target program so that it traps into an attestation runtime inside a TEE
+(TrustZone secure world), which updates a running hash with the (source,
+destination) pair before resuming the program.  Its performance cost is
+therefore *linear in the number of executed control-flow events*: each event
+replaces a single branch with a trampoline, a world switch and a software
+hash update.  LO-FAT's claim (paper §6.1) is that it provides the same
+measurement without any of that cost because the recording happens in
+parallel hardware.
 
-The *cost* of producing that measurement is what separates C-FLAT from
-LO-FAT: every control-flow instruction is rewritten into a trampoline that
-traps into the TEE for a software hash update, so the overhead is linear in
-the number of executed control-flow events (:class:`CFlatCostModel`).
+This module carries both halves of the reproduction's C-FLAT model:
+
+* the cost model (:class:`CFlatCostModel`, :class:`CFlatResult`,
+  :class:`CFlatAttestation`) applied to an uninstrumented execution --
+  ``attested_cycles = baseline_cycles + events * per_event_cycles`` -- which
+  historically lived in the now-deprecated :mod:`repro.baselines.cflat`;
+* the first-class measuring scheme (:class:`CFlatSession`,
+  :class:`CFlatScheme`) that can be driven by a challenge, verified against
+  the measurement database and swept in a campaign.  The session computes,
+  while streaming, exactly the measurement
+  :meth:`CFlatAttestation.measure_trace` computes from a recorded trace --
+  the cumulative SHA3-512 hash over every (Src, Dest) pair of every
+  control-flow event -- so the two stay interchangeable and the equivalence
+  is pinned by ``tests/test_schemes.py``.
+
+The default cost constants are deliberately conservative (favourable to
+C-FLAT); the experiments sweep them to show the conclusion is insensitive to
+the exact values.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Mapping, Optional
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Tuple
 
-from repro.baselines.cflat import CFlatCostModel
-from repro.cpu.trace import TraceNotRecordedError
+from repro.cpu.core import Cpu, CpuConfig, ExecutionResult
+from repro.cpu.trace import ExecutionTrace, TraceNotRecordedError
+from repro.isa.assembler import Program
 from repro.schemes.base import (
     AttestationScheme,
     MeasurementSession,
@@ -29,6 +47,108 @@ from repro.schemes.base import (
     SchemeMeasurement,
 )
 from repro.schemes.registry import register_scheme
+
+
+@dataclass
+class CFlatCostModel:
+    """Per-event cycle costs of the software attestation runtime.
+
+    Attributes:
+        trampoline_cycles: executing the rewritten branch stub (register
+            spills, computing the original target).
+        world_switch_cycles: entering and leaving the TEE (SMC/secure monitor
+            round trip); set to 0 to model a same-world software monitor.
+        hash_update_cycles: software hash absorb of one 64-bit (Src, Dest)
+            pair (BLAKE2s-style software hashing on a small in-order core).
+        loop_event_discount: fraction of loop-internal events whose hash
+            update is skipped thanks to C-FLAT's own loop handling (the
+            trampoline still executes); 0.0 means every event is hashed.
+    """
+
+    trampoline_cycles: int = 20
+    world_switch_cycles: int = 50
+    hash_update_cycles: int = 80
+    loop_event_discount: float = 0.0
+
+    @property
+    def per_event_cycles(self) -> int:
+        """Total extra cycles charged per control-flow event."""
+        return self.trampoline_cycles + self.world_switch_cycles + self.hash_update_cycles
+
+    def overhead_cycles(self, events: int, loop_events: int = 0) -> int:
+        """Extra cycles for a run with ``events`` control-flow events."""
+        full = self.trampoline_cycles + self.world_switch_cycles + self.hash_update_cycles
+        discounted = self.trampoline_cycles + self.world_switch_cycles
+        loop_events = min(loop_events, events)
+        if self.loop_event_discount <= 0.0:
+            return events * full
+        skipped = int(loop_events * self.loop_event_discount)
+        return (events - skipped) * full + skipped * discounted
+
+
+@dataclass
+class CFlatResult:
+    """Outcome of attesting one execution with the C-FLAT cost model."""
+
+    baseline_cycles: int
+    attested_cycles: int
+    control_flow_events: int
+    measurement: bytes
+    instrumented_instructions: int
+
+    @property
+    def overhead_cycles(self) -> int:
+        """Extra cycles caused by the software attestation."""
+        return self.attested_cycles - self.baseline_cycles
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Relative slowdown (0.0 = no overhead)."""
+        if self.baseline_cycles == 0:
+            return 0.0
+        return self.overhead_cycles / self.baseline_cycles
+
+
+class CFlatAttestation:
+    """Software control-flow attestation applied to a program execution."""
+
+    def __init__(self, cost_model: Optional[CFlatCostModel] = None) -> None:
+        self.cost_model = cost_model or CFlatCostModel()
+
+    def instrumented_instruction_count(self, program: Program) -> int:
+        """Number of control-flow instructions that would be rewritten."""
+        return sum(1 for instr in program.instructions if instr.is_control_flow)
+
+    def measure_trace(self, trace: ExecutionTrace) -> bytes:
+        """The cumulative measurement C-FLAT would compute for ``trace``."""
+        hasher = hashlib.sha3_512()
+        for record in trace.control_flow_records:
+            src, dest = record.src_dest
+            hasher.update(src.to_bytes(4, "little") + dest.to_bytes(4, "little"))
+        return hasher.digest()
+
+    def attest(self, program: Program, result: ExecutionResult) -> CFlatResult:
+        """Apply the cost model to an existing (uninstrumented) execution."""
+        events = result.trace.control_flow_events
+        overhead = self.cost_model.overhead_cycles(events)
+        return CFlatResult(
+            baseline_cycles=result.cycles,
+            attested_cycles=result.cycles + overhead,
+            control_flow_events=events,
+            measurement=self.measure_trace(result.trace),
+            instrumented_instructions=self.instrumented_instruction_count(program),
+        )
+
+    def attest_program(
+        self,
+        program: Program,
+        inputs: Optional[List[int]] = None,
+        cpu_config: Optional[CpuConfig] = None,
+    ) -> Tuple[ExecutionResult, CFlatResult]:
+        """Run ``program`` and attest it with the C-FLAT cost model."""
+        cpu = Cpu(program, inputs=inputs, config=cpu_config)
+        result = cpu.run()
+        return result, self.attest(program, result)
 
 
 class CFlatSession(MeasurementSession):
@@ -67,6 +187,9 @@ class CFlatSession(MeasurementSession):
 
         Byte-identical to per-record observation: the digest covers the same
         (Src, Dest) sequence, concatenated into a single sponge update.
+        Both the CPU's live fast path and stored-trace replay
+        (:meth:`repro.schemes.base.AttestationScheme.replay_measurement`)
+        deliver through this hook.
         """
         if self._finalized is not None:
             raise RuntimeError("C-FLAT session already finalized")

@@ -8,15 +8,24 @@ False: the campaign service *expects* attacked executions to be accepted
 under this scheme, which is exactly the gap LO-FAT fills (experiment E5/E11).
 
 The measurement is execution-independent, so :meth:`reference_measurement`
-skips the replay entirely -- verification is O(hash) no matter the workload.
+skips the replay entirely -- verification is O(hash) no matter the workload
+-- and ``reference_requires_execution`` is False, so the capture-once
+campaign pipeline never plans a benign capture for a static reference.
+
+The load-time measurement model itself (:class:`StaticAttestation`,
+:class:`StaticMeasurement`) lives here too; it historically sat in the
+now-deprecated :mod:`repro.baselines.static_attestation`, which re-exports
+it from this module.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
-from repro.baselines.static_attestation import StaticAttestation
+from repro.cpu.core import ExecutionResult
+from repro.isa.assembler import Program
 from repro.schemes.base import (
     AttestationScheme,
     MeasurementSession,
@@ -25,6 +34,51 @@ from repro.schemes.base import (
     SchemeMeasurement,
 )
 from repro.schemes.registry import register_scheme
+
+
+@dataclass(frozen=True)
+class StaticMeasurement:
+    """The load-time measurement of a program image."""
+
+    digest: bytes
+    code_bytes: int
+    data_bytes: int
+
+    @property
+    def hex(self) -> str:
+        return self.digest.hex()
+
+
+class StaticAttestation:
+    """Binary attestation of the loaded program image."""
+
+    def measure(self, program: Program) -> StaticMeasurement:
+        """Hash the program image exactly as a boot-time measurement would."""
+        hasher = hashlib.sha3_256()
+        hasher.update(program.code_base.to_bytes(4, "little"))
+        hasher.update(program.code)
+        hasher.update(program.data_base.to_bytes(4, "little"))
+        hasher.update(program.data)
+        return StaticMeasurement(
+            digest=hasher.digest(),
+            code_bytes=len(program.code),
+            data_bytes=len(program.data),
+        )
+
+    def verify(self, program: Program, reported: StaticMeasurement) -> bool:
+        """Check a reported load-time measurement against the expected image."""
+        return self.measure(program).digest == reported.digest
+
+    def detects_runtime_attack(self, baseline: ExecutionResult,
+                               attacked: ExecutionResult,
+                               program: Program) -> bool:
+        """Whether static attestation notices a run-time control-flow attack.
+
+        The measurement only depends on the program image, which run-time
+        attacks leave untouched, so this always returns False when the code
+        was not modified -- that is precisely the gap LO-FAT fills.
+        """
+        return False
 
 
 @dataclass(frozen=True)
@@ -47,7 +101,8 @@ class StaticSession(MeasurementSession):
 
     def observe_batch(self, records) -> None:
         # Batched delivery carries no information either; declaring the hook
-        # keeps static-scheme executions on the CPU's fast path.
+        # keeps static-scheme executions on the CPU's fast path and makes
+        # stored-trace replay a no-op stream.
         pass
 
     def finalize(self) -> SchemeMeasurement:
@@ -77,6 +132,7 @@ class StaticScheme(AttestationScheme):
                    "binaries, blind to run-time control-flow attacks")
     measurement_bytes = 32
     detects_runtime_attacks = False
+    reference_requires_execution = False
 
     def configure(self, params: Optional[Mapping] = None) -> StaticConfig:
         if isinstance(params, StaticConfig):

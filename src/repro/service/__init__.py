@@ -7,13 +7,18 @@ executions at once (see ``docs/ARCHITECTURE.md`` for the layer diagram):
 * :mod:`repro.service.campaign` -- declarative campaign specs (schemes x
   workloads x configs x attack injections) and their expansion into
   picklable jobs.
-* :mod:`repro.service.worker` -- prover-side job execution, the unit shipped
-  to ``multiprocessing`` workers.
+* :mod:`repro.service.worker` -- prover-side job execution, the units
+  shipped to ``multiprocessing`` workers: capture (stage 1), attest-from-
+  trace (stage 2) and the fused live path.
+* :mod:`repro.service.tracestore` -- the content-addressed trace store
+  behind capture-once / verify-many: execution signatures, captured
+  control-flow traces, optional disk spill.
 * :mod:`repro.service.database` -- the measurement database caching expected
-  ``(A, L)`` keyed by (scheme, program digest, inputs, config digest), which
-  makes repeat verification O(lookup) instead of O(re-execution).
-* :mod:`repro.service.runner` -- the campaign runner: parallel prover
-  fan-out, central verification, recombined results.
+  ``(A, L)`` keyed by (scheme, program digest, inputs, config digest) and by
+  (scheme, trace digest, config digest), which makes repeat verification
+  O(lookup) instead of O(re-execution).
+* :mod:`repro.service.runner` -- the campaign runner: two-stage
+  capture/attest fan-out, central verification, recombined results.
 * :mod:`repro.service.presets` -- every benchmark experiment (E1-E9, plus
   the E11 scheme matrix) expressed as a campaign.
 
@@ -39,7 +44,18 @@ from repro.service.campaign import (
 from repro.service.database import MeasurementDatabase, config_digest
 from repro.service.presets import all_experiments, experiment_campaign, full_campaign
 from repro.service.runner import CampaignResult, CampaignRunner, JobResult
-from repro.service.worker import ProverResponse, execute_prover_job
+from repro.service.tracestore import (
+    CapturedExecution,
+    TraceStore,
+    execution_signature,
+)
+from repro.service.worker import (
+    CaptureResponse,
+    ProverResponse,
+    execute_attest_job,
+    execute_capture_job,
+    execute_prover_job,
+)
 
 __all__ = [
     "CampaignJob",
@@ -55,6 +71,12 @@ __all__ = [
     "CampaignResult",
     "CampaignRunner",
     "JobResult",
+    "CapturedExecution",
+    "TraceStore",
+    "execution_signature",
+    "CaptureResponse",
     "ProverResponse",
+    "execute_attest_job",
+    "execute_capture_job",
     "execute_prover_job",
 ]

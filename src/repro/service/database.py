@@ -15,6 +15,18 @@ process restarts (via :meth:`MeasurementDatabase.save` /
 binaries that share a name; including the scheme name means LO-FAT, C-FLAT
 and static references for the same binary never collide either.
 
+A second keyspace serves the capture-once / verify-many pipeline: entries
+keyed by
+
+    (scheme name, trace digest, configuration digest)
+
+where the trace digest is the content address of a stored control-flow trace
+(:func:`repro.cpu.tracefile.trace_digest`).  A reference computed by
+*replaying* a capture (``lookup_or_compute(..., capture=...)``) lands under
+both keys, so any later job whose capture serialises to the same bytes --
+whatever workload/input signature it was captured under -- reuses the
+measurement without another replay.  Both keyspaces persist.
+
 The database stores only public reference values -- the expected measurement
 and metadata for known inputs -- so persisting or sharing it does not weaken
 the protocol (freshness still comes from the per-challenge nonce).
@@ -31,6 +43,9 @@ from repro.schemes import get_scheme
 
 #: A database key: (scheme, program digest, inputs, config digest).
 DatabaseKey = Tuple[str, str, Tuple[int, ...], str]
+
+#: A trace-keyed entry: (scheme, trace digest, config digest).
+TraceKey = Tuple[str, str, str]
 
 
 def config_digest(config: Optional[LoFatConfig] = None) -> str:
@@ -54,6 +69,7 @@ class MeasurementDatabase:
 
     def __init__(self) -> None:
         self._entries: Dict[DatabaseKey, Tuple[bytes, bytes]] = {}
+        self._trace_entries: Dict[TraceKey, Tuple[bytes, bytes]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -64,13 +80,33 @@ class MeasurementDatabase:
         inputs: Tuple[int, ...],
         config=None,
         scheme: str = "lofat",
+        config_digest: Optional[str] = None,
     ) -> DatabaseKey:
+        """``config_digest`` short-circuits the canonical hashing when the
+        caller already computed it (the campaign hot path memoises digests
+        per sweep point)."""
         backend = get_scheme(scheme)
         return (
             backend.name,
             program.digest,
             tuple(int(v) for v in inputs),
-            backend.config_digest(config),
+            config_digest if config_digest is not None
+            else backend.config_digest(config),
+        )
+
+    @staticmethod
+    def trace_key_for(
+        scheme: str,
+        trace_digest: str,
+        config=None,
+        config_digest: Optional[str] = None,
+    ) -> TraceKey:
+        backend = get_scheme(scheme)
+        return (
+            backend.name,
+            trace_digest,
+            config_digest if config_digest is not None
+            else backend.config_digest(config),
         )
 
     # -------------------------------------------------------------- access
@@ -101,6 +137,39 @@ class MeasurementDatabase:
         key = self.key_for(program, inputs, config, scheme)
         self._entries[key] = (bytes(measurement), bytes(metadata_bytes))
 
+    def lookup_trace(
+        self,
+        scheme: str,
+        trace_digest: str,
+        config=None,
+        config_digest: Optional[str] = None,
+    ) -> Optional[Tuple[bytes, bytes]]:
+        """Return the ``(A, serialized L)`` stored for a trace digest, or None.
+
+        Counts hit/miss like :meth:`lookup`: trace-keyed lookups are part of
+        the same cache accounting.
+        """
+        entry = self._trace_entries.get(
+            self.trace_key_for(scheme, trace_digest, config, config_digest)
+        )
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def store_trace(
+        self,
+        scheme: str,
+        trace_digest: str,
+        config,
+        measurement: bytes,
+        metadata_bytes: bytes,
+        config_digest: Optional[str] = None,
+    ) -> None:
+        key = self.trace_key_for(scheme, trace_digest, config, config_digest)
+        self._trace_entries[key] = (bytes(measurement), bytes(metadata_bytes))
+
     def lookup_or_compute(
         self,
         program: Program,
@@ -108,21 +177,48 @@ class MeasurementDatabase:
         config=None,
         cpu_config=None,
         scheme: str = "lofat",
+        capture=None,
+        config_digest: Optional[str] = None,
     ) -> Tuple[bytes, bytes, bool]:
         """Return ``(A, serialized L, was_hit)``, computing the reference on miss.
 
-        The reference execution streams its trace (nothing is accumulated)
-        and benefits from the process-wide decoded-instruction cache, so even
-        the miss path is as cheap as one measured run can be; schemes whose
+        With ``capture`` (a :class:`repro.service.tracestore.CapturedExecution`
+        of the *benign* execution the reference describes), a miss is served
+        by replaying the stored trace through the scheme session -- no CPU in
+        the loop -- after first consulting the trace-digest keyspace; the
+        result is stored under both keys.  Without a capture the reference
+        execution streams its trace (nothing is accumulated) and benefits
+        from the process-wide decoded-instruction cache, so even that miss
+        path is as cheap as one measured run can be; schemes whose
         measurement is execution-independent (static) skip the run entirely.
         """
-        key = self.key_for(program, inputs, config, scheme)
+        key = self.key_for(program, inputs, config, scheme, config_digest)
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
             return entry[0], entry[1], True
+        backend = get_scheme(scheme)
+        if capture is not None and capture.replayable:
+            trace_key = self.trace_key_for(
+                scheme, capture.trace_digest, config, config_digest)
+            entry = self._trace_entries.get(trace_key)
+            if entry is not None:
+                # Served from the trace keyspace without any computation:
+                # that is a cache hit, just through the secondary key.
+                self.hits += 1
+                self._entries[key] = entry
+                return entry[0], entry[1], True
+            self.misses += 1
+            measurement = backend.replay_measurement(
+                program, capture.trace(), config=config,
+            )
+            entry = (measurement.measurement,
+                     measurement.metadata.to_bytes())
+            self._trace_entries[trace_key] = entry
+            self._entries[key] = entry
+            return entry[0], entry[1], False
         self.misses += 1
-        measurement = get_scheme(scheme).reference_measurement(
+        measurement = backend.reference_measurement(
             program,
             inputs=list(inputs),
             config=config,
@@ -134,6 +230,11 @@ class MeasurementDatabase:
 
     # ------------------------------------------------------------ reporting
     def __len__(self) -> int:
+        """Number of (scheme, program, inputs, config)-keyed entries.
+
+        Trace-keyed entries are deliberately not counted here -- they are a
+        derived index over the same measurements (see :meth:`stats`).
+        """
         return len(self._entries)
 
     @property
@@ -144,6 +245,7 @@ class MeasurementDatabase:
     def stats(self) -> dict:
         return {
             "entries": len(self._entries),
+            "trace_entries": len(self._trace_entries),
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,
@@ -164,6 +266,7 @@ class MeasurementDatabase:
         total = hits + misses
         return {
             "entries": len(self._entries),
+            "trace_entries": len(self._trace_entries),
             "hits": hits,
             "misses": misses,
             "hit_rate": hits / total if total else 0.0,
@@ -187,14 +290,30 @@ class MeasurementDatabase:
             for (scheme, program_digest, inputs, cfg_digest), (measurement, metadata)
             in sorted(self._entries.items())
         ]
-        return json.dumps({"version": 1, "entries": entries}, indent=2)
+        trace_entries = [
+            {
+                "scheme": scheme,
+                "trace_digest": digest,
+                "config_digest": cfg_digest,
+                "measurement": measurement.hex(),
+                "metadata": metadata.hex(),
+            }
+            for (scheme, digest, cfg_digest), (measurement, metadata)
+            in sorted(self._trace_entries.items())
+        ]
+        document = {"version": 1, "entries": entries}
+        if trace_entries:
+            document["trace_entries"] = trace_entries
+        return json.dumps(document, indent=2)
 
     @classmethod
     def from_json(cls, payload: str) -> "MeasurementDatabase":
         """Parse a persisted database.
 
         Entries written before the scheme field existed default to
-        ``"lofat"`` so old database files stay loadable.
+        ``"lofat"`` so old database files stay loadable; files without a
+        ``trace_entries`` block (pre capture-once releases) load with an
+        empty trace keyspace.
         """
         document = json.loads(payload)
         if document.get("version") != 1:
@@ -208,6 +327,16 @@ class MeasurementDatabase:
                 str(entry["config_digest"]),
             )
             database._entries[key] = (
+                bytes.fromhex(entry["measurement"]),
+                bytes.fromhex(entry["metadata"]),
+            )
+        for entry in document.get("trace_entries", []):
+            trace_key = (
+                str(entry.get("scheme", "lofat")),
+                str(entry["trace_digest"]),
+                str(entry["config_digest"]),
+            )
+            database._trace_entries[trace_key] = (
                 bytes.fromhex(entry["measurement"]),
                 bytes.fromhex(entry["metadata"]),
             )

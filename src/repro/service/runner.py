@@ -1,20 +1,39 @@
 """The attestation campaign runner.
 
 :class:`CampaignRunner` is the verifier-side service loop: it expands a
-:class:`repro.service.campaign.CampaignSpec` into jobs, fans the prover
-executions out across worker processes, then verifies every returned report
-centrally -- one verifier per (attestation scheme, configuration variant)
-sweep point, all of them backed by a shared
-:class:`repro.service.database.MeasurementDatabase`.
+:class:`repro.service.campaign.CampaignSpec` into jobs, produces one signed
+report per job, then verifies every report centrally -- one verifier per
+(attestation scheme, configuration variant) sweep point, all of them backed
+by a shared :class:`repro.service.database.MeasurementDatabase`.
+
+Report production is a two-stage pipeline (the capture-once / verify-many
+decomposition; ``pipeline="live"`` keeps the historical fused path for
+comparison):
+
+* **Stage 1 -- capture.** Jobs are deduplicated by *execution signature*
+  (program build, inputs, attack, CPU config -- scheme-independent, see
+  :mod:`repro.service.tracestore`); each unique signature is simulated once
+  (:func:`repro.service.worker.execute_capture_job`) and its compact
+  control-flow trace lands in the runner's content-addressed
+  :class:`~repro.service.tracestore.TraceStore`.  An N-scheme x M-config
+  sweep therefore pays for one CPU simulation per distinct execution, not
+  N x M.  When database verification needs execution-dependent references,
+  the benign counterparts of attacked executions are captured in the same
+  pass.
+* **Stage 2 -- attest.** Every job replays its stored trace through its
+  scheme session (:func:`repro.service.worker.execute_attest_job`) -- no
+  CPU in the loop -- and signs the result; reports are byte-identical to
+  live execution (pinned by ``tests/test_trace_replay_equivalence.py``).
+  Database-mode reference misses replay the stored *benign* capture too,
+  keyed in the measurement database by trace digest.
 
 The decomposition mirrors the deployment the paper assumes: many independent
 prover devices execute in parallel (they share nothing but their program
 images), while the verifier is a single service whose per-report cost is
-pushed from O(re-execution) to O(lookup) by the measurement database.  The
-prover fan-out is embarrassingly parallel, so the recombination step is a
-simple ordered zip of jobs and responses; parallel campaigns are
-result-identical to sequential ones by construction, and the test suite
-asserts it.
+pushed from O(re-execution) to O(lookup) by the measurement database.  Both
+stages are embarrassingly parallel, so the recombination step is a simple
+ordered zip of jobs and responses; parallel campaigns are result-identical
+to sequential ones by construction, and the test suite asserts it.
 """
 
 from __future__ import annotations
@@ -29,9 +48,23 @@ from repro.attestation.crypto import SecureKeyStore
 from repro.attestation.verifier import Verifier
 from repro.cpu.core import CpuConfig
 from repro.isa.assembler import Program
+from repro.schemes import get_scheme
 from repro.service.campaign import CampaignJob, CampaignSpec
 from repro.service.database import MeasurementDatabase
-from repro.service.worker import ProverResponse, execute_prover_job
+from repro.service.tracestore import (
+    TraceStore,
+    cpu_config_digest,
+    execution_signature,
+    workload_build_signature,
+)
+from repro.service.worker import (
+    CaptureResponse,
+    ProverResponse,
+    _assembled_program,
+    execute_attest_job,
+    execute_capture_job,
+    execute_prover_job,
+)
 from repro.workloads import get_workload
 
 
@@ -53,6 +86,9 @@ class JobResult:
     #: the verify mode does not consult it).
     cache_hit: Optional[bool]
     prover_seconds: float
+    #: Whether the report was produced by replaying a stored trace (False
+    #: for live executions).
+    replayed: bool = False
 
     @property
     def detected(self) -> bool:
@@ -67,7 +103,11 @@ class JobResult:
         return self.accepted
 
     def identity(self) -> tuple:
-        """The comparison key used to check parallel == sequential results."""
+        """The comparison key used to check parallel == sequential results.
+
+        Also pipeline-independent by design: a two-stage (capture/replay)
+        campaign must recombine to the same identities as a live one.
+        """
         return (
             self.job.job_id,
             self.accepted,
@@ -90,6 +130,7 @@ class JobResult:
             "ok": self.ok,
             "cache": ("hit" if self.cache_hit else "miss")
                      if self.cache_hit is not None else "-",
+            "source": "replay" if self.replayed else "live",
             "instructions": self.instructions,
             "cycles": self.cycles,
         }
@@ -105,13 +146,23 @@ class CampaignResult:
     #: Whether prover and verifier executions used the fused fast-path
     #: interpreter (the opt-out :attr:`repro.cpu.core.CpuConfig.fast_path`).
     fast_path: bool = True
+    #: Report-production pipeline: "capture" (two-stage, the default) or
+    #: "live" (fused capture+attest per job).
+    pipeline: str = "capture"
     results: List[JobResult] = field(default_factory=list)
-    #: Wall-clock seconds of the parallel prover fan-out phase.
+    #: Wall-clock seconds of the parallel prover fan-out phase (both stages).
     prover_seconds: float = 0.0
+    #: Wall-clock seconds of stage 1 (unique-execution capture).
+    capture_seconds: float = 0.0
+    #: Wall-clock seconds of stage 2 (trace replay + signing).
+    attest_seconds: float = 0.0
     #: Wall-clock seconds of the central verification phase.
     verify_seconds: float = 0.0
     total_seconds: float = 0.0
     database_stats: dict = field(default_factory=dict)
+    #: Capture-stage accounting: jobs vs unique executions vs simulations
+    #: actually run (see :meth:`CampaignRunner._run_two_stage`).
+    capture_stats: dict = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.results)
@@ -153,15 +204,19 @@ class CampaignResult:
             "verify_mode": self.verify_mode,
             "workers": self.workers,
             "fast_path": self.fast_path,
+            "pipeline": self.pipeline,
             "jobs": len(self.results),
             "ok": self.ok,
             "accepted": self.accepted_count,
             "attacks_detected": "%d/%d" % (self.detected_count, attacks),
             "prover_seconds": self.prover_seconds,
+            "capture_seconds": self.capture_seconds,
+            "attest_seconds": self.attest_seconds,
             "verify_seconds": self.verify_seconds,
             "total_seconds": self.total_seconds,
             "jobs_per_second": self.jobs_per_second,
             "database": dict(self.database_stats),
+            "capture": dict(self.capture_stats),
         }
 
 
@@ -181,20 +236,35 @@ class CampaignRunner:
         database: Optional[MeasurementDatabase] = None,
         device_id: str = "prover-0",
         cpu_config: Optional[CpuConfig] = None,
+        trace_store: Optional[TraceStore] = None,
     ) -> None:
         self.database = database if database is not None else MeasurementDatabase()
         self.device_id = device_id
         self.cpu_config = cpu_config
+        #: The content-addressed capture store shared across this runner's
+        #: campaigns; pass a directory-backed store to persist captures
+        #: (``repro trace capture`` / ``--trace-dir``).
+        self.trace_store = trace_store if trace_store is not None else TraceStore()
 
     # ----------------------------------------------------------- execution
-    def run(self, spec: CampaignSpec, workers: int = 1) -> CampaignResult:
+    def run(
+        self, spec: CampaignSpec, workers: int = 1, pipeline: str = "capture"
+    ) -> CampaignResult:
         """Run ``spec`` end to end and return the recombined results.
 
-        ``workers <= 1`` executes the prover jobs inline (sequential);
-        ``workers > 1`` fans them out over a process pool.  Verification
-        always happens centrally, in job order, so the two modes produce
-        identical results.
+        ``workers <= 1`` executes the prover-side stages inline
+        (sequential); ``workers > 1`` fans them out over a process pool.
+        ``pipeline`` selects report production: ``"capture"`` (default)
+        dedupes jobs by execution signature, simulates each unique execution
+        once and replays stored traces per job; ``"live"`` runs one fused
+        simulate+measure execution per job (the pre-capture behaviour, kept
+        as the equivalence/benchmark baseline).  Verification always happens
+        centrally, in job order, so every mode produces identical results.
         """
+        if pipeline not in ("capture", "live"):
+            raise ValueError(
+                "unknown pipeline %r (expected 'capture' or 'live')" % pipeline
+            )
         jobs = spec.expand()
         started_total = time.perf_counter()
         database_counters = self.database.counters()
@@ -206,30 +276,193 @@ class CampaignRunner:
             for job in jobs
         ]
 
+        capture_seconds = attest_seconds = 0.0
+        capture_stats: dict = {}
+        reference_captures: Dict[str, object] = {}
         started_prover = time.perf_counter()
-        responses = self._execute_provers(payloads, workers)
+        if pipeline == "live":
+            responses = self._execute_provers(payloads, workers)
+        else:
+            (responses, capture_seconds, attest_seconds,
+             capture_stats, reference_captures) = self._run_two_stage(
+                spec, jobs, payloads, workers)
         prover_seconds = time.perf_counter() - started_prover
 
         started_verify = time.perf_counter()
         results = [
-            self._verify(spec, job, response, verifiers, programs)
+            self._verify(spec, job, response, verifiers, programs,
+                         reference_captures)
             for job, response in zip(jobs, responses)
         ]
         verify_seconds = time.perf_counter() - started_verify
+
+        database_stats = self.database.stats_since(database_counters)
+        # Cross-process cache accounting: stage-2 replay caches live in the
+        # worker processes, so their hit/miss counters only exist on the
+        # responses -- aggregate them here instead of reporting only the
+        # parent database's numbers.
+        database_stats["worker_replay_hits"] = sum(
+            r.replay_cache_hits for r in responses)
+        database_stats["worker_replay_misses"] = sum(
+            r.replay_cache_misses for r in responses)
 
         return CampaignResult(
             spec_name=spec.name,
             verify_mode=spec.verify_mode,
             workers=max(1, workers),
             fast_path=(self.cpu_config or CpuConfig()).fast_path,
+            pipeline=pipeline,
             results=results,
             prover_seconds=prover_seconds,
+            capture_seconds=capture_seconds,
+            attest_seconds=attest_seconds,
             verify_seconds=verify_seconds,
             total_seconds=time.perf_counter() - started_total,
-            database_stats=self.database.stats_since(database_counters),
+            database_stats=database_stats,
+            capture_stats=capture_stats,
         )
 
+    def capture(self, spec: CampaignSpec, workers: int = 1) -> dict:
+        """Run only stage 1 of ``spec``: populate the trace store.
+
+        Captures every unique execution signature the campaign (and its
+        database-mode references) would need, without attesting or
+        verifying anything.  Returns the capture statistics dictionary; the
+        captures land in :attr:`trace_store` (persist them by constructing
+        the runner with a directory-backed store).
+        """
+        jobs = spec.expand()
+        signatures, ref_signatures = self._plan_signatures(spec, jobs)
+        started = time.perf_counter()
+        stats = self._capture_unique(jobs, signatures, ref_signatures, workers)
+        stats["capture_seconds"] = time.perf_counter() - started
+        stats["store"] = self.trace_store.stats()
+        return stats
+
     # ------------------------------------------------------------ plumbing
+    def _plan_signatures(
+        self, spec: CampaignSpec, jobs: Sequence[CampaignJob]
+    ) -> Tuple[List[str], List[Optional[str]]]:
+        """Execution signatures per job, plus per-job reference signatures.
+
+        The reference signature is the *benign* counterpart of the job's
+        execution (attack stripped) -- what a database-mode verification
+        replays -- or None when the verify mode never consults the database
+        or the scheme's reference needs no execution (static).
+        """
+        cpu_digest = cpu_config_digest(self.cpu_config)
+        build_signatures: Dict[str, str] = {}
+
+        def signature(workload: str, inputs, attack) -> str:
+            build = build_signatures.get(workload)
+            if build is None:
+                build = workload_build_signature(get_workload(workload))
+                build_signatures[workload] = build
+            return execution_signature(
+                workload, inputs, attack,
+                build_signature=build, cpu_digest=cpu_digest,
+            )
+
+        signatures = [
+            signature(job.workload, job.inputs, job.attack) for job in jobs
+        ]
+        ref_signatures: List[Optional[str]] = []
+        for job, job_signature in zip(jobs, signatures):
+            if (spec.verify_mode != "database"
+                    or not get_scheme(job.scheme).reference_requires_execution):
+                ref_signatures.append(None)
+            elif job.attack is None:
+                ref_signatures.append(job_signature)
+            else:
+                ref_signatures.append(
+                    signature(job.workload, job.inputs, None))
+        return signatures, ref_signatures
+
+    def _capture_unique(
+        self,
+        jobs: Sequence[CampaignJob],
+        signatures: Sequence[str],
+        ref_signatures: Sequence[Optional[str]],
+        workers: int,
+    ) -> dict:
+        """Stage 1: simulate every signature the campaign needs exactly once."""
+        plan: List[tuple] = []
+        planned = set()
+        store_hits = 0
+        for job, job_signature, ref_signature in zip(
+                jobs, signatures, ref_signatures):
+            for sig, attack in ((job_signature, job.attack),
+                                (ref_signature, None)):
+                if sig is None or sig in planned:
+                    continue
+                if sig in self.trace_store:
+                    planned.add(sig)
+                    store_hits += 1
+                    continue
+                planned.add(sig)
+                plan.append((sig, job.workload, job.inputs, attack))
+
+        responses = self._execute_captures(plan, workers)
+        for response in responses:
+            self.trace_store.put_bytes(
+                response.signature,
+                response.trace_bytes,
+                exit_code=response.exit_code,
+                output=response.output,
+                instructions=response.instructions,
+                cycles=response.cycles,
+                replayable=response.replayable,
+                flush=False,
+            )
+        self.trace_store.flush()
+        job_signatures = set(signatures)
+        return {
+            "jobs": len(jobs),
+            "unique_executions": len(job_signatures),
+            "deduped_jobs": len(jobs) - len(job_signatures),
+            "reference_executions": len(planned - job_signatures),
+            "captured": len(plan),
+            "store_hits": store_hits,
+            "simulated_seconds": sum(r.capture_seconds for r in responses),
+        }
+
+    def _run_two_stage(
+        self,
+        spec: CampaignSpec,
+        jobs: Sequence[CampaignJob],
+        payloads: Sequence[tuple],
+        workers: int,
+    ):
+        """Capture unique executions, then attest every job from the store."""
+        signatures, ref_signatures = self._plan_signatures(spec, jobs)
+
+        started_capture = time.perf_counter()
+        capture_stats = self._capture_unique(
+            jobs, signatures, ref_signatures, workers)
+        capture_seconds = time.perf_counter() - started_capture
+
+        started_attest = time.perf_counter()
+        attest_payloads = []
+        for (job, nonce), job_signature in zip(payloads, signatures):
+            capture = self.trace_store.get(job_signature)
+            if capture is not None and not capture.replayable:
+                capture = None  # live fallback in the worker
+            attest_payloads.append((job, nonce, capture))
+        responses = self._execute_attests(attest_payloads, workers)
+        attest_seconds = time.perf_counter() - started_attest
+
+        capture_stats["replayed_jobs"] = sum(1 for r in responses if r.replayed)
+        capture_stats["live_jobs"] = sum(
+            1 for r in responses if not r.replayed)
+
+        reference_captures: Dict[str, object] = {}
+        for job, ref_signature in zip(jobs, ref_signatures):
+            if ref_signature is not None and job.job_id not in reference_captures:
+                reference_captures[job.job_id] = self.trace_store.get(
+                    ref_signature)
+        return (responses, capture_seconds, attest_seconds, capture_stats,
+                reference_captures)
+
     def _provision(
         self, jobs: Sequence[CampaignJob]
     ) -> Tuple[Dict[Tuple[str, str], Verifier], Dict[str, Program]]:
@@ -246,7 +479,10 @@ class CampaignRunner:
         programs: Dict[str, Program] = {}
         for job in jobs:
             if job.workload not in programs:
-                programs[job.workload] = get_workload(job.workload).build()
+                # Shares the process-wide build-signature-keyed assembly
+                # cache with the worker side: repeat campaigns (and the
+                # capture planner) never re-assemble an unchanged workload.
+                programs[job.workload] = _assembled_program(job.workload)
             key = (job.scheme, job.config_name)
             verifier = verifiers.get(key)
             if verifier is None:
@@ -266,6 +502,26 @@ class CampaignRunner:
             device_id=self.device_id,
             cpu_config=self.cpu_config,
         )
+        return self._map(execute, payloads, workers)
+
+    def _execute_captures(
+        self, payloads: Sequence[tuple], workers: int
+    ) -> List[CaptureResponse]:
+        execute = partial(execute_capture_job, cpu_config=self.cpu_config)
+        return self._map(execute, payloads, workers)
+
+    def _execute_attests(
+        self, payloads: Sequence[tuple], workers: int
+    ) -> List[ProverResponse]:
+        execute = partial(
+            execute_attest_job,
+            device_id=self.device_id,
+            cpu_config=self.cpu_config,
+        )
+        return self._map(execute, payloads, workers)
+
+    @staticmethod
+    def _map(execute, payloads: Sequence[tuple], workers: int) -> list:
         if workers <= 1 or len(payloads) <= 1:
             return [execute(payload) for payload in payloads]
         context = _worker_context()
@@ -281,16 +537,20 @@ class CampaignRunner:
         response: ProverResponse,
         verifiers: Dict[Tuple[str, str], Verifier],
         programs: Dict[str, Program],
+        reference_captures: Optional[Dict[str, object]] = None,
     ) -> JobResult:
         verifier = verifiers[(job.scheme, job.config_name)]
         cache_hit: Optional[bool] = None
         if spec.verify_mode == "database":
+            capture = (reference_captures or {}).get(job.job_id)
             measurement, metadata_bytes, cache_hit = self.database.lookup_or_compute(
                 programs[job.workload],
                 job.inputs,
                 job.scheme_config(),
                 cpu_config=self.cpu_config,
                 scheme=job.scheme,
+                capture=capture,
+                config_digest=job.scheme_config_digest(),
             )
             verifier.seed_measurement(
                 job.workload, job.inputs, measurement, metadata_bytes,
@@ -313,4 +573,5 @@ class CampaignRunner:
             cycles=response.cycles,
             cache_hit=cache_hit,
             prover_seconds=response.prover_seconds,
+            replayed=response.replayed,
         )

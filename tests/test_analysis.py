@@ -10,7 +10,7 @@ from repro.analysis.sweep import (
     granularity_sweep,
     hash_density_sweep,
 )
-from repro.baselines.cflat import CFlatCostModel
+from repro.schemes.cflat import CFlatCostModel
 from repro.workloads import get_workload
 
 

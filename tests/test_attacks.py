@@ -11,7 +11,7 @@ import pytest
 from repro.attacks import all_attacks, get_attack
 from repro.attacks.injector import MemoryCorruption
 from repro.attestation import Prover, Verifier
-from repro.baselines import StaticAttestation
+from repro.schemes import StaticAttestation
 from repro.cpu.core import Cpu
 from repro.isa.assembler import assemble
 from repro.workloads import get_workload

@@ -1,12 +1,63 @@
-"""Unit tests for the C-FLAT and static-attestation baselines."""
+"""Unit tests for the C-FLAT and static-attestation baselines.
+
+The model classes live in :mod:`repro.schemes` since the ``repro.baselines``
+deprecation; :class:`TestDeprecatedBaselinesShim` covers the compatibility
+shim.
+"""
 
 import pytest
 
-from repro.baselines.cflat import CFlatAttestation, CFlatCostModel
-from repro.baselines.static_attestation import StaticAttestation
+from repro.schemes.cflat import CFlatAttestation, CFlatCostModel
+from repro.schemes.static import StaticAttestation
 from repro.cpu.core import Cpu
 from repro.isa.assembler import assemble
 from repro.workloads import get_workload
+
+
+class TestDeprecatedBaselinesShim:
+    """repro.baselines re-exports from repro.schemes with a warning."""
+
+    def test_package_reexports_with_deprecation_warning(self):
+        import repro.baselines as baselines
+        with pytest.warns(DeprecationWarning):
+            assert baselines.CFlatCostModel is CFlatCostModel
+        with pytest.warns(DeprecationWarning):
+            assert baselines.StaticAttestation is StaticAttestation
+
+    def test_submodules_reexport_with_deprecation_warning(self):
+        import repro.baselines.cflat as old_cflat
+        import repro.baselines.static_attestation as old_static
+        with pytest.warns(DeprecationWarning):
+            assert old_cflat.CFlatAttestation is CFlatAttestation
+        with pytest.warns(DeprecationWarning):
+            from repro.schemes.cflat import CFlatResult
+            assert old_cflat.CFlatResult is CFlatResult
+        with pytest.warns(DeprecationWarning):
+            from repro.schemes.static import StaticMeasurement
+            assert old_static.StaticMeasurement is StaticMeasurement
+
+    def test_scheme_classes_also_reachable(self):
+        from repro.schemes import CFlatScheme, StaticScheme
+        import repro.baselines as baselines
+        with pytest.warns(DeprecationWarning):
+            assert baselines.CFlatScheme is CFlatScheme
+        with pytest.warns(DeprecationWarning):
+            assert baselines.StaticScheme is StaticScheme
+
+    def test_submodules_reachable_as_package_attributes(self):
+        """Pre-deprecation, eager imports bound the submodules as package
+        attributes; attribute access must keep working (with a warning)."""
+        import repro.baselines as baselines
+        with pytest.warns(DeprecationWarning):
+            assert baselines.cflat.CFlatCostModel is CFlatCostModel
+        with pytest.warns(DeprecationWarning):
+            assert baselines.static_attestation.StaticAttestation \
+                   is StaticAttestation
+
+    def test_unknown_attribute_raises_attribute_error(self):
+        import repro.baselines as baselines
+        with pytest.raises(AttributeError):
+            baselines.NoSuchBaseline
 
 
 class TestCFlatCostModel:
@@ -77,7 +128,7 @@ class TestCFlatAttestation:
         assert CFlatAttestation().instrumented_instruction_count(program) == 2
 
     def test_zero_baseline_cycles_overhead_ratio(self):
-        from repro.baselines.cflat import CFlatResult
+        from repro.schemes.cflat import CFlatResult
         result = CFlatResult(baseline_cycles=0, attested_cycles=0,
                              control_flow_events=0, measurement=b"",
                              instrumented_instructions=0)

@@ -4,7 +4,8 @@ import io
 
 import pytest
 
-from repro.cpu.core import Cpu
+from repro.cpu.core import Cpu, CpuConfig
+from repro.cpu.trace import ControlFlowTrace, ExecutionTrace
 from repro.cpu.tracefile import (
     TraceFormatError,
     dumps_trace,
@@ -12,6 +13,7 @@ from repro.cpu.tracefile import (
     open_trace,
     replay_trace,
     save_trace,
+    trace_digest,
 )
 from repro.lofat.engine import LoFatEngine
 from repro.workloads import get_workload
@@ -24,6 +26,17 @@ def run_workload(name):
     cpu.attach_monitor(engine.observe)
     result = cpu.run()
     return result, engine.finalize()
+
+
+def capture_workload(name):
+    """Fast-path (control-flow-only) capture of a workload execution."""
+    workload = get_workload(name)
+    cpu = Cpu(workload.build(), inputs=list(workload.inputs),
+              config=CpuConfig(collect_trace=False))
+    trace = ControlFlowTrace()
+    cpu.attach_monitor(trace.observe)
+    result = cpu.run()
+    return result, trace
 
 
 class TestRoundTrip:
@@ -80,6 +93,82 @@ class TestOfflineAttestation:
         engine = LoFatEngine()
         replay_trace(restored, engine.observe)
         assert engine.finalize().measurement != live.measurement
+
+
+class TestFormatV2:
+    """Tracefile v2: control-flow-only captures with run counters."""
+
+    @pytest.mark.parametrize("name", ["figure4_loop", "crc32", "dispatcher"])
+    def test_fastpath_capture_roundtrips_byte_identically(self, name):
+        result, trace = capture_workload(name)
+        data = dumps_trace(trace)
+        restored = loads_trace(data)
+        assert isinstance(restored, ControlFlowTrace)
+        # Byte-identical round trip: re-serialising reproduces the file.
+        assert dumps_trace(restored) == data
+        assert len(restored) == result.instructions
+        assert restored.cycles == result.cycles
+        assert restored.replayable
+        assert restored.summary() == trace.summary()
+        assert [r.src_dest for r in restored.control_flow_records] == \
+               [r.src_dest for r in trace.control_flow_records]
+
+    def test_version_negotiation(self):
+        result, _ = run_workload("figure4_loop")
+        _, capture = capture_workload("figure4_loop")
+        v1 = dumps_trace(result.trace)
+        v2 = dumps_trace(capture)
+        assert v1[4:6] == b"\x01\x00"
+        assert v2[4:6] == b"\x02\x00"
+        assert isinstance(loads_trace(v1), ExecutionTrace)
+        assert isinstance(loads_trace(v2), ControlFlowTrace)
+
+    def test_v1_cannot_represent_cf_only_capture(self):
+        _, capture = capture_workload("figure4_loop")
+        with pytest.raises(TraceFormatError):
+            dumps_trace(capture, version=1)
+
+    def test_full_trace_can_be_compacted_to_v2(self):
+        result, _ = run_workload("figure4_loop")
+        data = dumps_trace(result.trace, version=2)
+        restored = loads_trace(data)
+        assert isinstance(restored, ControlFlowTrace)
+        assert len(restored) == len(result.trace)
+        assert restored.cycles == result.trace.cycles
+        assert restored.control_flow_events == \
+               result.trace.control_flow_events
+        assert restored.summary() == result.trace.summary()
+
+    def test_compacted_full_trace_equals_fastpath_capture(self):
+        """v1-archived full traces convert to the same v2 bytes a live
+        fast-path capture produces (the migration path for old archives)."""
+        result, _ = run_workload("figure4_loop")
+        _, capture = capture_workload("figure4_loop")
+        assert dumps_trace(result.trace, version=2) == dumps_trace(capture)
+
+    def test_replayable_flag_roundtrips(self):
+        _, capture = capture_workload("figure4_loop")
+        capture.sync_straight_line(0, 0)  # pre-hook redirect marker
+        restored = loads_trace(dumps_trace(capture))
+        assert not restored.replayable
+
+    def test_truncated_v2_counters(self):
+        _, capture = capture_workload("figure4_loop")
+        data = dumps_trace(capture)
+        with pytest.raises(TraceFormatError):
+            loads_trace(data[:12])  # header survives, counters cut off
+
+    def test_trace_digest_is_content_address(self):
+        _, capture = capture_workload("figure4_loop")
+        data = dumps_trace(capture)
+        assert trace_digest(data) == trace_digest(bytes(data))
+        assert trace_digest(data) != trace_digest(data + b"\x00")
+
+    def test_per_record_replay_of_cf_trace_is_refused(self):
+        _, capture = capture_workload("figure4_loop")
+        from repro.cpu.trace import TraceNotRecordedError
+        with pytest.raises(TraceNotRecordedError):
+            replay_trace(capture, lambda record: None)
 
 
 class TestFormatErrors:

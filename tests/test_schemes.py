@@ -4,8 +4,8 @@ import pytest
 
 from repro.attestation import Prover, Verifier
 from repro.attestation.protocol import AttestationChallenge
-from repro.baselines.cflat import CFlatAttestation, CFlatCostModel
-from repro.baselines.static_attestation import StaticAttestation
+from repro.schemes.cflat import CFlatAttestation, CFlatCostModel
+from repro.schemes.static import StaticAttestation
 from repro.cpu.core import Cpu
 from repro.schemes import (
     SCHEME_REGISTRY,
