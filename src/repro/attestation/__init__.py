@@ -10,6 +10,9 @@ reports carry a ``scheme`` field, and prover/verifier resolve the backend
 * :mod:`repro.attestation.protocol` -- the wire messages exchanged between
   verifier and prover (challenge, report), round-tripping via
   ``to_bytes``/``from_bytes``/``to_json``.
+* :mod:`repro.attestation.framing` -- the length-prefixed TCP framing and
+  version negotiation those messages travel under when the protocol runs
+  over a socket (see :mod:`repro.service.server` and ``docs/SERVER.md``).
 * :mod:`repro.attestation.prover` -- the prover device: executes the program
   under the challenged scheme and produces the signed report.
 * :mod:`repro.attestation.verifier` -- the verifier: nonce management,
@@ -18,11 +21,15 @@ reports carry a ``scheme`` field, and prover/verifier resolve the backend
 """
 
 from repro.attestation.crypto import SecureKeyStore, sign_report, verify_signature
+from repro.attestation.framing import FrameType, FramingError, PROTOCOL_VERSIONS
 from repro.attestation.protocol import AttestationChallenge, AttestationReport
 from repro.attestation.prover import Prover
 from repro.attestation.verifier import VerificationResult, Verifier, VerdictReason
 
 __all__ = [
+    "FrameType",
+    "FramingError",
+    "PROTOCOL_VERSIONS",
     "SecureKeyStore",
     "sign_report",
     "verify_signature",

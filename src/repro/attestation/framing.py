@@ -1,0 +1,230 @@
+"""Length-prefixed framing of the attestation wire protocol.
+
+The challenge/report messages of :mod:`repro.attestation.protocol` are
+self-delimiting byte strings, but a TCP stream needs one more layer to say
+*where a message starts and ends* and *what kind of message it is*.  A frame
+is::
+
+    +------+----------------+------------------- - -
+    | type | payload length |  payload
+    | 1 B  | 4 B little-end |  (length bytes)
+    +------+----------------+------------------- - -
+
+and a connection is a sequence of frames.  The framing is deliberately
+fail-closed: a length prefix beyond :data:`MAX_FRAME_BYTES`, an unknown
+frame type, a stream that ends mid-frame -- each is a
+:class:`FramingError` the server answers with an ``ERROR`` frame (when the
+socket still works) before dropping the connection.  No partial frame is
+ever delivered upward.
+
+Version negotiation happens before anything else on a connection: the
+client's first frame must be ``HELLO`` carrying the protocol versions it
+speaks, and the server answers ``HELLO_ACK`` with the highest version both
+sides share (:func:`negotiate_version`) or a fatal ``ERROR`` when there is
+none.  Everything after the hello is exchanged under the agreed version.
+
+See ``docs/SERVER.md`` for the full session lifecycle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import json
+from typing import Iterable, Optional, Sequence, Tuple
+
+#: Protocol versions this implementation speaks, newest first.
+PROTOCOL_VERSIONS: Tuple[int, ...] = (1,)
+
+#: Hard cap on a frame's payload length.  Reports are a few hundred bytes
+#: (measurement + metadata + signature); even pathological loop metadata
+#: stays far below this, so anything larger is an attack or a corrupted
+#: stream and is rejected before any allocation happens.
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+#: Bytes of the frame header: 1 type byte + 4 length bytes.
+HEADER_BYTES = 5
+
+
+class FrameType(enum.IntEnum):
+    """The frame kinds of protocol version 1."""
+
+    #: Client -> server, first frame: JSON ``{"versions": [...], "device_id"}``.
+    HELLO = 0x01
+    #: Server -> client: JSON ``{"version", "server", "schemes"}``.
+    HELLO_ACK = 0x02
+    #: Client -> server: JSON ``{"scheme", "program_id", "inputs"}``.
+    CHALLENGE_REQUEST = 0x10
+    #: Server -> client: ``AttestationChallenge.to_bytes()``.
+    CHALLENGE = 0x11
+    #: Client -> server: ``AttestationReport.to_bytes()``.
+    REPORT = 0x12
+    #: Server -> client: JSON ``{"accepted", "reason", "detail"}``.
+    VERDICT = 0x13
+    #: Client -> server: empty payload; server answers with a STATS frame.
+    STATS_REQUEST = 0x14
+    #: Server -> client: JSON server statistics.
+    STATS = 0x15
+    #: Either side: end of session (empty payload).
+    BYE = 0x7E
+    #: Client -> server: stop the whole server (honoured only when the
+    #: server was started with ``allow_shutdown``; the CI smoke job's clean
+    #: shutdown path).
+    SHUTDOWN = 0x7D
+    #: Either side: JSON ``{"code", "detail", "fatal"}``.  A fatal error is
+    #: followed by connection teardown.
+    ERROR = 0x7F
+
+
+class FramingError(ValueError):
+    """Base class for wire-framing failures (all of them fail closed)."""
+
+    #: Machine-readable code echoed in ERROR frames.
+    code = "framing_error"
+
+
+class FrameTooLarge(FramingError):
+    """A length prefix exceeded the frame cap."""
+
+    code = "frame_too_large"
+
+
+class TruncatedFrame(FramingError):
+    """The stream ended in the middle of a frame."""
+
+    code = "truncated_frame"
+
+
+class UnknownFrameType(FramingError):
+    """The type byte does not name a frame of the negotiated version."""
+
+    code = "unknown_frame_type"
+
+
+def encode_frame(
+    frame_type: int,
+    payload: bytes = b"",
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> bytes:
+    """Serialise one frame (header + payload)."""
+    if len(payload) > max_frame_bytes:
+        raise FrameTooLarge(
+            "frame payload of %d bytes exceeds the %d-byte cap"
+            % (len(payload), max_frame_bytes)
+        )
+    return (
+        int(frame_type).to_bytes(1, "little")
+        + len(payload).to_bytes(4, "little")
+        + payload
+    )
+
+
+def decode_frame(blob: bytes, max_frame_bytes: int = MAX_FRAME_BYTES):
+    """Decode one frame from ``blob``; returns ``(FrameType, payload, rest)``.
+
+    The synchronous twin of :func:`read_frame` (tests, transcripts).  Raises
+    the same :class:`FramingError` family on truncated input, an oversized
+    length prefix or an unknown type byte.
+    """
+    if len(blob) < HEADER_BYTES:
+        raise TruncatedFrame(
+            "frame header needs %d bytes, got %d" % (HEADER_BYTES, len(blob))
+        )
+    type_byte = blob[0]
+    length = int.from_bytes(blob[1:HEADER_BYTES], "little")
+    if length > max_frame_bytes:
+        raise FrameTooLarge(
+            "frame announces %d payload bytes, cap is %d"
+            % (length, max_frame_bytes)
+        )
+    payload = blob[HEADER_BYTES:HEADER_BYTES + length]
+    if len(payload) != length:
+        raise TruncatedFrame(
+            "frame announces %d payload bytes, only %d present"
+            % (length, len(payload))
+        )
+    try:
+        frame_type = FrameType(type_byte)
+    except ValueError:
+        raise UnknownFrameType("unknown frame type byte %#04x" % type_byte)
+    return frame_type, payload, blob[HEADER_BYTES + length:]
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> Optional[Tuple[FrameType, bytes]]:
+    """Read exactly one frame from ``reader``.
+
+    Returns ``None`` on a clean end of stream (EOF exactly on a frame
+    boundary).  Raises :class:`TruncatedFrame` when the peer disconnects
+    mid-frame, :class:`FrameTooLarge` before reading an oversized payload
+    and :class:`UnknownFrameType` for a type byte outside the protocol --
+    the caller must treat every one of these as fatal for the connection.
+    """
+    header = await reader.read(HEADER_BYTES)
+    if not header:
+        return None
+    while len(header) < HEADER_BYTES:
+        more = await reader.read(HEADER_BYTES - len(header))
+        if not more:
+            raise TruncatedFrame(
+                "stream ended inside a frame header (%d of %d bytes)"
+                % (len(header), HEADER_BYTES)
+            )
+        header += more
+    length = int.from_bytes(header[1:], "little")
+    if length > max_frame_bytes:
+        raise FrameTooLarge(
+            "frame announces %d payload bytes, cap is %d"
+            % (length, max_frame_bytes)
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise TruncatedFrame(
+            "stream ended inside a frame payload (%d of %d bytes)"
+            % (len(error.partial), length)
+        ) from None
+    try:
+        frame_type = FrameType(header[0])
+    except ValueError:
+        raise UnknownFrameType("unknown frame type byte %#04x" % header[0])
+    return frame_type, payload
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    frame_type: int,
+    payload: bytes = b"",
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> None:
+    """Serialise and send one frame, honouring transport backpressure."""
+    writer.write(encode_frame(frame_type, payload, max_frame_bytes))
+    await writer.drain()
+
+
+def negotiate_version(client_versions: Iterable[int]) -> Optional[int]:
+    """The highest protocol version shared with ``client_versions`` (or None)."""
+    offered = {int(v) for v in client_versions}
+    for version in sorted(PROTOCOL_VERSIONS, reverse=True):
+        if version in offered:
+            return version
+    return None
+
+
+def hello_payload(
+    versions: Sequence[int] = PROTOCOL_VERSIONS,
+    device_id: str = "prover-0",
+) -> bytes:
+    """The JSON payload of a client HELLO frame."""
+    return json.dumps(
+        {"versions": list(versions), "device_id": device_id}
+    ).encode("utf-8")
+
+
+def error_payload(code: str, detail: str, fatal: bool) -> bytes:
+    """The JSON payload of an ERROR frame."""
+    return json.dumps(
+        {"code": code, "detail": detail, "fatal": bool(fatal)}
+    ).encode("utf-8")

@@ -18,7 +18,7 @@ import json
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.lofat.metadata import LoopMetadata
+from repro.lofat.metadata import LazyLoopMetadata, LoopMetadata
 
 #: Hard caps of the wire format's length fields.
 MAX_NONCE_BYTES = 0xFFFF
@@ -183,7 +183,10 @@ class AttestationReport:
         program, offset = _read_block(blob, offset, 2)
         measurement, offset = _read_block(blob, offset, 2)
         metadata_bytes, offset = _read_block(blob, offset, 4)
-        metadata = LoopMetadata.from_bytes(metadata_bytes)
+        # Framing-validated now (malformed metadata raises here, as the wire
+        # contract promises); the record objects materialise only if a
+        # consumer iterates them -- the verifier's accept path never does.
+        metadata = LazyLoopMetadata(metadata_bytes)
         nonce, offset = _read_block(blob, offset, 2)
         signature, offset = _read_block(blob, offset, 2)
         exit_word = int.from_bytes(blob[offset:offset + 4], "little")

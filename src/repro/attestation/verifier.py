@@ -32,6 +32,7 @@ Step 4 is implemented in three complementary modes:
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -60,6 +61,11 @@ class ProgramKnowledge:
     #: Addresses that are plausible run-time loop entries: targets of
     #: backward CFG edges (the heuristic LO-FAT applies in hardware).
     backward_edge_targets: frozenset
+    #: Every instruction address of the program; precomputed once so the
+    #: per-report structural metadata checks are set lookups, not a fresh
+    #: set build per verification (the attestation server verifies
+    #: thousands of reports against one analysis).
+    instruction_addresses: frozenset = frozenset()
 
 
 #: Process-wide cache of offline program analyses, keyed by program digest.
@@ -71,6 +77,19 @@ _KNOWLEDGE_CACHE: Dict[str, ProgramKnowledge] = {}
 #: Growth bound for the knowledge cache: a long-lived service registering a
 #: stream of distinct binaries must not accumulate analyses forever.
 _KNOWLEDGE_CACHE_MAX = 64
+
+#: Growth bound for a verifier's memoised structural verdicts: benign
+#: metadata repeats, attack metadata is mostly distinct, so the cache is
+#: cleared wholesale when a flood of distinct L values fills it.
+_STRUCTURAL_CACHE_MAX = 4096
+
+#: Guards the evict-then-insert sequence below.  Reads stay lock-free (a
+#: dict get is atomic under the GIL and the cached analyses are immutable);
+#: the lock only keeps two threads from interleaving the eviction with an
+#: insert, which could otherwise drop a just-added entry.  The attestation
+#: server computes cold references on executor threads, so this cache is
+#: the one piece of verifier state reachable from more than one thread.
+_KNOWLEDGE_CACHE_LOCK = threading.Lock()
 
 
 def clear_knowledge_cache() -> None:
@@ -99,6 +118,11 @@ class Verifier:
         self._measurement_db: Dict[
             Tuple[str, str, Tuple[int, ...]], Tuple[bytes, bytes]
         ] = {}
+        #: Memoised structural verdicts keyed by (program_id, serialized L).
+        #: A standing verifier sees the same benign metadata thousands of
+        #: times; the CFG checks are pure in the program analysis and the
+        #: metadata bytes, so each distinct L is checked once.
+        self._structural_cache: Dict[Tuple[str, bytes], VerificationResult] = {}
 
     # ------------------------------------------------------- provisioning
     def register_program(self, program_id: str, program: Program) -> ProgramKnowledge:
@@ -125,16 +149,29 @@ class Verifier:
                 loops=loops,
                 path_checker=PathChecker(cfg),
                 backward_edge_targets=frozenset(backward_targets),
+                instruction_addresses=frozenset(
+                    instr.address for instr in program.instructions
+                ),
             )
-            if len(_KNOWLEDGE_CACHE) >= _KNOWLEDGE_CACHE_MAX:
-                _KNOWLEDGE_CACHE.clear()
-            _KNOWLEDGE_CACHE[program.digest] = knowledge
+            with _KNOWLEDGE_CACHE_LOCK:
+                if len(_KNOWLEDGE_CACHE) >= _KNOWLEDGE_CACHE_MAX:
+                    _KNOWLEDGE_CACHE.clear()
+                _KNOWLEDGE_CACHE[program.digest] = knowledge
         self._programs[program_id] = knowledge
         return knowledge
 
     def register_device_key(self, device_id: str, verification_key: bytes) -> None:
         """Provision the verification key of a prover device."""
         self._verification_keys[device_id] = verification_key
+
+    def clear_device_keys(self) -> None:
+        """Drop all provisioned device keys (fail closed until re-provisioned).
+
+        The attestation server bounds its wire-provisioned device table
+        with this; reports from a dropped device are rejected with
+        ``BAD_SIGNATURE`` until its key is registered again.
+        """
+        self._verification_keys.clear()
 
     def configure_scheme(self, scheme: str, config=None) -> None:
         """Provision the configuration used when replaying ``scheme`` references."""
@@ -253,6 +290,32 @@ class Verifier:
         self._outstanding_nonces[nonce] = challenge
         return challenge
 
+    def outstanding_challenge(
+        self, nonce: bytes
+    ) -> Optional[AttestationChallenge]:
+        """The challenge an unanswered ``nonce`` belongs to, or None.
+
+        The attestation server uses this to find what a report answers for
+        (and thus which reference to warm) without reaching into the nonce
+        table; it does not consume the nonce.
+        """
+        return self._outstanding_nonces.get(nonce)
+
+    def discard_challenge(self, nonce: bytes) -> bool:
+        """Withdraw an outstanding challenge (fail closed).
+
+        Connection-oriented verifiers call this when a prover disconnects
+        with challenges unanswered: the nonce is moved to the used set, so a
+        report answering it later is rejected as ``NONCE_REUSED`` rather
+        than lingering verifiable forever.  Returns True when a challenge
+        was actually withdrawn.
+        """
+        challenge = self._outstanding_nonces.pop(nonce, None)
+        if challenge is None:
+            return False
+        self._used_nonces.add(nonce)
+        return True
+
     def verify(
         self,
         report: AttestationReport,
@@ -314,7 +377,14 @@ class Verifier:
         del self._outstanding_nonces[report.nonce]
         self._used_nonces.add(report.nonce)
 
-        structural = self._check_metadata_structure(report.program_id, report.metadata)
+        cache_key = (report.program_id, report.metadata.to_bytes())
+        structural = self._structural_cache.get(cache_key)
+        if structural is None:
+            structural = self._check_metadata_structure(
+                report.program_id, report.metadata)
+            if len(self._structural_cache) >= _STRUCTURAL_CACHE_MAX:
+                self._structural_cache.clear()
+            self._structural_cache[cache_key] = structural
         if not structural.accepted:
             return structural
 
@@ -367,10 +437,17 @@ class Verifier:
         static attestation) pass vacuously.
         """
         knowledge = self._programs[program_id]
-        instruction_addresses = {
-            instr.address for instr in knowledge.program.instructions
-        }
-        for record in metadata:
+        instruction_addresses = knowledge.instruction_addresses
+        try:
+            records = list(metadata)
+        except ValueError as error:
+            # Lazily deserialised metadata surfaces parse failures here;
+            # fail closed exactly like any other malformed L.
+            return VerificationResult(
+                False, VerdictReason.METADATA_CFG_VIOLATION,
+                "loop metadata does not deserialise: %s" % error,
+            )
+        for record in records:
             if record.entry not in instruction_addresses:
                 return VerificationResult(
                     False, VerdictReason.METADATA_CFG_VIOLATION,

@@ -32,11 +32,20 @@ the CLI exposes the most common interactions without writing any Python:
 * ``repro trace attest`` -- run a campaign against a capture store
   populated earlier (the verify-many half: no simulation for executions
   already captured).
+* ``repro serve`` -- run the standing attestation verifier service: an
+  asyncio TCP server speaking the length-prefixed challenge/report framing
+  (see ``docs/SERVER.md``), verifying against a shared measurement
+  database, e.g. ``repro serve --port 4711 --database measurements.json``.
+* ``repro attest-remote`` -- drive N concurrent simulated provers against
+  a running server and print the throughput, e.g. ``repro attest-remote
+  --port 4711 --provers 8 --rounds 20 --scheme lofat,cflat,static``.
+  Exits nonzero if any (benign) report is rejected.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import os
 import sys
 import time
@@ -345,6 +354,129 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return _cmd_campaign(args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the standing attestation verifier service until stopped."""
+    from repro.service.server import AttestationServer
+
+    try:
+        database = None
+        if args.database is not None and os.path.exists(args.database):
+            database = MeasurementDatabase.load(args.database)
+        trace_store = None
+        if args.trace_dir is not None:
+            trace_store = TraceStore(directory=args.trace_dir)
+    except (ValueError, OSError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+
+    server = AttestationServer(
+        host=args.host,
+        port=args.port,
+        database=database,
+        trace_store=trace_store,
+        cpu_config=_cpu_config(args),
+        allow_shutdown=args.allow_shutdown,
+        session_limit=args.session_limit,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        # The bound port matters when --port 0 asked for an ephemeral one;
+        # clients (and the E14 benchmark) parse this line.
+        print("listening on %s:%d" % (server.host, server.port), flush=True)
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    except OSError as error:
+        # Bind failures (port in use, privileged port) are usage errors,
+        # not tracebacks.
+        print("error: cannot serve on %s:%d: %s"
+              % (args.host, args.port, error), file=sys.stderr)
+        return 2
+    if args.database is not None:
+        try:
+            server.database.save(args.database)
+        except OSError as error:
+            print("error: cannot save measurement database: %s" % error,
+                  file=sys.stderr)
+            return 2
+    stats = server.stats.as_dict()
+    print("served %d connections, %d reports (%d accepted, %d rejected, "
+          "%d protocol errors)"
+          % (stats["connections"], stats["reports_verified"],
+             stats["accepted"], stats["rejected"], stats["protocol_errors"]))
+    return 0
+
+
+def _cmd_attest_remote(args: argparse.Namespace) -> int:
+    """Drive simulated provers against a running attestation server."""
+    from repro.service.client import AttestationClient, run_load
+
+    schemes = [name.strip() for name in args.scheme.split(",") if name.strip()]
+    workloads = [name.strip() for name in args.workload.split(",")
+                 if name.strip()]
+    if not schemes or not workloads:
+        print("error: --scheme and --workload need at least one name",
+              file=sys.stderr)
+        return 2
+    for name in schemes:
+        if name not in scheme_names():
+            print("error: unknown scheme %r" % name, file=sys.stderr)
+            return 2
+    trace_store = None
+    if args.trace_dir is not None:
+        trace_store = TraceStore(directory=args.trace_dir)
+
+    async def _drive():
+        report = await run_load(
+            args.host, args.port,
+            provers=args.provers, rounds=args.rounds,
+            schemes=schemes, workloads=workloads,
+            trace_store=trace_store, cpu_config=_cpu_config(args),
+            batch=args.batch, pace_seconds=args.pace_ms / 1000.0,
+        )
+        if args.shutdown:
+            client = AttestationClient(args.host, args.port, "prover-admin")
+            await client.connect()
+            await client.shutdown_server()
+        return report
+
+    from repro.service.client import RemoteAttestationError
+
+    try:
+        report = asyncio.run(_drive())
+    except (ConnectionError, OSError) as error:
+        print("error: cannot reach server at %s:%d: %s"
+              % (args.host, args.port, error), file=sys.stderr)
+        return 2
+    except RemoteAttestationError as error:
+        # The server answered with an ERROR frame (unknown program,
+        # shutdown refused, protocol violation): a clean CLI error, not a
+        # traceback.
+        print("error: server rejected the session: %s" % error,
+              file=sys.stderr)
+        return 2
+
+    print("provers      : %d" % report.provers)
+    print("rounds each  : %d (batch %d)" % (report.rounds, args.batch))
+    print("reports      : %d (%d accepted, %d rejected)"
+          % (report.reports, report.accepted, report.rejected))
+    print("prover side  : %d trace replays, %d live executions"
+          % (report.replayed, report.executed))
+    for scheme, count in sorted(report.by_scheme.items()):
+        print("  %-8s %d reports" % (scheme, count))
+    print("elapsed      : %.3f s" % report.elapsed_seconds)
+    print("throughput   : %.1f reports/s" % report.reports_per_second)
+    if report.rejections:
+        for scheme, workload, reason in report.rejections[:10]:
+            print("rejected     : %s/%s (%s)" % (scheme, workload, reason),
+                  file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -479,6 +611,69 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-dir", required=True, metavar="DIR",
         help="directory of the persistent capture store",
     )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the standing attestation verifier service (asyncio TCP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=4711,
+                       help="TCP port; 0 picks an ephemeral port and prints "
+                            "it (default: 4711)")
+    serve.add_argument("--database", default=None, metavar="FILE",
+                       help="measurement database to load at startup and "
+                            "save (atomically) at shutdown")
+    serve.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="capture store; cold references replay stored "
+                            "benign traces instead of re-simulating")
+    serve.add_argument("--session-limit", type=int, default=4, metavar="N",
+                       help="concurrent reference sessions per scheme "
+                            "(default: 4)")
+    serve.add_argument("--allow-shutdown", action="store_true",
+                       help="honour the wire SHUTDOWN frame (CI smoke runs)")
+    serve.add_argument("--legacy-loop", action="store_true",
+                       help="compute references on the legacy "
+                            "per-instruction loop")
+
+    attest_remote = subparsers.add_parser(
+        "attest-remote",
+        help="drive N concurrent simulated provers against a running server",
+    )
+    attest_remote.add_argument("--host", default="127.0.0.1",
+                               help="server address (default: 127.0.0.1)")
+    attest_remote.add_argument("--port", type=int, default=4711,
+                               help="server port (default: 4711)")
+    attest_remote.add_argument("--provers", type=int, default=1, metavar="N",
+                               help="concurrent prover connections "
+                                    "(default: 1)")
+    attest_remote.add_argument("--rounds", type=int, default=1, metavar="R",
+                               help="attestation rounds per prover "
+                                    "(default: 1)")
+    attest_remote.add_argument("--batch", type=int, default=1, metavar="B",
+                               help="rounds pipelined per verification "
+                                    "session (default: 1 = unbatched)")
+    attest_remote.add_argument("--scheme", default="lofat", metavar="NAMES",
+                               help="comma-separated scheme names to cycle "
+                                    "through (default: lofat)")
+    attest_remote.add_argument("--workload", default="syringe_pump",
+                               metavar="NAMES",
+                               help="comma-separated workloads to attest "
+                                    "(default: syringe_pump)")
+    attest_remote.add_argument("--trace-dir", default=None, metavar="DIR",
+                               help="replay stored captures instead of "
+                                    "re-simulating prover executions")
+    attest_remote.add_argument("--pace-ms", type=float, default=0.0,
+                               metavar="MS",
+                               help="simulated device latency per round "
+                                    "(closed-loop load; default 0 = "
+                                    "unpaced wire throughput)")
+    attest_remote.add_argument("--shutdown", action="store_true",
+                               help="send a SHUTDOWN frame after the run "
+                                    "(server must allow it)")
+    attest_remote.add_argument("--legacy-loop", action="store_true",
+                               help="run live prover executions on the "
+                                    "legacy per-instruction loop")
     return parser
 
 
@@ -494,6 +689,8 @@ _COMMANDS = {
     "fastpath": _cmd_fastpath,
     "campaign": _cmd_campaign,
     "trace": _cmd_trace,
+    "serve": _cmd_serve,
+    "attest-remote": _cmd_attest_remote,
 }
 
 

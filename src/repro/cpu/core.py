@@ -20,6 +20,7 @@ LO-FAT-vs-C-FLAT overhead comparison is apples to apples.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -674,17 +675,27 @@ class DecodedInstructionCache:
         #: Fast-path dispatch tables, keyed like :attr:`_tables`: pc ->
         #: (executor, instruction, word, kind, is_control_flow).
         self._fast_tables: Dict[str, Dict[int, tuple]] = {}
+        # Guards the evict-then-insert sequences below.  Table *contents*
+        # stay lock-free (per-pc inserts are idempotent and dict ops are
+        # atomic under the GIL); the lock only keeps one thread's eviction
+        # from dropping a table another thread just registered -- the
+        # attestation server computes cold references on executor threads,
+        # so this process-wide cache is reachable concurrently.
+        self._lock = threading.Lock()
 
     def table_for(self, program: Program) -> Dict[int, Tuple[int, Instruction]]:
         """The (lazily filled) pc -> (word, instruction) table for ``program``."""
         digest = program.digest
         table = self._tables.get(digest)
         if table is None:
-            if len(self._tables) >= self.max_programs:
-                self._tables.clear()
-                self._fast_tables.clear()
-            table = {}
-            self._tables[digest] = table
+            with self._lock:
+                table = self._tables.get(digest)
+                if table is None:
+                    if len(self._tables) >= self.max_programs:
+                        self._tables.clear()
+                        self._fast_tables.clear()
+                    table = {}
+                    self._tables[digest] = table
         return table
 
     def fast_table_for(self, program: Program) -> Dict[int, tuple]:
@@ -692,11 +703,14 @@ class DecodedInstructionCache:
         digest = program.digest
         table = self._fast_tables.get(digest)
         if table is None:
-            if len(self._fast_tables) >= self.max_programs:
-                self._tables.clear()
-                self._fast_tables.clear()
-            table = {}
-            self._fast_tables[digest] = table
+            with self._lock:
+                table = self._fast_tables.get(digest)
+                if table is None:
+                    if len(self._fast_tables) >= self.max_programs:
+                        self._tables.clear()
+                        self._fast_tables.clear()
+                    table = {}
+                    self._fast_tables[digest] = table
         return table
 
     @property

@@ -210,6 +210,97 @@ class LoopMetadata:
         }
 
 
+def scan_loop_metadata(blob: bytes) -> None:
+    """Validate the framing of a serialised ``L`` without building objects.
+
+    Walks exactly the offsets :meth:`LoopMetadata.from_bytes` would and
+    raises the same :class:`ValueError` on truncation or trailing bytes --
+    but performs no object construction, which makes it an order of
+    magnitude cheaper than a full parse.  Wire consumers that mostly need
+    the *bytes* of ``L`` (signature payloads, byte comparison against a
+    reference) validate with this scan and defer the full parse
+    (:class:`LazyLoopMetadata`).
+    """
+    length = len(blob)
+
+    def need(offset: int, count: int) -> int:
+        end = offset + count
+        if end > length:
+            raise ValueError("truncated loop metadata")
+        return end
+
+    offset = need(0, 2)
+    loop_count = int.from_bytes(blob[0:2], "little")
+    for _ in range(loop_count):
+        header_end = need(offset, 17)
+        path_count = int.from_bytes(blob[header_end - 2:header_end], "little")
+        offset = header_end
+        for _ in range(path_count):
+            # PathEncoding: width(2) + payload + code_count(1) + codes +
+            # truncated(1), then PathRecord's iterations(4) + first_seen(2).
+            offset = need(offset, 2)
+            width = int.from_bytes(blob[offset - 2:offset], "little")
+            offset = need(offset, (width + 7) // 8 or 1)
+            offset = need(offset, 1)
+            code_count = blob[offset - 1]
+            offset = need(offset, code_count + 1 + 6)
+        offset = need(offset, 1)
+        target_count = blob[offset - 1]
+        offset = need(offset, 4 * target_count)
+    if offset != length:
+        raise ValueError("trailing bytes after loop metadata")
+
+
+#: Blobs that already passed :func:`scan_loop_metadata`, so re-validating a
+#: repeated ``L`` is one set lookup instead of an offset walk.  A standing
+#: verifier sees the same benign metadata on every report of a workload;
+#: bounded and cleared wholesale under a flood of distinct blobs.
+_SCANNED_BLOBS: set = set()
+_SCANNED_BLOBS_MAX = 4096
+
+
+class LazyLoopMetadata(LoopMetadata):
+    """``L`` validated eagerly, parsed into records only on first access.
+
+    Deserialising a report re-built ``L``'s whole object graph even though
+    the verifier's accept path needs only the serialised bytes (the
+    signature payload and the byte comparison against the reference) -- the
+    parse dominated the attestation server's per-report cost.  This variant
+    keeps the raw bytes, validates their framing up front (so malformed
+    metadata still raises ``ValueError`` at deserialisation time, the wire
+    format's contract) and builds the records the first time something
+    iterates them.
+
+    Mutating (:meth:`add`) materialises the records and drops the cached
+    serialisation, so ``to_bytes`` can never return stale bytes.
+    """
+
+    def __init__(self, blob: bytes) -> None:
+        blob = bytes(blob)
+        if blob not in _SCANNED_BLOBS:
+            scan_loop_metadata(blob)
+            if len(_SCANNED_BLOBS) >= _SCANNED_BLOBS_MAX:
+                _SCANNED_BLOBS.clear()
+            _SCANNED_BLOBS.add(blob)
+        self._blob: Optional[bytes] = blob
+        self._records: Optional[List[LoopRecord]] = None
+
+    @property
+    def loops(self) -> List[LoopRecord]:
+        if self._records is None:
+            self._records = LoopMetadata.from_bytes(self._blob).loops
+        return self._records
+
+    def add(self, record: LoopRecord) -> None:
+        super().add(record)
+        self._blob = None
+
+    def to_bytes(self) -> bytes:
+        if self._blob is not None:
+            return self._blob
+        return super().to_bytes()
+
+
 class MetadataGenerator:
     """Assembles :class:`LoopMetadata` from loop-exit reports.
 

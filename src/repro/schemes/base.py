@@ -144,6 +144,14 @@ class MeasurementSession(abc.ABC):
     control-flow stream alone.  All three first-class schemes do.  Sessions
     without the hook keep the legacy per-record loop and continue to see
     every retired instruction.
+
+    Concurrency contract: a session belongs to exactly one execution and
+    one thread/task -- it is never shared or reused across executions
+    (the attestation server's session pool bounds how many are *open*
+    per scheme, it does not share them).  Scheme instances themselves are
+    stateless and immutable by contract, and configuration objects are
+    read-only once built, so resolving schemes and opening sessions from
+    concurrent threads (the server's executor) is safe without locking.
     """
 
     @abc.abstractmethod

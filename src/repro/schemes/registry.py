@@ -15,6 +15,7 @@ challenges and reports.  Lookup is fail-closed: an unknown name raises
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Type
 
 from repro.schemes.base import AttestationScheme, SchemeError
@@ -33,6 +34,11 @@ class SchemeRegistry:
 
     def __init__(self) -> None:
         self._schemes: Dict[str, AttestationScheme] = {}
+        # Registration is check-then-insert, so it is serialised; lookups
+        # stay lock-free (dict reads are atomic under the GIL and scheme
+        # instances are immutable by contract) -- the attestation server
+        # resolves schemes from executor threads.
+        self._lock = threading.Lock()
 
     def register(self, scheme_class: Type[AttestationScheme]) -> Type[AttestationScheme]:
         """Register ``scheme_class`` under its ``name`` (decorator-friendly)."""
@@ -41,12 +47,13 @@ class SchemeRegistry:
             raise SchemeError(
                 "scheme class %s declares no name" % scheme_class.__name__
             )
-        if name in self._schemes:
-            raise DuplicateSchemeError(
-                "scheme %r is already registered (by %s)"
-                % (name, type(self._schemes[name]).__name__)
-            )
-        self._schemes[name] = scheme_class()
+        with self._lock:
+            if name in self._schemes:
+                raise DuplicateSchemeError(
+                    "scheme %r is already registered (by %s)"
+                    % (name, type(self._schemes[name]).__name__)
+                )
+            self._schemes[name] = scheme_class()
         return scheme_class
 
     def get(self, name: str) -> AttestationScheme:

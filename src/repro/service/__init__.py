@@ -21,6 +21,12 @@ executions at once (see ``docs/ARCHITECTURE.md`` for the layer diagram):
   capture/attest fan-out, central verification, recombined results.
 * :mod:`repro.service.presets` -- every benchmark experiment (E1-E9, plus
   the E11 scheme matrix) expressed as a campaign.
+* :mod:`repro.service.server` / :mod:`repro.service.client` -- the
+  networked deployment: an asyncio TCP verifier daemon speaking the
+  length-prefixed challenge/report framing
+  (:mod:`repro.attestation.framing`), and the concurrent simulated-prover
+  client/load generator behind ``repro serve`` / ``repro attest-remote``
+  (see ``docs/SERVER.md``).
 
 Campaigns are scheme-parameterized (see :mod:`repro.schemes`): one spec can
 sweep ``lofat`` x ``cflat`` x ``static`` over the same workloads and attacks,
@@ -56,6 +62,11 @@ from repro.service.worker import (
     execute_capture_job,
     execute_prover_job,
 )
+
+# The asyncio server/client pair is imported lazily by the CLI and tests
+# (`from repro.service.server import AttestationServer`); importing it here
+# would pull asyncio machinery into every campaign worker process for no
+# benefit, so only the names that are cheap stay eager.
 
 __all__ = [
     "CampaignJob",

@@ -40,6 +40,7 @@ from typing import Dict, Optional, Tuple
 from repro.isa.assembler import Program
 from repro.lofat.config import LoFatConfig
 from repro.schemes import get_scheme
+from repro.service.fsutil import atomic_write_text
 
 #: A database key: (scheme, program digest, inputs, config digest).
 DatabaseKey = Tuple[str, str, Tuple[int, ...], str]
@@ -116,9 +117,16 @@ class MeasurementDatabase:
         inputs: Tuple[int, ...],
         config=None,
         scheme: str = "lofat",
+        config_digest: Optional[str] = None,
     ) -> Optional[Tuple[bytes, bytes]]:
-        """Return the stored ``(A, serialized L)`` or None (counts hit/miss)."""
-        entry = self._entries.get(self.key_for(program, inputs, config, scheme))
+        """Return the stored ``(A, serialized L)`` or None (counts hit/miss).
+
+        ``config_digest`` short-circuits the canonical configuration hashing
+        (an ``asdict`` + JSON + SHA3 pass) for callers that memoise it --
+        the attestation server performs this lookup once per report.
+        """
+        entry = self._entries.get(
+            self.key_for(program, inputs, config, scheme, config_digest))
         if entry is None:
             self.misses += 1
         else:
@@ -343,9 +351,14 @@ class MeasurementDatabase:
         return database
 
     def save(self, path: str) -> int:
-        """Persist to ``path``; returns the number of entries written."""
-        with open(path, "w") as handle:
-            handle.write(self.to_json() + "\n")
+        """Persist to ``path`` atomically; returns the number of entries written.
+
+        Written through :func:`repro.service.fsutil.atomic_write_text`, so a
+        campaign or server killed mid-save leaves either the previous
+        database or the new one -- never a truncated JSON file that poisons
+        the next load.
+        """
+        atomic_write_text(path, self.to_json() + "\n")
         return len(self._entries)
 
     @classmethod

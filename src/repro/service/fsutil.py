@@ -1,0 +1,35 @@
+"""Filesystem discipline shared by the service's persistence layers.
+
+One rule, one place: anything the service persists as a whole document
+(the measurement database, the trace store's signature index) goes through
+:func:`atomic_write_text`, so a killed campaign, capture run or server can
+leave either the previous file or the new one on disk -- never a truncated
+JSON document that poisons the next load.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def atomic_write_text(path: str, payload: str) -> None:
+    """Write ``payload`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temporary file is created in the target's directory (``os.replace``
+    must not cross filesystems) and unlinked on any failure, so aborted
+    writes leave no droppings next to the real file.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise

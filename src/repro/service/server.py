@@ -1,0 +1,616 @@
+"""The standing attestation verifier service (asyncio TCP).
+
+Everything before this module verifies in-process: the campaign runner owns
+both sides of the protocol.  :class:`AttestationServer` splits them the way
+the paper deploys them -- a verifier daemon that serves many remote provers
+concurrently over the length-prefixed framing of
+:mod:`repro.attestation.framing`:
+
+* One shared :class:`repro.attestation.Verifier` holds the nonce space and
+  the offline program analyses; programs are registered lazily from the
+  workload registry on first challenge.
+* One shared :class:`repro.service.database.MeasurementDatabase` serves the
+  expected ``(A, L)`` references.  A warm database (campaign runs, the
+  persisted trace-digest keyspace of the capture-once pipeline) makes
+  verification O(lookup); cold references are computed once per
+  (scheme, program, input, config) through the :class:`SchemeSessionPool`
+  and stored.
+* Fail-closed by construction: malformed frames, oversized length prefixes,
+  unknown frame types and mid-frame disconnects tear the one connection
+  down (ERROR frame first when the socket still writes) without touching
+  the others; a report whose scheme tag disagrees with its challenge is
+  rejected with ``SCHEME_MISMATCH`` by the shared verifier.
+
+Concurrency model: the server is a single asyncio event loop.  All verifier
+and database *mutations* happen on the loop; only the pure reference
+computation (a CPU replay or a stored-trace replay, no shared-state writes)
+is pushed to the executor through the session pool, so slow cold references
+never stall the accept loop or warm verifications.  The session pool also
+single-flights duplicate in-flight references: N connections racing on the
+same cold (scheme, program, input) tuple cost one computation, not N.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.attestation.framing import (
+    MAX_FRAME_BYTES,
+    FrameType,
+    FramingError,
+    error_payload,
+    negotiate_version,
+    read_frame,
+    write_frame,
+)
+from repro.attestation.crypto import SecureKeyStore, verify_signature
+from repro.attestation.protocol import AttestationReport
+from repro.attestation.verifier import Verifier
+from repro.cpu.core import CpuConfig
+from repro.schemes import get_scheme
+from repro.schemes.registry import (
+    SCHEME_REGISTRY,
+    SchemeNotFoundError,
+    scheme_names,
+)
+from repro.service.database import MeasurementDatabase
+from repro.service.tracestore import TraceStore, execution_signature
+from repro.workloads import get_workload
+
+#: Per-connection cap on challenges issued but not yet answered; a client
+#: that keeps requesting challenges without reporting is cut off before it
+#: can grow the verifier's outstanding-nonce table without bound.
+MAX_OUTSTANDING_CHALLENGES = 1024
+
+#: Growth bound on provisioned devices: device ids arrive on the wire, so a
+#: hostile client cycling random ids must not grow the key table without
+#: bound.  Keys are derived deterministically from the id, so clearing the
+#: table wholesale only costs re-derivation on the next HELLO.
+MAX_PROVISIONED_DEVICES = 4096
+
+
+@dataclass
+class ServerStats:
+    """Operational counters of one server instance (see the STATS frame)."""
+
+    connections: int = 0
+    active_connections: int = 0
+    frames: int = 0
+    challenges_issued: int = 0
+    reports_verified: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    protocol_errors: int = 0
+    by_scheme: Dict[str, int] = field(default_factory=dict)
+    started: float = field(default_factory=time.time)
+
+    def count_report(self, scheme: str, accepted: bool) -> None:
+        self.reports_verified += 1
+        # The scheme tag comes off the wire: bucket names outside the
+        # registry under one key so a hostile client cannot grow this
+        # mapping without bound.
+        if scheme not in SCHEME_REGISTRY:
+            scheme = "<unknown>"
+        self.by_scheme[scheme] = self.by_scheme.get(scheme, 0) + 1
+        if accepted:
+            self.accepted += 1
+        else:
+            self.rejected += 1
+
+    def as_dict(self) -> dict:
+        return {
+            "connections": self.connections,
+            "active_connections": self.active_connections,
+            "frames": self.frames,
+            "challenges_issued": self.challenges_issued,
+            "reports_verified": self.reports_verified,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "protocol_errors": self.protocol_errors,
+            "by_scheme": dict(self.by_scheme),
+            "uptime_seconds": time.time() - self.started,
+        }
+
+
+class SchemeSessionPool:
+    """Bounded, single-flighted reference computation per scheme.
+
+    A cold verification needs a reference measurement -- a measurement
+    session replaying the execution (or hashing the image) under the
+    report's scheme.  The pool puts two limits around that work:
+
+    * at most ``limit`` reference sessions per scheme run concurrently
+      (each occupies an executor thread and the shared CPU-model caches),
+    * identical in-flight references are *single-flighted*: concurrent
+      misses on one database key await the first computation instead of
+      repeating it.
+
+    Results are returned to the caller, which stores them in the shared
+    database on the event loop -- the pool itself never mutates shared
+    state off-loop.
+    """
+
+    def __init__(self, limit: int = 4) -> None:
+        self.limit = max(1, limit)
+        self._semaphores: Dict[str, asyncio.Semaphore] = {}
+        self._in_flight: Dict[tuple, asyncio.Future] = {}
+        self.sessions_opened = 0
+        self.single_flight_waits = 0
+
+    def _semaphore(self, scheme: str) -> asyncio.Semaphore:
+        semaphore = self._semaphores.get(scheme)
+        if semaphore is None:
+            semaphore = asyncio.Semaphore(self.limit)
+            self._semaphores[scheme] = semaphore
+        return semaphore
+
+    async def reference(self, key: tuple, scheme: str, compute):
+        """Run ``compute`` (a no-argument callable) for ``key``, pooled.
+
+        ``compute`` is executed on the event loop's default executor under
+        the scheme's concurrency slot.  Callers racing on the same key get
+        the winner's result (or exception).
+        """
+        existing = self._in_flight.get(key)
+        if existing is not None:
+            self.single_flight_waits += 1
+            return await asyncio.shield(existing)
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._in_flight[key] = future
+        try:
+            async with self._semaphore(scheme):
+                self.sessions_opened += 1
+                result = await loop.run_in_executor(None, compute)
+        except Exception as error:  # propagate to every waiter, then raise
+            if not future.done():
+                future.set_exception(error)
+                # The retrieval below keeps "never retrieved" warnings away
+                # when no one else was waiting.
+                future.exception()
+            raise
+        finally:
+            self._in_flight.pop(key, None)
+        if not future.done():
+            future.set_result(result)
+        return result
+
+    def stats(self) -> dict:
+        return {
+            "limit": self.limit,
+            "sessions_opened": self.sessions_opened,
+            "single_flight_waits": self.single_flight_waits,
+        }
+
+
+class AttestationServer:
+    """An asyncio TCP verifier serving the scheme-tagged wire protocol.
+
+    Parameters:
+        host/port: bind address; port 0 picks an ephemeral port (read it
+            back from :attr:`port` after :meth:`start`).
+        database: shared measurement database (fresh one by default).
+        trace_store: optional capture store; when a challenged execution
+            has a stored benign capture, cold references replay the trace
+            instead of re-simulating (the capture-once pipeline's
+            verify-many half, now over the wire).
+        allow_shutdown: honour the SHUTDOWN frame (CI smoke and tests; a
+            production deployment leaves this off and stops via
+            :meth:`stop`).
+        session_limit: per-scheme concurrent reference-session cap.
+        max_frame_bytes: framing cap handed to :mod:`repro.attestation.framing`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        database: Optional[MeasurementDatabase] = None,
+        trace_store: Optional[TraceStore] = None,
+        cpu_config: Optional[CpuConfig] = None,
+        allow_shutdown: bool = False,
+        session_limit: int = 4,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.database = database if database is not None else MeasurementDatabase()
+        self.trace_store = trace_store
+        self.cpu_config = cpu_config or CpuConfig()
+        self.allow_shutdown = allow_shutdown
+        self.max_frame_bytes = max_frame_bytes
+        self.verifier = Verifier(cpu_config=self.cpu_config)
+        self.pool = SchemeSessionPool(limit=session_limit)
+        self.stats = ServerStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopping: Optional[asyncio.Event] = None
+        self._registered_programs: Dict[str, object] = {}
+        self._provisioned_devices: set = set()
+        #: CPU-config digest memoised once: every capture lookup shares it.
+        self._cpu_digest: Optional[str] = None
+        #: Per-scheme (config, config digest), memoised: the canonical
+        #: config hashing (asdict + JSON + SHA3) would otherwise run once
+        #: per verified report.
+        self._scheme_configs: Dict[str, Tuple[object, str]] = {}
+
+    def _scheme_config(self, scheme_name: str) -> Tuple[object, str]:
+        cached = self._scheme_configs.get(scheme_name)
+        if cached is None:
+            config = self.verifier.scheme_config(scheme_name)
+            cached = (config, get_scheme(scheme_name).config_digest(config))
+            self._scheme_configs[scheme_name] = cached
+        return cached
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> None:
+        """Bind and start accepting connections (non-blocking)."""
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting and close the listening socket."""
+        if self._stopping is not None:
+            self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_until_stopped(self) -> None:
+        """Serve until :meth:`stop` or a SHUTDOWN frame arrives."""
+        if self._server is None:
+            await self.start()
+        assert self._stopping is not None
+        await self._stopping.wait()
+        await self.stop()
+
+    # ---------------------------------------------------------- provisioning
+    def _program(self, program_id: str):
+        """Resolve and lazily register ``program_id`` with the verifier."""
+        program = self._registered_programs.get(program_id)
+        if program is None:
+            program = get_workload(program_id).build()
+            self.verifier.register_program(program_id, program)
+            self._registered_programs[program_id] = program
+        return program
+
+    def _provision_device(self, device_id: str) -> None:
+        """Install the device's verification key (derived provisioning model).
+
+        The key store derives device keys deterministically from the device
+        id (see :mod:`repro.attestation.crypto`), modelling keys provisioned
+        at manufacturing time -- so the server can provision any device that
+        announces itself in HELLO without a key exchange on the wire.
+        """
+        if device_id not in self._provisioned_devices:
+            if len(self._provisioned_devices) >= MAX_PROVISIONED_DEVICES:
+                self._provisioned_devices.clear()
+                self.verifier.clear_device_keys()
+            self.verifier.register_device_key(
+                device_id, SecureKeyStore(device_id=device_id).export_for_verifier()
+            )
+            self._provisioned_devices.add(device_id)
+
+    # ------------------------------------------------------------- verifying
+    async def _expected_measurement(
+        self, scheme_name: str, program_id: str, inputs: Tuple[int, ...]
+    ) -> Tuple[bytes, bytes]:
+        """The expected ``(A, serialized L)`` for one challenged execution.
+
+        Warm path: a database hit straight from the event loop.  Cold path:
+        the reference is computed through the session pool (stored-capture
+        replay when the trace store has the benign execution, golden replay
+        otherwise) and stored under both database keyspaces on the loop.
+        """
+        program = self._program(program_id)
+        backend = get_scheme(scheme_name)
+        config, cfg_digest = self._scheme_config(scheme_name)
+        key = MeasurementDatabase.key_for(
+            program, inputs, config, scheme_name, cfg_digest)
+        entry = self.database.lookup(
+            program, inputs, config, scheme_name, cfg_digest)
+        if entry is not None:
+            return entry
+
+        capture = None
+        if self.trace_store is not None and backend.reference_requires_execution:
+            if self._cpu_digest is None:
+                from repro.service.tracestore import cpu_config_digest
+
+                self._cpu_digest = cpu_config_digest(self.cpu_config)
+            signature = execution_signature(
+                program_id, inputs, attack=None, cpu_digest=self._cpu_digest
+            )
+            capture = self.trace_store.get(signature)
+            if capture is not None and capture.replayable:
+                stored = self.database.lookup_trace(
+                    scheme_name, capture.trace_digest, config, cfg_digest)
+                if stored is not None:
+                    self.database.store(
+                        program, inputs, config, stored[0], stored[1],
+                        scheme_name)
+                    return stored
+
+        def compute() -> Tuple[bytes, bytes]:
+            if capture is not None and capture.replayable:
+                measured = backend.replay_measurement(
+                    program, capture.trace(), config=config,
+                    batch_size=self.cpu_config.monitor_batch_size,
+                )
+            else:
+                measured = backend.reference_measurement(
+                    program, list(inputs), config=config,
+                    cpu_config=self.cpu_config,
+                )
+            return measured.measurement, measured.metadata.to_bytes()
+
+        measurement, metadata = await self.pool.reference(
+            key, scheme_name, compute)
+        # Back on the loop: store under both keyspaces.
+        self.database.store(
+            program, inputs, config, measurement, metadata, scheme_name)
+        if capture is not None and capture.replayable:
+            self.database.store_trace(
+                scheme_name, capture.trace_digest, config,
+                measurement, metadata, cfg_digest,
+            )
+        return measurement, metadata
+
+    async def _verify_report(self, report: AttestationReport, device_id: str):
+        """Verify one report against the shared database (seeding on demand).
+
+        The expensive part -- computing a cold reference -- only runs for a
+        report that is *bound to an outstanding challenge and carries a
+        valid device signature*.  Anything else (garbage signatures, stale
+        nonces, mismatched tags) reaches the verifier's fail-closed checks
+        without costing a simulation or a database entry, so a hostile
+        client cannot drive unbounded reference computation.
+        """
+        challenge = self.verifier.outstanding_challenge(report.nonce)
+        if (
+            challenge is not None
+            and challenge.scheme == report.scheme
+            and challenge.program_id == report.program_id
+            and verify_signature(
+                report.payload, report.nonce, report.signature,
+                SecureKeyStore(device_id=device_id).export_for_verifier(),
+            )
+        ):
+            try:
+                expected = await self._expected_measurement(
+                    challenge.scheme, challenge.program_id,
+                    tuple(challenge.inputs),
+                )
+            except SchemeNotFoundError:
+                expected = None
+            if expected is not None:
+                self.verifier.seed_measurement(
+                    challenge.program_id, challenge.inputs,
+                    expected[0], expected[1], scheme=challenge.scheme,
+                )
+        return self.verifier.verify(report, device_id=device_id, mode="database")
+
+    # ------------------------------------------------------------ connection
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.connections += 1
+        self.stats.active_connections += 1
+        device_id = "prover-0"
+        issued_nonces: set = set()
+        try:
+            device_id = await self._handshake(reader, writer)
+            if device_id is None:
+                return
+            while True:
+                try:
+                    frame = await read_frame(reader, self.max_frame_bytes)
+                except FramingError as error:
+                    self.stats.protocol_errors += 1
+                    await self._send_error(writer, error.code, str(error),
+                                           fatal=True)
+                    return
+                if frame is None:
+                    return
+                self.stats.frames += 1
+                frame_type, payload = frame
+                if frame_type == FrameType.BYE:
+                    await write_frame(writer, FrameType.BYE)
+                    return
+                if frame_type == FrameType.SHUTDOWN:
+                    if not self.allow_shutdown:
+                        self.stats.protocol_errors += 1
+                        await self._send_error(
+                            writer, "shutdown_refused",
+                            "server was not started with allow_shutdown",
+                            fatal=True)
+                        return
+                    await write_frame(writer, FrameType.BYE)
+                    if self._stopping is not None:
+                        self._stopping.set()
+                    return
+                if frame_type == FrameType.STATS_REQUEST:
+                    document = self.stats.as_dict()
+                    document["database"] = self.database.stats()
+                    document["session_pool"] = self.pool.stats()
+                    await write_frame(
+                        writer, FrameType.STATS,
+                        json.dumps(document).encode("utf-8"))
+                    continue
+                if frame_type == FrameType.CHALLENGE_REQUEST:
+                    if not await self._handle_challenge_request(
+                            writer, payload, issued_nonces):
+                        return
+                    continue
+                if frame_type == FrameType.REPORT:
+                    if not await self._handle_report(
+                            writer, payload, device_id, issued_nonces):
+                        return
+                    continue
+                # A frame type that decodes but has no business arriving
+                # here (HELLO twice, server-only types): fail closed.
+                self.stats.protocol_errors += 1
+                await self._send_error(
+                    writer, "unexpected_frame",
+                    "frame type %s is not valid at this point" % frame_type.name,
+                    fatal=True)
+                return
+        except (ConnectionResetError, BrokenPipeError, asyncio.TimeoutError):
+            self.stats.protocol_errors += 1
+        finally:
+            # Withdraw this connection's unanswered challenges: their nonces
+            # must never verify later.
+            for nonce in issued_nonces:
+                self.verifier.discard_challenge(nonce)
+            self.stats.active_connections -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handshake(self, reader, writer) -> Optional[str]:
+        """Run the HELLO/HELLO_ACK exchange.
+
+        Returns the announced device id, or None when the connection must be
+        torn down (framing error, missing HELLO, version mismatch).
+        """
+        try:
+            frame = await read_frame(reader, self.max_frame_bytes)
+        except FramingError as error:
+            self.stats.protocol_errors += 1
+            await self._send_error(writer, error.code, str(error), fatal=True)
+            return None
+        if frame is None:
+            return None
+        frame_type, payload = frame
+        self.stats.frames += 1
+        if frame_type != FrameType.HELLO:
+            self.stats.protocol_errors += 1
+            await self._send_error(
+                writer, "hello_expected",
+                "first frame must be HELLO, got %s" % frame_type.name,
+                fatal=True)
+            return None
+        try:
+            document = json.loads(payload.decode("utf-8"))
+            versions = [int(v) for v in document["versions"]]
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            self.stats.protocol_errors += 1
+            await self._send_error(
+                writer, "malformed_hello", "HELLO payload is not valid",
+                fatal=True)
+            return None
+        version = negotiate_version(versions)
+        if version is None:
+            self.stats.protocol_errors += 1
+            await self._send_error(
+                writer, "version_mismatch",
+                "no common protocol version (client offered %r)" % versions,
+                fatal=True)
+            return None
+        device_id = str(document.get("device_id", "prover-0"))
+        self._provision_device(device_id)
+        await write_frame(
+            writer, FrameType.HELLO_ACK,
+            json.dumps({
+                "version": version,
+                "server": "repro-attestation-server",
+                "schemes": scheme_names(),
+            }).encode("utf-8"))
+        return device_id
+
+    async def _handle_challenge_request(
+        self, writer, payload: bytes, issued_nonces: set
+    ) -> bool:
+        try:
+            document = json.loads(payload.decode("utf-8"))
+            scheme = str(document["scheme"])
+            program_id = str(document["program_id"])
+            inputs = tuple(int(v) for v in document.get("inputs", []))
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            self.stats.protocol_errors += 1
+            await self._send_error(
+                writer, "malformed_request",
+                "challenge request payload is not valid", fatal=True)
+            return False
+        if len(issued_nonces) >= MAX_OUTSTANDING_CHALLENGES:
+            self.stats.protocol_errors += 1
+            await self._send_error(
+                writer, "too_many_outstanding",
+                "connection exceeded %d unanswered challenges"
+                % MAX_OUTSTANDING_CHALLENGES, fatal=True)
+            return False
+        try:
+            get_scheme(scheme)
+        except SchemeNotFoundError as error:
+            # Request-level failure: reject the request, keep the session.
+            await self._send_error(writer, "unknown_scheme", str(error),
+                                   fatal=False)
+            return True
+        try:
+            self._program(program_id)
+        except KeyError as error:
+            await self._send_error(writer, "unknown_program", str(error),
+                                   fatal=False)
+            return True
+        challenge = self.verifier.challenge(program_id, inputs, scheme=scheme)
+        issued_nonces.add(challenge.nonce)
+        self.stats.challenges_issued += 1
+        await write_frame(writer, FrameType.CHALLENGE, challenge.to_bytes())
+        return True
+
+    async def _handle_report(
+        self, writer, payload: bytes, device_id: str, issued_nonces: set
+    ) -> bool:
+        try:
+            report = AttestationReport.from_bytes(payload)
+        except (ValueError, IndexError) as error:
+            self.stats.protocol_errors += 1
+            await self._send_error(
+                writer, "malformed_report",
+                "report does not deserialise: %s" % error, fatal=True)
+            return False
+        try:
+            verdict = await self._verify_report(report, device_id)
+        except Exception as error:  # noqa: BLE001 - one connection, not the server
+            # An internal failure (corrupt trace blob, I/O error during a
+            # cold reference) gets the same fail-closed treatment as
+            # malformed input: ERROR frame, this connection only.
+            self.stats.protocol_errors += 1
+            await self._send_error(
+                writer, "internal_error",
+                "verification failed internally: %s" % error, fatal=True)
+            return False
+        if self.verifier.outstanding_challenge(report.nonce) is None:
+            # Only drop the slot when the verifier actually consumed the
+            # nonce; a rejection that leaves the challenge outstanding
+            # (wrong scheme tag, bad signature) must still be withdrawn at
+            # disconnect and keeps counting against the per-connection cap.
+            issued_nonces.discard(report.nonce)
+        self.stats.count_report(report.scheme, verdict.accepted)
+        await write_frame(
+            writer, FrameType.VERDICT,
+            json.dumps({
+                "accepted": verdict.accepted,
+                "reason": verdict.reason.value,
+                "detail": verdict.detail,
+            }).encode("utf-8"))
+        return True
+
+    async def _send_error(
+        self, writer, code: str, detail: str, fatal: bool
+    ) -> None:
+        """Best-effort ERROR frame (the socket may already be gone)."""
+        try:
+            await write_frame(
+                writer, FrameType.ERROR, error_payload(code, detail, fatal))
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass

@@ -34,10 +34,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from dataclasses import asdict, dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.cpu.tracefile import dumps_trace, loads_trace, trace_digest
+from repro.service.fsutil import atomic_write_text
 
 #: CpuConfig fields that do not change the captured execution: the fast path
 #: is architecturally identical to the legacy loop (pinned by
@@ -55,6 +57,11 @@ _CPU_CONFIG_IGNORED_FIELDS = frozenset(
 #: argument as the CPU's decoded-instruction cache).
 _PARSED_TRACES: Dict[str, object] = {}
 _PARSED_TRACES_MAX = 128
+#: The attestation server replays traces on executor threads, so the
+#: evict-then-insert sequence below can run concurrently; the lock keeps an
+#: eviction from dropping an entry another thread just parsed (a redundant
+#: parse would be harmless, a torn dict mutation would not).
+_PARSED_TRACES_LOCK = threading.Lock()
 
 
 def parsed_trace(trace_bytes: bytes, digest: Optional[str] = None):
@@ -63,10 +70,11 @@ def parsed_trace(trace_bytes: bytes, digest: Optional[str] = None):
         digest = trace_digest(trace_bytes)
     trace = _PARSED_TRACES.get(digest)
     if trace is None:
-        if len(_PARSED_TRACES) >= _PARSED_TRACES_MAX:
-            _PARSED_TRACES.clear()
         trace = loads_trace(trace_bytes)
-        _PARSED_TRACES[digest] = trace
+        with _PARSED_TRACES_LOCK:
+            if len(_PARSED_TRACES) >= _PARSED_TRACES_MAX:
+                _PARSED_TRACES.clear()
+            _PARSED_TRACES[digest] = trace
     return trace
 
 
@@ -231,14 +239,16 @@ class TraceStore:
         self._index = dict(document.get("captures", {}))
 
     def _save_index(self) -> None:
-        with open(self._index_path(), "w") as handle:
-            json.dump(
-                {"version": self._INDEX_VERSION, "captures": self._index},
-                handle,
-                indent=2,
-                sort_keys=True,
-            )
-            handle.write("\n")
+        # Atomic (temp file + os.replace, same discipline as
+        # MeasurementDatabase.save): a killed capture run leaves the
+        # previous index intact, never a truncated one.  Blobs are already
+        # safe -- content-addressed and verified on load.
+        payload = json.dumps(
+            {"version": self._INDEX_VERSION, "captures": self._index},
+            indent=2,
+            sort_keys=True,
+        )
+        atomic_write_text(self._index_path(), payload + "\n")
 
     def _evict_memory_blobs(self) -> None:
         """Drop the oldest disk-backed blobs beyond the memory budget."""

@@ -50,7 +50,7 @@ from repro.cpu.core import Cpu, CpuConfig
 from repro.cpu.trace import ControlFlowTrace
 from repro.cpu.tracefile import dumps_trace, trace_digest
 from repro.isa.assembler import Program
-from repro.lofat.metadata import LoopMetadata
+from repro.lofat.metadata import LazyLoopMetadata
 from repro.schemes import get_scheme
 from repro.service.campaign import CampaignJob
 from repro.service.database import MeasurementDatabase
@@ -135,9 +135,16 @@ def _keystore(device_id: str) -> SecureKeyStore:
 #: sharing a trace under the same scheme and configuration -- replays once
 #: per process instead of once per job.
 _REPLAY_CACHE = MeasurementDatabase()
-#: Session statistics for cached replays, keyed like the replay cache, so a
-#: cache hit still reports pairs_hashed / control_flow_events.
-_REPLAY_STATS: Dict[tuple, dict] = {}
+#: Metadata and session statistics for cached replays, keyed like the replay
+#: cache: ``cache_key -> (LazyLoopMetadata, stats)``.  Caching the metadata
+#: object matters as much as caching the measurement: re-parsing ``L`` from
+#: bytes -- or re-serialising it for every report's ``to_bytes`` -- dominated
+#: the replay hot path (it is the per-report cost of the remote attestation
+#: client).  The lazy form carries the serialised bytes for free and parses
+#: records only if a consumer iterates them; the object is shared across
+#: reports, which is safe because metadata is read-only once a session
+#: finalizes.
+_REPLAY_STATS: Dict[tuple, Tuple[LazyLoopMetadata, dict]] = {}
 
 
 def clear_replay_cache() -> None:
@@ -270,22 +277,26 @@ def execute_attest_job(
         job.scheme, capture.trace_digest, config, config_digest)
     if entry is not None:
         measurement_bytes, metadata_bytes = entry
-        metadata = LoopMetadata.from_bytes(metadata_bytes)
-        stats = _REPLAY_STATS.get(cache_key, {})
+        cached = _REPLAY_STATS.get(cache_key)
+        if cached is not None:
+            metadata, stats = cached
+        else:
+            metadata = LazyLoopMetadata(metadata_bytes)
+            stats = {}
     else:
         measured = scheme.replay_measurement(
             program, capture.trace(), config=config,
             batch_size=(cpu_config or CpuConfig()).monitor_batch_size,
         )
         measurement_bytes = measured.measurement
-        metadata = measured.metadata
-        metadata_bytes = metadata.to_bytes()
+        metadata_bytes = measured.metadata.to_bytes()
+        metadata = LazyLoopMetadata(metadata_bytes)
         stats = measured.stats
         _REPLAY_CACHE.store_trace(
             job.scheme, capture.trace_digest, config,
             measurement_bytes, metadata_bytes, config_digest,
         )
-        _REPLAY_STATS[cache_key] = stats
+        _REPLAY_STATS[cache_key] = (metadata, stats)
     hits_after, misses_after = _REPLAY_CACHE.counters()
 
     signature = sign_report(

@@ -67,3 +67,73 @@ class TestCommands:
     def test_unknown_attack_returns_error(self, capsys):
         assert main(["attack", "nope"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestServeAndRemote:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 4711
+        assert args.allow_shutdown is False
+        assert args.session_limit == 4
+
+    def test_attest_remote_parser_defaults(self):
+        args = build_parser().parse_args(["attest-remote"])
+        assert (args.provers, args.rounds, args.batch) == (1, 1, 1)
+        assert args.scheme == "lofat"
+        assert args.pace_ms == 0.0
+        assert args.shutdown is False
+
+    def test_attest_remote_rejects_empty_scheme_list(self, capsys):
+        assert main(["attest-remote", "--scheme", ","]) == 2
+        assert "at least one name" in capsys.readouterr().err
+
+    def test_attest_remote_rejects_unknown_scheme(self, capsys):
+        assert main(["attest-remote", "--scheme", "no-such-scheme"]) == 2
+        assert "unknown scheme" in capsys.readouterr().err
+
+    def test_attest_remote_reports_unreachable_server(self, capsys):
+        # Port 1 on localhost is never listening; the CLI must turn the
+        # connection failure into exit code 2, not a traceback.
+        assert main(["attest-remote", "--port", "1", "--rounds", "1"]) == 2
+        assert "cannot reach server" in capsys.readouterr().err
+
+    def test_serve_and_attest_remote_end_to_end(self, tmp_path, capsys):
+        """The CLI pair, driven in-process: serve in a thread, attest all
+        three schemes remotely, shut down over the wire."""
+        import os
+        import socket
+        import threading
+        import time
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        database = str(tmp_path / "measurements.json")
+
+        serve_rc = []
+        thread = threading.Thread(target=lambda: serve_rc.append(main([
+            "serve", "--port", str(port), "--allow-shutdown",
+            "--database", database,
+        ])))
+        thread.start()
+        for _ in range(100):
+            try:
+                socket.create_connection(("127.0.0.1", port), timeout=0.2).close()
+                break
+            except OSError:
+                time.sleep(0.05)
+
+        rc = main(["attest-remote", "--port", str(port), "--provers", "2",
+                   "--rounds", "3", "--scheme", "lofat,cflat,static",
+                   "--workload", "figure4_loop", "--batch", "3",
+                   "--shutdown"])
+        thread.join(timeout=10)
+        assert rc == 0
+        assert serve_rc == [0]
+        out = capsys.readouterr().out
+        assert "reports      : 6 (6 accepted, 0 rejected)" in out
+        assert "listening on 127.0.0.1:%d" % port in out
+        assert "0 rejected" in out
+        assert os.path.exists(database)  # saved (atomically) at shutdown

@@ -1,0 +1,162 @@
+"""The wire framing must round-trip cleanly and fail closed on everything else.
+
+Covers the synchronous codec (:func:`encode_frame` / :func:`decode_frame`),
+the asyncio reader (:func:`read_frame`) against truncated streams and
+oversized length prefixes, and version negotiation.  The server-level
+behaviour on these failures (ERROR frame, connection teardown, service
+keeps running) is pinned in ``tests/test_service_server.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attestation.framing import (
+    HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSIONS,
+    FrameTooLarge,
+    FrameType,
+    FramingError,
+    TruncatedFrame,
+    UnknownFrameType,
+    decode_frame,
+    encode_frame,
+    error_payload,
+    hello_payload,
+    negotiate_version,
+    read_frame,
+)
+
+
+def read_from_bytes(blob: bytes, max_frame_bytes: int = MAX_FRAME_BYTES):
+    """Run the asyncio frame reader against an in-memory stream."""
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(blob)
+        reader.feed_eof()
+        return await read_frame(reader, max_frame_bytes)
+    return asyncio.run(go())
+
+
+class TestCodec:
+    def test_roundtrip_every_frame_type(self):
+        for frame_type in FrameType:
+            payload = b"payload-of-" + frame_type.name.encode()
+            frame_type_out, payload_out, rest = decode_frame(
+                encode_frame(frame_type, payload))
+            assert frame_type_out is frame_type
+            assert payload_out == payload
+            assert rest == b""
+
+    def test_empty_payload(self):
+        frame_type, payload, rest = decode_frame(encode_frame(FrameType.BYE))
+        assert frame_type is FrameType.BYE
+        assert payload == b"" and rest == b""
+
+    def test_consecutive_frames_share_a_stream(self):
+        blob = encode_frame(FrameType.HELLO, b"a") + encode_frame(
+            FrameType.BYE)
+        frame_type, payload, rest = decode_frame(blob)
+        assert (frame_type, payload) == (FrameType.HELLO, b"a")
+        frame_type, payload, rest = decode_frame(rest)
+        assert (frame_type, payload) == (FrameType.BYE, b"")
+        assert rest == b""
+
+    def test_truncated_header_fails_closed(self):
+        blob = encode_frame(FrameType.REPORT, b"xyz")
+        for cut in range(HEADER_BYTES):
+            with pytest.raises(TruncatedFrame):
+                decode_frame(blob[:cut])
+
+    def test_truncated_payload_fails_closed(self):
+        blob = encode_frame(FrameType.REPORT, b"0123456789")
+        for cut in range(HEADER_BYTES, len(blob)):
+            with pytest.raises(TruncatedFrame):
+                decode_frame(blob[:cut])
+
+    def test_oversized_length_prefix_fails_before_payload(self):
+        # The length field announces 2^32-1 bytes; no such payload follows,
+        # but the cap must reject the frame on the header alone.
+        blob = bytes([FrameType.REPORT]) + (0xFFFFFFFF).to_bytes(4, "little")
+        with pytest.raises(FrameTooLarge):
+            decode_frame(blob)
+
+    def test_encode_refuses_oversized_payload(self):
+        with pytest.raises(FrameTooLarge):
+            encode_frame(FrameType.REPORT, b"x" * 65, max_frame_bytes=64)
+
+    def test_unknown_type_byte_fails_closed(self):
+        blob = b"\xee" + (0).to_bytes(4, "little")
+        with pytest.raises(UnknownFrameType):
+            decode_frame(blob)
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_bytes_never_crash_the_decoder(self, blob):
+        """Fuzz: any byte soup either decodes or raises a FramingError."""
+        try:
+            frame_type, payload, rest = decode_frame(blob, max_frame_bytes=1024)
+        except FramingError:
+            return
+        assert isinstance(frame_type, FrameType)
+        assert blob == encode_frame(frame_type, payload) + rest
+
+    @given(st.sampled_from(sorted(FrameType)), st.binary(max_size=128))
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip(self, frame_type, payload):
+        out_type, out_payload, rest = decode_frame(
+            encode_frame(frame_type, payload))
+        assert (out_type, out_payload, rest) == (frame_type, payload, b"")
+
+
+class TestAsyncReader:
+    def test_reads_one_frame(self):
+        frame = read_from_bytes(encode_frame(FrameType.HELLO, b"hi"))
+        assert frame == (FrameType.HELLO, b"hi")
+
+    def test_clean_eof_returns_none(self):
+        assert read_from_bytes(b"") is None
+
+    def test_eof_inside_header_raises(self):
+        with pytest.raises(TruncatedFrame):
+            read_from_bytes(encode_frame(FrameType.HELLO, b"hi")[:3])
+
+    def test_eof_inside_payload_raises(self):
+        with pytest.raises(TruncatedFrame):
+            read_from_bytes(encode_frame(FrameType.HELLO, b"hello")[:-2])
+
+    def test_oversized_prefix_rejected_without_reading_payload(self):
+        header = bytes([FrameType.REPORT]) + (1 << 30).to_bytes(4, "little")
+        with pytest.raises(FrameTooLarge):
+            read_from_bytes(header, max_frame_bytes=1024)
+
+    def test_unknown_type_raises_after_payload_is_drained(self):
+        with pytest.raises(UnknownFrameType):
+            read_from_bytes(b"\xee" + (2).to_bytes(4, "little") + b"ab")
+
+
+class TestNegotiation:
+    def test_common_version_is_picked(self):
+        assert negotiate_version([1]) == 1
+        assert negotiate_version([1, 99]) == 1
+
+    def test_no_common_version(self):
+        assert negotiate_version([99]) is None
+        assert negotiate_version([]) is None
+
+    def test_current_versions_are_negotiable(self):
+        assert negotiate_version(PROTOCOL_VERSIONS) == max(PROTOCOL_VERSIONS)
+
+    def test_hello_payload_carries_versions_and_device(self):
+        document = json.loads(hello_payload((1,), "prover-3"))
+        assert document == {"versions": [1], "device_id": "prover-3"}
+
+    def test_error_payload_shape(self):
+        document = json.loads(error_payload("code", "detail", True))
+        assert document == {"code": "code", "detail": "detail", "fatal": True}

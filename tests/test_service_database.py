@@ -249,3 +249,47 @@ class TestVerifierIntegration:
         verdict = verifier.verify(report, mode="database")
         assert not verdict.accepted
         assert verdict.reason.value == "measurement_mismatch"
+
+
+class TestAtomicPersistence:
+    """A killed campaign/server must never leave a truncated database file."""
+
+    def _populated(self, figure4):
+        _, program = figure4
+        database = MeasurementDatabase()
+        database.lookup_or_compute(program, (5,))
+        return database
+
+    def test_save_replaces_atomically_and_leaves_no_temp_files(
+            self, figure4, tmp_path):
+        import os
+
+        path = str(tmp_path / "measurements.json")
+        database = self._populated(figure4)
+        database.save(path)
+        database.save(path)  # overwrite path, same discipline
+        assert MeasurementDatabase.load(path).stats()["entries"] == 1
+        assert os.listdir(str(tmp_path)) == ["measurements.json"]
+
+    def test_failed_save_keeps_the_previous_file_intact(
+            self, figure4, tmp_path, monkeypatch):
+        import os
+
+        path = str(tmp_path / "measurements.json")
+        database = self._populated(figure4)
+        database.save(path)
+        before = open(path).read()
+
+        # A crash at the final rename: the new content never lands, the
+        # previous database must survive byte-for-byte and no temp file
+        # may linger.
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            database.save(path)
+        monkeypatch.undo()
+        assert open(path).read() == before
+        assert os.listdir(str(tmp_path)) == ["measurements.json"]
+        assert MeasurementDatabase.load(path).stats()["entries"] == 1

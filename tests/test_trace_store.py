@@ -154,3 +154,31 @@ class TestDiskStore:
             handle.write('{"version": 99, "captures": {}}')
         with pytest.raises(TraceStoreError):
             TraceStore(directory=directory)
+
+
+class TestAtomicIndex:
+    """The signature index is written with the same temp-file + os.replace
+    discipline as the measurement database: a killed capture run leaves the
+    previous index, never a truncated one."""
+
+    def test_index_survives_a_crash_during_replace(self, tmp_path, monkeypatch):
+        directory = str(tmp_path / "traces")
+        store = TraceStore(directory=directory)
+        first = _capture()
+        store.put_bytes("sig-a", first.trace_bytes, 0, "", 1, 1)
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            store.put_bytes("sig-b", first.trace_bytes, 0, "", 1, 1)
+        monkeypatch.undo()
+
+        reopened = TraceStore(directory=directory)
+        assert "sig-a" in reopened
+        assert reopened.get("sig-a").trace_bytes == first.trace_bytes
+        # No temp droppings next to the index.
+        droppings = [name for name in os.listdir(directory)
+                     if name.endswith(".tmp")]
+        assert droppings == []
