@@ -1,0 +1,66 @@
+"""Adversarial scenario generation and trust-boundary fuzzing.
+
+The paper's security argument is a coverage claim: control-flow attestation
+detects code-reuse (edge bends), skipped nodes and loop-iteration tampering,
+while -- like C-FLAT in the same lineage -- deliberately missing pure
+data-only attacks that never perturb the control-flow event stream.  The
+hand-written corpus in :mod:`repro.attacks` only ever tests the attacks we
+thought of; this package turns the claim into a machine:
+
+* :mod:`repro.adversary.generator` walks a workload's CFG and synthesizes
+  benign input variants and attack scenarios by class, keeping only
+  candidates whose measurement-level effect matches their class (a bend
+  that rejoins the benign event stream is not an attack, it is noise).
+* :mod:`repro.adversary.fuzz` mutates the two untrusted parser surfaces
+  (tracefile blobs, wire frames) and asserts fail-closed behaviour: every
+  mutant either round-trips byte-identically or raises the documented error
+  family.
+* :mod:`repro.adversary.oracle` drives generated scenarios through the full
+  signed attestation protocol under every scheme and checks the detection
+  matrix: benign accepts, claimed-catch rejects, expected-miss misses.
+
+Everything is seeded (:mod:`repro.adversary.seeds`): a failure reproduces
+from the seed printed next to it.
+"""
+
+from repro.adversary.seeds import (
+    DEFAULT_SEED,
+    ENV_FUZZ_EXAMPLES,
+    ENV_SEED,
+    derive_rng,
+    resolve_fuzz_examples,
+    resolve_seed,
+)
+from repro.adversary.generator import (
+    BenignVariant,
+    GeneratedSuite,
+    GeneratorLimits,
+    generate_suite,
+)
+from repro.adversary.fuzz import (
+    FuzzFailure,
+    FuzzReport,
+    fuzz_framing,
+    fuzz_tracefile,
+)
+from repro.adversary.oracle import MatrixEntry, OracleReport, run_oracle
+
+__all__ = [
+    "DEFAULT_SEED",
+    "ENV_FUZZ_EXAMPLES",
+    "ENV_SEED",
+    "derive_rng",
+    "resolve_fuzz_examples",
+    "resolve_seed",
+    "BenignVariant",
+    "GeneratedSuite",
+    "GeneratorLimits",
+    "generate_suite",
+    "FuzzFailure",
+    "FuzzReport",
+    "fuzz_framing",
+    "fuzz_tracefile",
+    "MatrixEntry",
+    "OracleReport",
+    "run_oracle",
+]

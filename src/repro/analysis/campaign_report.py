@@ -33,6 +33,10 @@ def format_campaign_summary(result) -> str:
     lines.append("  all as expected  : %s" % summary.pop("ok"))
     lines.append("  accepted reports : %d" % summary.pop("accepted"))
     lines.append("  attacks detected : %s" % summary.pop("attacks_detected"))
+    expected_misses = summary.pop("expected_misses", 0)
+    if expected_misses:
+        lines.append("  expected misses  : %d (by scheme design, not failures)"
+                     % expected_misses)
     if capture:
         lines.append(
             "  capture stage    : %.3f s -- %d unique execution%s for %d jobs "
@@ -78,8 +82,8 @@ def format_campaign_table(result, limit: Optional[int] = None) -> str:
     shown = rows if limit is None else rows[:limit]
     table = format_table(
         shown,
-        columns=["job", "scheme", "verdict", "reason", "ok", "cache",
-                 "source", "instructions", "cycles"],
+        columns=["job", "scheme", "verdict", "reason", "ok", "outcome",
+                 "cache", "source", "instructions", "cycles"],
         title="Campaign %r: per-job verdicts" % result.spec_name,
     )
     if limit is not None and len(rows) > limit:

@@ -19,13 +19,25 @@ uses, matching the adversary model (full control of data memory, no control of
 code memory or LO-FAT state).
 """
 
-from repro.attacks.injector import AttackScenario, MemoryCorruption, ATTACK_REGISTRY, all_attacks, get_attack
+from repro.attacks.injector import (
+    AttackScenario,
+    ControlFlowRedirect,
+    MemoryCorruption,
+    ATTACK_REGISTRY,
+    all_attacks,
+    get_attack,
+    register_scenario,
+    unregister_attack,
+)
 from repro.attacks import loop_counter, noncontrol_data, rop, code_pointer  # noqa: F401
 
 __all__ = [
     "AttackScenario",
+    "ControlFlowRedirect",
     "MemoryCorruption",
     "ATTACK_REGISTRY",
     "all_attacks",
     "get_attack",
+    "register_scenario",
+    "unregister_attack",
 ]

@@ -10,6 +10,13 @@ the platform's memory protection (code memory cannot be written).
 :class:`AttackScenario` couples a corruption with the workload it targets and
 with the paper's attack-class taxonomy so the security experiment (E5) can
 iterate over all scenarios uniformly.
+
+Two corruption primitives exist: :class:`MemoryCorruption` (a triggered data
+write -- the exploit's *payload*) and :class:`ControlFlowRedirect` (a
+triggered program-counter rewrite -- the exploit's *effect*, modelling what a
+successful code-pointer overwrite does without needing a pointer spilled at a
+known address).  The adversarial scenario generator
+(:mod:`repro.adversary.generator`) synthesizes scenarios from both.
 """
 
 from __future__ import annotations
@@ -71,6 +78,52 @@ class MemoryCorruption:
 
 
 @dataclass
+class ControlFlowRedirect:
+    """A single triggered program-counter rewrite.
+
+    Models the *effect* of a successful code-pointer corruption: just before
+    the instruction at ``trigger_pc`` would execute, the program counter is
+    rewritten to ``target`` instead.  The trigger instruction itself never
+    retires, so the benign control-flow event it would have produced is
+    replaced by whatever executes at the target -- exactly the shape of a
+    ROP/JOP pivot or a skipped-node shortcut.
+
+    Attributes:
+        trigger_pc: program counter at which the redirect fires (just before
+            the instruction at this address executes).
+        target: where execution continues -- an absolute address or a
+            resolver callable receiving the live CPU.
+        occurrence: fire on the N-th time the trigger PC is reached (1-based).
+        repeat: if True, fire on every occurrence from ``occurrence`` onwards.
+    """
+
+    trigger_pc: int
+    target: object
+    occurrence: int = 1
+    repeat: bool = False
+    #: Number of times the redirect actually fired (filled during the run).
+    fired: int = 0
+    _seen: int = 0
+
+    def install(self, cpu: Cpu) -> None:
+        """Attach the redirect to ``cpu`` as a pre-instruction hook."""
+        cpu.add_pre_instruction_hook(self._hook)
+
+    # The hook signature matches Cpu.add_pre_instruction_hook.
+    def _hook(self, cpu: Cpu, pc: int, retired: int) -> None:
+        if pc != self.trigger_pc:
+            return
+        self._seen += 1
+        if self._seen < self.occurrence:
+            return
+        if not self.repeat and self._seen > self.occurrence:
+            return
+        target = self.target(cpu) if callable(self.target) else int(self.target)
+        cpu.pc = target
+        self.fired += 1
+
+
+@dataclass
 class AttackScenario:
     """A named attack against a specific workload.
 
@@ -90,6 +143,14 @@ class AttackScenario:
             is input-driven rather than corruption-driven.
         changes_output: whether a successful attack changes the program output
             (used by tests to confirm the attack actually had an effect).
+        control_flow_visible: whether the attack perturbs the control-flow
+            event stream the attestation schemes measure.  Runtime schemes
+            (lofat, cflat) are expected to detect visible attacks and to
+            *miss* invisible ones (pure data-only corruption); the campaign
+            layer labels the latter ``expected_miss``.
+        category: free-form generator family tag ("manual" for hand-written
+            scenarios; the adversary generator uses "edge_bend",
+            "skipped_node", "loop_overcount", "loop_undercount", "data_only").
     """
 
     name: str
@@ -100,6 +161,8 @@ class AttackScenario:
     challenge_inputs: List[int] = field(default_factory=list)
     malicious_inputs: List[int] = field(default_factory=list)
     changes_output: bool = True
+    control_flow_visible: bool = True
+    category: str = "manual"
 
     def install_on(self, cpu: Cpu, program: Program) -> List[MemoryCorruption]:
         """Install all corruptions of the scenario on a CPU."""
@@ -139,3 +202,22 @@ def get_attack(name: str) -> AttackScenario:
 def all_attacks() -> List[AttackScenario]:
     """Instantiate every registered attack scenario (sorted by name)."""
     return [ATTACK_REGISTRY[name]() for name in sorted(ATTACK_REGISTRY)]
+
+
+def register_scenario(scenario: AttackScenario, replace: bool = False) -> str:
+    """Register a concrete (e.g. generated) scenario instance by name.
+
+    Unlike :func:`register_attack`, which registers a zero-argument factory,
+    this stores an already-built scenario (the generator produces scenario
+    objects whose parameters were chosen at generation time).  Returns the
+    scenario name so callers can collect what they registered.
+    """
+    if not replace and scenario.name in ATTACK_REGISTRY:
+        raise ValueError("attack %r is already registered" % scenario.name)
+    ATTACK_REGISTRY[scenario.name] = lambda: scenario
+    return scenario.name
+
+
+def unregister_attack(name: str) -> None:
+    """Remove a registered attack scenario (no-op if absent)."""
+    ATTACK_REGISTRY.pop(name, None)

@@ -70,6 +70,7 @@ from repro.service import (
     CampaignSpec,
     MeasurementDatabase,
     TraceStore,
+    adversary_campaign,
     all_experiments,
     experiment_campaign,
     full_campaign,
@@ -175,6 +176,16 @@ def _cmd_protocol(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
+    if args.list or args.scenario is None:
+        if not args.list and args.scenario is None:
+            print("error: scenario name required (or use --list)", file=sys.stderr)
+            return 2
+        print("Registered attack scenarios:")
+        for scenario in all_attacks():
+            print("  %-32s class %d, %-12s targets %s"
+                  % (scenario.name, scenario.attack_class,
+                     scenario.category + ",", scenario.workload_name))
+        return 0
     scenario = get_attack(args.scenario)
     workload = get_workload(scenario.workload_name)
     program, prover, verifier = _make_protocol(workload)
@@ -268,6 +279,8 @@ def _load_campaign_spec(args: argparse.Namespace) -> CampaignSpec:
             spec = CampaignSpec.from_json(handle.read())
     elif args.experiment == "all":
         spec = full_campaign()
+    elif args.experiment == "adversary":
+        spec = adversary_campaign(seed=getattr(args, "seed", None))
     else:
         spec = experiment_campaign(args.experiment)
     if args.repeats is not None:
@@ -352,6 +365,97 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 0
     # "attest": a full campaign run against the populated store.
     return _cmd_campaign(args)
+
+
+def _cmd_adversary(args: argparse.Namespace) -> int:
+    """Generate adversarial suites, check the detection matrix, fuzz parsers."""
+    import json as _json
+
+    from repro.adversary import (
+        fuzz_framing,
+        fuzz_tracefile,
+        generate_suite,
+        resolve_seed,
+        run_oracle,
+    )
+    from repro.adversary.generator import DEFAULT_WORKLOADS
+    from repro.workloads import WORKLOAD_REGISTRY
+
+    seed = resolve_seed(args.seed)
+    if args.workloads == "all":
+        workloads = sorted(WORKLOAD_REGISTRY)
+    elif args.workloads:
+        workloads = [name.strip() for name in args.workloads.split(",")
+                     if name.strip()]
+    else:
+        workloads = list(DEFAULT_WORKLOADS)
+    schemes = ([name.strip() for name in args.scheme.split(",") if name.strip()]
+               if args.scheme else ["lofat", "cflat", "static"])
+
+    print("adversary seed: %d" % seed)
+    suites = {name: generate_suite(name, seed=seed) for name in workloads}
+    for name in workloads:
+        suite = suites[name]
+        counts = ", ".join("%s=%d" % item for item in sorted(suite.counts().items()))
+        print("  %-20s %2d scenarios (%s)" % (name, suite.scenario_count, counts))
+
+    if args.list:
+        for name in workloads:
+            suite = suites[name]
+            for variant in suite.benign:
+                print("  benign %-36s inputs=%s"
+                      % (variant.name, list(variant.inputs)))
+            for scenario in suite.attacks:
+                print("  attack %-36s class %d %-15s cf_visible=%s"
+                      % (scenario.name, scenario.attack_class,
+                         scenario.category, scenario.control_flow_visible))
+        return 0
+
+    report = run_oracle(workloads, seed=seed, schemes=schemes, suites=suites)
+    print()
+    print(report.format_matrix())
+    print("oracle: %d protocol runs, %d expected misses (asserted), "
+          "%d failures" % (len(report.entries), len(report.expected_misses),
+                           len(report.failures)))
+    for entry in report.failures[:20]:
+        print("  FAIL %s/%s %s (%s): expected %s, got %s (%s)"
+              % (entry.workload, entry.scheme, entry.scenario, entry.family,
+                 entry.expected, entry.actual, entry.reason))
+
+    ok = report.ok
+    fuzz_failures = []
+    if not args.skip_fuzz:
+        print()
+        for fuzzer in (fuzz_tracefile, fuzz_framing):
+            fuzz_report = fuzzer(seed=seed, iterations=args.fuzz_examples)
+            print(fuzz_report.summary_line())
+            fuzz_failures.extend(fuzz_report.failures)
+            ok = ok and fuzz_report.ok
+
+    if args.failures_file:
+        payload = {
+            "seed": seed,
+            "oracle_failures": [
+                {"workload": e.workload, "scheme": e.scheme,
+                 "scenario": e.scenario, "family": e.family,
+                 "expected": e.expected, "actual": e.actual,
+                 "reason": e.reason}
+                for e in report.failures
+            ],
+            "fuzz_failures": [
+                {"surface": f.surface, "iteration": f.iteration,
+                 "description": f.description, "blob_hex": f.blob_hex}
+                for f in fuzz_failures
+            ],
+        }
+        with open(args.failures_file, "w") as handle:
+            _json.dump(payload, handle, indent=2)
+            handle.write("\n")
+
+    if not ok:
+        print("\nreproduce with: repro adversary --seed %d" % seed,
+              file=sys.stderr)
+    return 0 if ok else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -506,7 +610,10 @@ def build_parser() -> argparse.ArgumentParser:
                              help="attestation scheme (default: lofat)")
 
     attack = subparsers.add_parser("attack", help="demonstrate an attack scenario")
-    attack.add_argument("scenario", help="attack scenario name (see 'list')")
+    attack.add_argument("scenario", nargs="?", default=None,
+                        help="attack scenario name (see 'list' or --list)")
+    attack.add_argument("--list", action="store_true",
+                        help="list the registered attack scenarios and exit")
 
     subparsers.add_parser("overhead", help="print the LO-FAT vs C-FLAT overhead table")
     subparsers.add_parser("area", help="print the FPGA resource estimates")
@@ -528,8 +635,14 @@ def build_parser() -> argparse.ArgumentParser:
         source = target.add_mutually_exclusive_group()
         source.add_argument(
             "--experiment", default="all",
-            choices=all_experiments() + ["all"],
-            help="preset campaign: one benchmark experiment or 'all' (default)",
+            choices=all_experiments() + ["all", "adversary"],
+            help="preset campaign: one benchmark experiment, 'all' (default) "
+                 "or 'adversary' (seeded generated scenarios)",
+        )
+        target.add_argument(
+            "--seed", type=int, default=None, metavar="N",
+            help="generation seed for '--experiment adversary' "
+                 "(default: REPRO_SEED or the built-in seed)",
         )
         source.add_argument(
             "--spec", default=None, metavar="FILE",
@@ -612,6 +725,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory of the persistent capture store",
     )
 
+    adversary = subparsers.add_parser(
+        "adversary",
+        help="generate adversarial scenarios, check the detection matrix "
+             "and fuzz the trust-boundary parsers (seeded)",
+    )
+    adversary.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="generation seed (default: REPRO_SEED or the built-in seed)",
+    )
+    adversary.add_argument(
+        "--workloads", default=None, metavar="NAMES",
+        help="comma-separated workload names, or 'all' "
+             "(default: the attack-target workloads)",
+    )
+    adversary.add_argument(
+        "--scheme", default=None, metavar="NAMES",
+        help="comma-separated schemes to check (default: lofat,cflat,static)",
+    )
+    adversary.add_argument(
+        "--list", action="store_true",
+        help="only print the generated scenarios, skip oracle and fuzzing",
+    )
+    adversary.add_argument(
+        "--fuzz-examples", type=int, default=None, metavar="N",
+        help="mutations per parser surface "
+             "(default: REPRO_FUZZ_EXAMPLES or 1000)",
+    )
+    adversary.add_argument(
+        "--skip-fuzz", action="store_true",
+        help="skip the parser fuzzing stage",
+    )
+    adversary.add_argument(
+        "--failures-file", default=None, metavar="FILE",
+        help="write oracle/fuzz failures as JSON (CI artifact)",
+    )
+
     serve = subparsers.add_parser(
         "serve",
         help="run the standing attestation verifier service (asyncio TCP)",
@@ -688,6 +837,7 @@ _COMMANDS = {
     "area": _cmd_area,
     "fastpath": _cmd_fastpath,
     "campaign": _cmd_campaign,
+    "adversary": _cmd_adversary,
     "trace": _cmd_trace,
     "serve": _cmd_serve,
     "attest-remote": _cmd_attest_remote,

@@ -271,6 +271,16 @@ class ControlFlowTrace:
     def cycles(self) -> int:
         return self._cycles
 
+    @property
+    def instructions(self) -> int:
+        """Total retired instructions.
+
+        Equals ``len(self)`` for any trace a CPU can produce, but unlike
+        ``__len__`` it can carry a full u64 (a deserialised blob may declare
+        a count Python's ``__len__`` protocol cannot return).
+        """
+        return self._instructions
+
     def __len__(self) -> int:
         return self._instructions
 

@@ -41,7 +41,7 @@ from repro.cpu.trace import (
     ExecutionTrace,
     TraceRecord,
 )
-from repro.isa.encoding import decode
+from repro.isa.encoding import EncodingError, decode
 
 #: File magic and current format version.
 MAGIC = b"LFTR"
@@ -120,7 +120,12 @@ def dump_trace(
     records = trace.control_flow_records
     flags = _FLAG_REPLAYABLE if trace.replayable else 0
     written = stream.write(_HEADER.pack(MAGIC, 2, len(records)))
-    written += stream.write(_V2_COUNTERS.pack(flags, len(trace), trace.cycles))
+    # trace.instructions, not len(trace): __len__ cannot return a u64 whose
+    # top bit is set (OverflowError), but the field is a full u64 on disk --
+    # a parsed blob must always re-serialise (fuzzer-found asymmetry).
+    written += stream.write(
+        _V2_COUNTERS.pack(flags, trace.instructions, trace.cycles)
+    )
     for record in records:
         written += stream.write(_pack_record(record))
     return written
@@ -135,20 +140,36 @@ def dumps_trace(
     return buffer.getvalue()
 
 
-def _read_records(stream: BinaryIO, count: int):
-    for _ in range(count):
+def _read_records(stream: BinaryIO, count: int, control_flow_only: bool = False):
+    for position in range(count):
         raw = stream.read(_RECORD.size)
         if len(raw) != _RECORD.size:
             raise TraceFormatError("truncated trace record")
         index, cycle, pc, word, next_pc, kind_code, taken = _RECORD.unpack(raw)
         if kind_code not in _CODE_TO_KIND:
             raise TraceFormatError("unknown branch-kind code: %d" % kind_code)
+        if control_flow_only and kind_code == _KIND_TO_CODE[BranchKind.NOT_CONTROL_FLOW]:
+            raise TraceFormatError(
+                "record %d: non-control-flow record in a v2 (control-flow-only) trace"
+                % position
+            )
+        if taken not in (0, 1):
+            raise TraceFormatError(
+                "record %d: invalid taken byte %d (must be 0 or 1)" % (position, taken)
+            )
+        try:
+            instruction = decode(word, address=pc)
+        except EncodingError as exc:
+            raise TraceFormatError(
+                "record %d: undecodable instruction word 0x%08x: %s"
+                % (position, word, exc)
+            ) from exc
         yield TraceRecord(
             index=index,
             cycle=cycle,
             pc=pc,
             word=word,
-            instruction=decode(word, address=pc),
+            instruction=instruction,
             next_pc=next_pc,
             kind=_CODE_TO_KIND[kind_code],
             taken=bool(taken),
@@ -180,8 +201,10 @@ def load_trace(stream: BinaryIO) -> Union[ExecutionTrace, ControlFlowTrace]:
     if len(counters) != _V2_COUNTERS.size:
         raise TraceFormatError("truncated v2 trace counters")
     flags, instructions, cycles = _V2_COUNTERS.unpack(counters)
+    if flags & ~_FLAG_REPLAYABLE:
+        raise TraceFormatError("undefined v2 flag bits set: 0x%02x" % flags)
     return ControlFlowTrace(
-        records=list(_read_records(stream, count)),
+        records=list(_read_records(stream, count, control_flow_only=True)),
         instructions=instructions,
         cycles=cycles,
         replayable=bool(flags & _FLAG_REPLAYABLE),
@@ -189,8 +212,19 @@ def load_trace(stream: BinaryIO) -> Union[ExecutionTrace, ControlFlowTrace]:
 
 
 def loads_trace(data: bytes) -> Union[ExecutionTrace, ControlFlowTrace]:
-    """Deserialise a trace from bytes."""
-    return load_trace(io.BytesIO(data))
+    """Deserialise a trace from bytes.
+
+    Unlike the stream reader :func:`load_trace` (which stops at the end of
+    the trace so a trace can be embedded in a larger stream), this rejects
+    trailing bytes: a standalone blob that keeps going after the declared
+    record count is malformed, not a trace plus luggage.
+    """
+    stream = io.BytesIO(data)
+    trace = load_trace(stream)
+    trailing = len(data) - stream.tell()
+    if trailing:
+        raise TraceFormatError("%d trailing byte(s) after the trace" % trailing)
+    return trace
 
 
 def trace_digest(data: bytes) -> str:

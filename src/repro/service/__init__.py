@@ -48,7 +48,12 @@ from repro.service.campaign import (
     WorkloadSelection,
 )
 from repro.service.database import MeasurementDatabase, config_digest
-from repro.service.presets import all_experiments, experiment_campaign, full_campaign
+from repro.service.presets import (
+    adversary_campaign,
+    all_experiments,
+    experiment_campaign,
+    full_campaign,
+)
 from repro.service.runner import CampaignResult, CampaignRunner, JobResult
 from repro.service.tracestore import (
     CapturedExecution,
@@ -76,6 +81,7 @@ __all__ = [
     "WorkloadSelection",
     "MeasurementDatabase",
     "config_digest",
+    "adversary_campaign",
     "all_experiments",
     "experiment_campaign",
     "full_campaign",

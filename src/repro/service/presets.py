@@ -16,7 +16,7 @@ sequential-vs-parallel comparison meaningful.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.attacks import ATTACK_REGISTRY
 from repro.service.campaign import (
@@ -228,6 +228,48 @@ def _e11() -> CampaignSpec:
         workloads=_workloads(_LOOP_HEAVY),
         schemes=["lofat", "cflat", "static"],
         attacks=sorted(ATTACK_REGISTRY),
+    )
+
+
+def adversary_campaign(
+    seed: Optional[int] = None,
+    workloads: Optional[List[str]] = None,
+    limits=None,
+) -> CampaignSpec:
+    """A seeded campaign over *generated* adversarial scenarios.
+
+    Generates the per-workload adversary suites
+    (:func:`repro.adversary.generator.generate_suite`), registers every
+    generated attack in the shared registry, and returns a spec attesting
+    the suite's workloads under all three schemes with every generated
+    attack.  Deliberately **not** part of :data:`_PRESETS`: the experiment
+    presets and :func:`full_campaign` must stay generation-free (their
+    attack population is the hand-written corpus), and ``--experiment all``
+    must not silently depend on a seed.
+
+    Campaign workers resolve attacks by registry name; the registrations
+    performed here reach the workers through process forking (the preferred
+    start method), so on spawn-only platforms run this campaign with
+    ``workers=1``.
+    """
+    from repro.adversary.generator import DEFAULT_WORKLOADS, generate_suite
+    from repro.adversary.seeds import resolve_seed
+    from repro.attacks import register_scenario
+
+    seed = resolve_seed(seed)
+    names = list(workloads) if workloads else list(DEFAULT_WORKLOADS)
+    attack_names: List[str] = []
+    for workload_name in names:
+        suite = generate_suite(workload_name, seed=seed, limits=limits)
+        for scenario in suite.attacks:
+            attack_names.append(register_scenario(scenario, replace=True))
+    return CampaignSpec(
+        name="adversary_s%d" % seed,
+        description="generated adversarial scenarios (seed %d) under every "
+                    "scheme" % seed,
+        workloads=_workloads(names),
+        schemes=["lofat", "cflat", "static"],
+        attacks=sorted(attack_names),
     )
 
 

@@ -102,6 +102,21 @@ class JobResult:
             return not self.accepted
         return self.accepted
 
+    @property
+    def outcome(self) -> str:
+        """Semantic label of the verdict against the job's expectation.
+
+        ``benign_pass`` / ``false_reject`` for benign jobs; for attacked
+        jobs ``detected`` / ``missed`` when the scheme claims the attack,
+        ``expected_miss`` / ``unexpected_reject`` when it does not (static
+        scheme, or an attack invisible to control-flow measurement).
+        """
+        if self.job.attack is None:
+            return "benign_pass" if self.accepted else "false_reject"
+        if self.job.expects_detection:
+            return "detected" if not self.accepted else "missed"
+        return "expected_miss" if self.accepted else "unexpected_reject"
+
     def identity(self) -> tuple:
         """The comparison key used to check parallel == sequential results.
 
@@ -128,6 +143,7 @@ class JobResult:
             "verdict": "ACCEPTED" if self.accepted else "REJECTED",
             "reason": self.reason,
             "ok": self.ok,
+            "outcome": self.outcome,
             "cache": ("hit" if self.cache_hit else "miss")
                      if self.cache_hit is not None else "-",
             "source": "replay" if self.replayed else "live",
@@ -199,6 +215,9 @@ class CampaignResult:
 
     def summary(self) -> dict:
         attacks = sum(1 for r in self.results if r.job.expects_detection)
+        expected_misses = sum(
+            1 for r in self.results if r.outcome == "expected_miss"
+        )
         return {
             "campaign": self.spec_name,
             "verify_mode": self.verify_mode,
@@ -209,6 +228,7 @@ class CampaignResult:
             "ok": self.ok,
             "accepted": self.accepted_count,
             "attacks_detected": "%d/%d" % (self.detected_count, attacks),
+            "expected_misses": expected_misses,
             "prover_seconds": self.prover_seconds,
             "capture_seconds": self.capture_seconds,
             "attest_seconds": self.attest_seconds,
