@@ -12,9 +12,9 @@ Hardware* (Dessouky et al., DAC 2017) as a trace-based simulation:
 * :mod:`repro.schemes` -- the pluggable attestation-scheme API: one protocol
   for the ``lofat``, ``cflat`` and ``static`` backends, plus the registry.
 * :mod:`repro.attestation` -- the challenge-response protocol (prover/verifier).
-* :mod:`repro.baselines` -- deprecated shim: the C-FLAT cost model and the
-  static load-time measurement now live next to their scheme backends in
-  :mod:`repro.schemes`.
+* :mod:`repro.lang` -- the workload compiler: a small structured language
+  targeting the ISA, with CFG/loop metadata as a compilation by-product,
+  parameterized workload families and ports of the assembly workloads.
 * :mod:`repro.attacks` -- the three run-time attack classes of Figure 1.
 * :mod:`repro.workloads` -- embedded evaluation workloads (syringe pump, ...).
 * :mod:`repro.analysis` -- experiment drivers and report formatting.

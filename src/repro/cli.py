@@ -32,6 +32,14 @@ the CLI exposes the most common interactions without writing any Python:
 * ``repro trace attest`` -- run a campaign against a capture store
   populated earlier (the verify-many half: no simulation for executions
   already captured).
+* ``repro compile <file>`` -- compile a workload-language source file
+  (see ``docs/LANG.md``) to RV32 assembly, cross-checking the compiler's
+  CFG/loop metadata against the verifier's analysis; ``--emit-asm`` prints
+  the assembly, ``--run --inputs ...`` executes the program.
+* ``repro workloads`` -- generate the seeded compiled workload families
+  (``--family nest,branchy``), optionally executing each member against
+  its Python reference model (``--check``).  ``repro campaign --experiment
+  family`` attests the whole matrix under every scheme.
 * ``repro serve`` -- run the standing attestation verifier service: an
   asyncio TCP server speaking the length-prefixed challenge/report framing
   (see ``docs/SERVER.md``), verifying against a shared measurement
@@ -73,6 +81,7 @@ from repro.service import (
     adversary_campaign,
     all_experiments,
     experiment_campaign,
+    family_campaign,
     full_campaign,
 )
 from repro.workloads import all_workloads, get_workload
@@ -281,6 +290,8 @@ def _load_campaign_spec(args: argparse.Namespace) -> CampaignSpec:
         spec = full_campaign()
     elif args.experiment == "adversary":
         spec = adversary_campaign(seed=getattr(args, "seed", None))
+    elif args.experiment == "family":
+        spec = family_campaign(seed=getattr(args, "seed", None))
     else:
         spec = experiment_campaign(args.experiment)
     if args.repeats is not None:
@@ -456,6 +467,103 @@ def _cmd_adversary(args: argparse.Namespace) -> int:
         print("\nreproduce with: repro adversary --seed %d" % seed,
               file=sys.stderr)
     return 0 if ok else 1
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    """Compile a workload-language source file and report on the program."""
+    from repro.lang import LangError, compile_source
+
+    try:
+        with open(args.file) as handle:
+            source = handle.read()
+    except OSError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    name = args.name or os.path.splitext(os.path.basename(args.file))[0]
+    try:
+        compiled = compile_source(source, name=name,
+                                  verify=not args.no_verify)
+    except LangError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+
+    if args.emit_asm:
+        print(compiled.assembly, end="")
+        return 0
+
+    print("program      : %s" % compiled.name)
+    print("instructions : %d" % (len(compiled.program.code) // 4))
+    print("basic blocks : %d" % len(compiled.block_leaders))
+    print("functions    :")
+    for fn_name, address in sorted(compiled.functions.items(),
+                                   key=lambda item: item[1]):
+        print("  %-16s @%#06x" % (fn_name, address))
+    print("loops        : %d" % len(compiled.loops))
+    for loop in compiled.loops:
+        print("  %-20s @%#06x depth %d (in %s)"
+              % (loop.header_label, loop.header, loop.depth, loop.function))
+    if not args.no_verify:
+        print("metadata     : verified against repro.cfg analysis")
+
+    if args.run:
+        result = run_program(compiled.program, inputs=list(args.inputs or []),
+                             config=_cpu_config(args))
+        print("output       : %r" % result.output)
+        print("exit code    : %d" % result.exit_code)
+        print("cycles       : %d" % result.cycles)
+        return result.exit_code
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    """Generate (and optionally execute) the compiled workload families."""
+    from repro.adversary.seeds import resolve_seed
+    from repro.lang import families as _families
+
+    if args.list_families:
+        print("Workload families:")
+        for name in _families.family_names():
+            family = _families.get_family(name)
+            print("  %-10s %2d members  %s"
+                  % (name, len(family.grid), family.description))
+        return 0
+
+    seed = resolve_seed(args.seed)
+    if args.family:
+        names = [name.strip() for name in args.family.split(",") if name.strip()]
+        for name in names:
+            if name not in _families.FAMILY_REGISTRY:
+                print("error: unknown family %r (known: %s)"
+                      % (name, ", ".join(_families.family_names())),
+                      file=sys.stderr)
+                return 2
+    else:
+        names = _families.family_names()
+
+    print("family seed: %d" % seed)
+    workloads = []
+    for name in names:
+        workloads.extend(_families.generate_family(name, seed=seed))
+    failures = 0
+    for workload in workloads:
+        line = "  %-24s inputs=%-24s" % (workload.name, workload.inputs)
+        if args.check:
+            result = run_program(workload.build(), inputs=workload.inputs,
+                                 config=_cpu_config(args))
+            ok = result.output == workload.expected_output
+            failures += 0 if ok else 1
+            line += " %s" % ("ok" if ok else
+                             "MISMATCH (got %r, want %r)"
+                             % (result.output, workload.expected_output))
+        else:
+            line += " expect=%s" % workload.expected_output.strip()
+        print(line)
+    print("%d workloads across %d families%s"
+          % (len(workloads), len(names),
+             "" if not args.check else
+             (", all outputs match the reference models" if not failures
+              else ", %d MISMATCHES" % failures)))
+    return 1 if failures else 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -635,13 +743,14 @@ def build_parser() -> argparse.ArgumentParser:
         source = target.add_mutually_exclusive_group()
         source.add_argument(
             "--experiment", default="all",
-            choices=all_experiments() + ["all", "adversary"],
-            help="preset campaign: one benchmark experiment, 'all' (default) "
-                 "or 'adversary' (seeded generated scenarios)",
+            choices=all_experiments() + ["all", "adversary", "family"],
+            help="preset campaign: one benchmark experiment, 'all' (default), "
+                 "'adversary' (seeded generated scenarios) or 'family' "
+                 "(seeded compiled workload families)",
         )
         target.add_argument(
             "--seed", type=int, default=None, metavar="N",
-            help="generation seed for '--experiment adversary' "
+            help="generation seed for '--experiment adversary/family' "
                  "(default: REPRO_SEED or the built-in seed)",
         )
         source.add_argument(
@@ -761,6 +870,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="write oracle/fuzz failures as JSON (CI artifact)",
     )
 
+    compile_cmd = subparsers.add_parser(
+        "compile",
+        help="compile a workload-language source file to RV32 assembly",
+    )
+    compile_cmd.add_argument("file", help="workload-language source file")
+    compile_cmd.add_argument("--name", default=None,
+                             help="program name (default: the file stem)")
+    compile_cmd.add_argument("--emit-asm", action="store_true",
+                             help="print the generated assembly and exit")
+    compile_cmd.add_argument("--no-verify", action="store_true",
+                             help="skip the codegen-metadata vs repro.cfg "
+                                  "cross-check")
+    compile_cmd.add_argument("--run", action="store_true",
+                             help="execute the compiled program")
+    compile_cmd.add_argument("--inputs", type=int, nargs="*", default=None,
+                             help="input values for --run")
+    compile_cmd.add_argument("--legacy-loop", action="store_true",
+                             help="run on the legacy per-instruction loop")
+
+    workloads_cmd = subparsers.add_parser(
+        "workloads",
+        help="generate the compiled workload families (seeded)",
+    )
+    workloads_cmd.add_argument(
+        "--family", default=None, metavar="NAMES",
+        help="comma-separated family names (default: all families)",
+    )
+    workloads_cmd.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="generation seed (default: REPRO_SEED or the built-in seed)",
+    )
+    workloads_cmd.add_argument(
+        "--list-families", action="store_true",
+        help="list the registered families and exit",
+    )
+    workloads_cmd.add_argument(
+        "--check", action="store_true",
+        help="execute every generated workload and compare its output "
+             "against the family's Python reference model",
+    )
+    workloads_cmd.add_argument(
+        "--legacy-loop", action="store_true",
+        help="run --check executions on the legacy per-instruction loop",
+    )
+
     serve = subparsers.add_parser(
         "serve",
         help="run the standing attestation verifier service (asyncio TCP)",
@@ -838,6 +992,8 @@ _COMMANDS = {
     "fastpath": _cmd_fastpath,
     "campaign": _cmd_campaign,
     "adversary": _cmd_adversary,
+    "compile": _cmd_compile,
+    "workloads": _cmd_workloads,
     "trace": _cmd_trace,
     "serve": _cmd_serve,
     "attest-remote": _cmd_attest_remote,

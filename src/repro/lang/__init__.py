@@ -1,0 +1,50 @@
+"""The workload compiler: a tiny structured language targeting the ISA.
+
+The hand-assembled workload corpus caps scenario diversity; this package
+removes the cap.  It compiles a small C-like language (functions, ``if`` /
+``else``, ``while``, local arrays, integer expressions, calls) to RV32
+assembly for :mod:`repro.isa`, and -- because the code generator only ever
+emits structured control flow -- produces the program's basic-block leaders
+and natural-loop nesting as a compilation by-product, checked against the
+verifier's own :mod:`repro.cfg` analysis.
+
+On top of the compiler, :mod:`repro.lang.families` generates parameterized
+workload *families* (loop nesting depth, branch density, call-graph shape,
+array sizes) with paired Python reference models, seeded through the same
+``derive_rng`` plumbing as the adversary tooling; :mod:`repro.lang.ports`
+re-implements hand-assembled workloads in the language and pins their
+behaviour against the originals.  See docs/LANG.md.
+"""
+
+from repro.lang.codegen import (
+    BUILTINS,
+    CodeGenerator,
+    CompiledProgram,
+    LoopInfo,
+    compile_source,
+)
+from repro.lang.errors import (
+    CodegenError,
+    LangError,
+    LexError,
+    ParseError,
+    SemanticError,
+)
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import parse
+
+__all__ = [
+    "BUILTINS",
+    "CodeGenerator",
+    "CodegenError",
+    "CompiledProgram",
+    "LangError",
+    "LexError",
+    "LoopInfo",
+    "ParseError",
+    "SemanticError",
+    "Token",
+    "compile_source",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,158 @@
+"""Typed abstract syntax tree of the workload language.
+
+The tree is deliberately flat and explicit: one dataclass per construct, all
+carrying the 1-based source line for diagnostics.  Expression nodes gain a
+``type`` annotation ("int" or "array") during the semantic pass that code
+generation runs before emitting anything; statements have no type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+# --------------------------------------------------------------- expressions
+@dataclass
+class Expr:
+    """Base class for expressions; ``type`` is filled by the semantic pass."""
+
+    line: int
+    type: str = field(default="int", init=False)
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class Name(Expr):
+    """A variable, parameter or array reference."""
+
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    """Unary ``-``, ``!`` or ``~``."""
+
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    """A binary operator application (including ``&&``/``||``)."""
+
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    """A function call; ``read``/``print``/``printc`` are builtin callees."""
+
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    """``base[index]``: word-indexed load from an array or pointer value."""
+
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------- statements
+@dataclass
+class Stmt:
+    line: int
+
+
+@dataclass
+class VarDecl(Stmt):
+    """``var name = expr;`` -- declares and initialises a scalar local."""
+
+    name: str = ""
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ArrayDecl(Stmt):
+    """``array name[N];`` -- declares a zero-initialised local word array."""
+
+    name: str = ""
+    size: int = 0
+
+
+@dataclass
+class Assign(Stmt):
+    """``name = expr;`` -- assignment to a scalar local or parameter."""
+
+    name: str = ""
+    value: Optional[Expr] = None
+
+
+@dataclass
+class IndexAssign(Stmt):
+    """``base[index] = expr;`` -- word store through an array or pointer."""
+
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: Optional[List[Stmt]] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    """``return;`` or ``return expr;`` (a bare return yields 0)."""
+
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for its side effects (usually a call)."""
+
+    value: Optional[Expr] = None
+
+
+# ------------------------------------------------------------------- program
+@dataclass
+class Function:
+    name: str
+    params: List[str]
+    body: List[Stmt]
+    line: int
+
+
+@dataclass
+class ProgramAst:
+    """A parsed program: an ordered list of function definitions."""
+
+    functions: List[Function]

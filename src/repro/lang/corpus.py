@@ -1,0 +1,214 @@
+"""Golden corpus of compiled workload-language programs (drift guard).
+
+Mirrors the adversary regression corpus pattern
+(:mod:`repro.adversary.fuzz`): a deterministic set of programs is checked
+into ``tests/data/lang_corpus/`` -- language source, generated assembly and
+a manifest of digests, CFG metadata, inputs and expected outputs -- and a
+tier-1 test recompiles every entry and fails on any divergence.  The corpus
+therefore pins three things at once:
+
+* **codegen stability** -- an innocent-looking compiler change that alters
+  generated code shows up as an assembly/digest diff, reviewed like any
+  other golden-file change (regenerate with
+  ``python -m repro.lang.corpus tests/data/lang_corpus``);
+* **the metadata contract** -- every recompiled entry re-verifies predicted
+  block leaders and loop nesting against :mod:`repro.cfg` analysis;
+* **semantics** -- every entry still produces its recorded output.
+
+Membership spans the compiler's surface: the three workload ports, one
+member of each family axis, and two hand-written showcase programs
+(recursion and gcd) that no family generates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.lang.codegen import CompiledProgram, compile_source
+from repro.lang.families import get_family, member_inputs
+from repro.lang.ports import PORTS
+
+#: Seed pinning the corpus members' input vectors (the project default).
+CORPUS_SEED = 20170618
+
+GCD_SOURCE = """\
+// showcase: Euclid's algorithm plus a data-driven loop around it
+fn gcd(a, b) {
+    while (b != 0) {
+        var t = b;
+        b = a % b;
+        a = t;
+    }
+    return a;
+}
+fn main() {
+    var n = read();
+    var acc = 0;
+    var i = 1;
+    while (i <= n) {
+        acc = acc + gcd(12 * i, 18);
+        i = i + 1;
+    }
+    print(acc);
+    printc(10);
+    return 0;
+}
+"""
+
+FIB_SOURCE = """\
+// showcase: naive recursion (call depth the families never produce)
+fn fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+fn main() {
+    print(fib(read()));
+    printc(10);
+    return 0;
+}
+"""
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One golden program: source, pinned binary identity and behaviour."""
+
+    name: str
+    source: str
+    assembly: str
+    digest: str
+    block_leaders: List[int]
+    loops: List[dict]
+    inputs: List[int]
+    expected_output: str
+
+    @staticmethod
+    def from_compiled(compiled: CompiledProgram, inputs: List[int],
+                      expected_output: str) -> "CorpusEntry":
+        return CorpusEntry(
+            name=compiled.name,
+            source=compiled.source,
+            assembly=compiled.assembly,
+            digest=compiled.program.digest,
+            block_leaders=list(compiled.block_leaders),
+            loops=[{"label": loop.header_label, "header": loop.header,
+                    "depth": loop.depth, "function": loop.function}
+                   for loop in compiled.loops],
+            inputs=list(inputs),
+            expected_output=expected_output,
+        )
+
+
+def _gcd_reference(inputs: List[int]) -> str:
+    import math
+    return "%d\n" % sum(math.gcd(12 * i, 18) for i in range(1, inputs[0] + 1))
+
+
+def _fib_reference(inputs: List[int]) -> str:
+    a, b = 0, 1
+    for _ in range(inputs[0]):
+        a, b = b, a + b
+    return "%d\n" % a
+
+
+def build_corpus() -> List[CorpusEntry]:
+    """The deterministic golden corpus (pure function of the sources)."""
+    entries: List[CorpusEntry] = []
+
+    from repro.workloads import get_workload
+
+    for port_name in sorted(PORTS):
+        compiled = compile_source(PORTS[port_name][1], name=port_name,
+                                  verify=True)
+        original = get_workload(PORTS[port_name][0])
+        entries.append(CorpusEntry.from_compiled(
+            compiled, original.inputs, original.expected_output))
+
+    for family_name, params in (
+        ("nest", {"depth": 2, "iters": 3}),
+        ("nest", {"depth": 4, "iters": 2}),
+        ("branchy", {"branches": 4, "filler": 3}),
+        ("calls", {"shape": "chain", "depth": 3}),
+        ("calls", {"shape": "tree", "depth": 3}),
+        ("arrays", {"size": 16, "window": 4}),
+    ):
+        family = get_family(family_name)
+        compiled = compile_source(family.source(params),
+                                  name=family.member_name(params),
+                                  verify=True)
+        inputs = member_inputs(family, params, CORPUS_SEED)
+        entries.append(CorpusEntry.from_compiled(
+            compiled, inputs, family.reference(params, inputs)))
+
+    for name, source, inputs, reference in (
+        ("showcase_gcd", GCD_SOURCE, [9], _gcd_reference),
+        ("showcase_fib", FIB_SOURCE, [15], _fib_reference),
+    ):
+        compiled = compile_source(source, name=name, verify=True)
+        entries.append(CorpusEntry.from_compiled(
+            compiled, inputs, reference(inputs)))
+
+    return entries
+
+
+def write_corpus(directory: str) -> List[str]:
+    """Write the golden corpus to ``directory`` (sources + manifest)."""
+    os.makedirs(directory, exist_ok=True)
+    manifest: Dict[str, dict] = {}
+    written: List[str] = []
+    for entry in build_corpus():
+        source_file = entry.name + ".lang"
+        assembly_file = entry.name + ".s"
+        with open(os.path.join(directory, source_file), "w") as handle:
+            handle.write(entry.source)
+        with open(os.path.join(directory, assembly_file), "w") as handle:
+            handle.write(entry.assembly)
+        manifest[entry.name] = {
+            "source": source_file,
+            "assembly": assembly_file,
+            "digest": entry.digest,
+            "block_leaders": entry.block_leaders,
+            "loops": entry.loops,
+            "inputs": entry.inputs,
+            "expected_output": entry.expected_output,
+        }
+        written += [source_file, assembly_file]
+    with open(os.path.join(directory, "manifest.json"), "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return written
+
+
+def load_corpus(directory: str) -> List[CorpusEntry]:
+    """Load a corpus previously written by :func:`write_corpus`."""
+    with open(os.path.join(directory, "manifest.json")) as handle:
+        manifest = json.load(handle)
+    entries: List[CorpusEntry] = []
+    for name in sorted(manifest):
+        meta = manifest[name]
+        with open(os.path.join(directory, meta["source"])) as handle:
+            source = handle.read()
+        with open(os.path.join(directory, meta["assembly"])) as handle:
+            assembly = handle.read()
+        entries.append(CorpusEntry(
+            name=name,
+            source=source,
+            assembly=assembly,
+            digest=meta["digest"],
+            block_leaders=list(meta["block_leaders"]),
+            loops=list(meta["loops"]),
+            inputs=list(meta["inputs"]),
+            expected_output=meta["expected_output"],
+        ))
+    return entries
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration entry point
+    import sys
+
+    target = sys.argv[1] if len(sys.argv) > 1 else "tests/data/lang_corpus"
+    files = write_corpus(target)
+    print("wrote %d files + manifest.json to %s" % (len(files), target))

@@ -1,0 +1,39 @@
+"""Error hierarchy of the workload compiler.
+
+Every compiler error derives from :class:`LangError` (a ``ValueError``, so
+CLI surfaces and campaign loaders can treat malformed programs like any other
+malformed user input).  The subclasses mark the pipeline stage that rejected
+the program, and every error carries the 1-based source line when known.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class LangError(ValueError):
+    """Base class for all workload-language compilation errors."""
+
+    def __init__(self, message: str, line: Optional[int] = None) -> None:
+        if line is not None:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+        self.line = line
+
+
+class LexError(LangError):
+    """Raised for characters or literals the tokenizer cannot consume."""
+
+
+class ParseError(LangError):
+    """Raised when the token stream does not match the grammar."""
+
+
+class SemanticError(LangError):
+    """Raised for well-formed programs that violate the language rules
+    (undeclared names, arity mismatches, assignment to arrays, ...)."""
+
+
+class CodegenError(LangError):
+    """Raised when code generation cannot honour its contract (expression
+    depth beyond the temporary-register file, metadata mismatch, ...)."""

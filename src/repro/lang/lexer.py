@@ -1,0 +1,116 @@
+"""Tokenizer for the workload language.
+
+The language is deliberately small: identifiers, integer literals (decimal,
+hex, binary), a fixed keyword set, and single/double-character operators.
+Comments run from ``//`` or ``#`` to the end of the line.  The lexer is a
+single forward scan producing :class:`Token` objects with 1-based line
+numbers for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.lang.errors import LexError
+
+#: Reserved words of the language.
+KEYWORDS = frozenset({
+    "fn", "var", "array", "if", "else", "while", "return",
+    "break", "continue",
+})
+
+#: Two-character operators, matched before the single-character ones.
+TWO_CHAR_OPS = (
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+)
+
+#: Single-character operators and punctuation.
+ONE_CHAR_OPS = "+-*/%&|^~!<>=()[]{},;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        kind: "name", "int", "keyword", "op" or "eof".
+        text: the token's source text ("" for eof).
+        value: the integer value for "int" tokens, 0 otherwise.
+        line: 1-based source line the token starts on.
+    """
+
+    kind: str
+    text: str
+    value: int
+    line: int
+
+    def __repr__(self) -> str:  # compact, for parser error messages
+        if self.kind == "eof":
+            return "end of input"
+        return "%r" % self.text
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; always ends with one "eof" token."""
+    tokens: List[Token] = []
+    line = 1
+    i = 0
+    length = len(source)
+
+    while i < length:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "#" or source.startswith("//", i):
+            while i < length and source[i] != "\n":
+                i += 1
+            continue
+        if _is_name_start(ch):
+            start = i
+            while i < length and _is_name_char(source[i]):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "name"
+            tokens.append(Token(kind, text, 0, line))
+            continue
+        if ch.isdigit():
+            start = i
+            while i < length and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            try:
+                value = int(text, 0)
+            except ValueError:
+                raise LexError("invalid integer literal %r" % text, line)
+            if value > 0xFFFFFFFF:
+                raise LexError(
+                    "integer literal %r does not fit in 32 bits" % text, line)
+            tokens.append(Token("int", text, value, line))
+            continue
+        two = source[i:i + 2]
+        if two in TWO_CHAR_OPS:
+            tokens.append(Token("op", two, 0, line))
+            i += 2
+            continue
+        if ch in ONE_CHAR_OPS:
+            tokens.append(Token("op", ch, 0, line))
+            i += 1
+            continue
+        raise LexError("unexpected character %r" % ch, line)
+
+    tokens.append(Token("eof", "", 0, line))
+    return tokens

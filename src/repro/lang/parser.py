@@ -1,0 +1,269 @@
+"""Recursive-descent parser for the workload language.
+
+Grammar (EBNF; see docs/LANG.md for the full reference):
+
+    program    := function*
+    function   := "fn" NAME "(" [ NAME { "," NAME } ] ")" block
+    block      := "{" statement* "}"
+    statement  := "var" NAME "=" expr ";"
+                | "array" NAME "[" INT "]" ";"
+                | "if" "(" expr ")" block [ "else" (block | if-statement) ]
+                | "while" "(" expr ")" block
+                | "return" [ expr ] ";"
+                | "break" ";"
+                | "continue" ";"
+                | expr [ "=" expr ] ";"        (assignment when expr is an lvalue)
+
+Expressions use conventional C precedence, lowest first:
+``||`` < ``&&`` < ``|`` < ``^`` < ``&`` < ``== !=`` < ``< <= > >=``
+< ``<< >>`` < ``+ -`` < ``* / %`` < unary ``- ! ~`` < postfix call/index.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang.astnodes import (
+    ArrayDecl, Assign, Binary, Break, Call, Continue, Expr, ExprStmt,
+    Function, If, Index, IndexAssign, IntLiteral, Name, ProgramAst, Return,
+    Stmt, Unary, VarDecl, While,
+)
+from repro.lang.errors import ParseError
+from repro.lang.lexer import Token, tokenize
+
+#: Binary operator precedence levels, lowest binding first.
+_PRECEDENCE = (
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+)
+
+_UNARY_OPS = ("-", "!", "~")
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            expected = text if text is not None else kind
+            raise ParseError(
+                "expected %r, got %r" % (expected, self.current),
+                self.current.line,
+            )
+        return self.advance()
+
+    # -------------------------------------------------------------- program
+    def parse_program(self) -> ProgramAst:
+        functions: List[Function] = []
+        while not self.check("eof"):
+            functions.append(self.parse_function())
+        if not functions:
+            raise ParseError("program defines no functions", 1)
+        return ProgramAst(functions=functions)
+
+    def parse_function(self) -> Function:
+        start = self.expect("keyword", "fn")
+        name = self.expect("name").text
+        self.expect("op", "(")
+        params: List[str] = []
+        if not self.check("op", ")"):
+            params.append(self.expect("name").text)
+            while self.accept("op", ","):
+                params.append(self.expect("name").text)
+        self.expect("op", ")")
+        body = self.parse_block()
+        return Function(name=name, params=params, body=body, line=start.line)
+
+    def parse_block(self) -> List[Stmt]:
+        self.expect("op", "{")
+        statements: List[Stmt] = []
+        while not self.check("op", "}"):
+            if self.check("eof"):
+                raise ParseError("unterminated block", self.current.line)
+            statements.append(self.parse_statement())
+        self.expect("op", "}")
+        return statements
+
+    # ------------------------------------------------------------ statements
+    def parse_statement(self) -> Stmt:
+        token = self.current
+        if token.kind == "keyword":
+            if token.text == "var":
+                return self.parse_var_decl()
+            if token.text == "array":
+                return self.parse_array_decl()
+            if token.text == "if":
+                return self.parse_if()
+            if token.text == "while":
+                return self.parse_while()
+            if token.text == "return":
+                self.advance()
+                value = None
+                if not self.check("op", ";"):
+                    value = self.parse_expr()
+                self.expect("op", ";")
+                return Return(line=token.line, value=value)
+            if token.text == "break":
+                self.advance()
+                self.expect("op", ";")
+                return Break(line=token.line)
+            if token.text == "continue":
+                self.advance()
+                self.expect("op", ";")
+                return Continue(line=token.line)
+            raise ParseError("unexpected keyword %r" % token.text, token.line)
+        return self.parse_expr_or_assign()
+
+    def parse_var_decl(self) -> VarDecl:
+        token = self.expect("keyword", "var")
+        name = self.expect("name").text
+        self.expect("op", "=")
+        value = self.parse_expr()
+        self.expect("op", ";")
+        return VarDecl(line=token.line, name=name, value=value)
+
+    def parse_array_decl(self) -> ArrayDecl:
+        token = self.expect("keyword", "array")
+        name = self.expect("name").text
+        self.expect("op", "[")
+        size = self.expect("int")
+        self.expect("op", "]")
+        self.expect("op", ";")
+        return ArrayDecl(line=token.line, name=name, size=size.value)
+
+    def parse_if(self) -> If:
+        token = self.expect("keyword", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then_body = self.parse_block()
+        else_body: Optional[List[Stmt]] = None
+        if self.accept("keyword", "else"):
+            if self.check("keyword", "if"):  # else-if chains without braces
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_block()
+        return If(line=token.line, cond=cond, then_body=then_body,
+                  else_body=else_body)
+
+    def parse_while(self) -> While:
+        token = self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_block()
+        return While(line=token.line, cond=cond, body=body)
+
+    def parse_expr_or_assign(self) -> Stmt:
+        expr = self.parse_expr()
+        if self.accept("op", "="):
+            value = self.parse_expr()
+            self.expect("op", ";")
+            if isinstance(expr, Name):
+                return Assign(line=expr.line, name=expr.name, value=value)
+            if isinstance(expr, Index):
+                return IndexAssign(line=expr.line, base=expr.base,
+                                   index=expr.index, value=value)
+            raise ParseError(
+                "assignment target must be a variable or an index expression",
+                expr.line,
+            )
+        self.expect("op", ";")
+        return ExprStmt(line=expr.line, value=expr)
+
+    # ----------------------------------------------------------- expressions
+    def parse_expr(self) -> Expr:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, level: int) -> Expr:
+        if level >= len(_PRECEDENCE):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        operators = _PRECEDENCE[level]
+        while self.current.kind == "op" and self.current.text in operators:
+            op = self.advance()
+            right = self._parse_binary(level + 1)
+            left = Binary(line=op.line, op=op.text, left=left, right=right)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        token = self.current
+        if token.kind == "op" and token.text in _UNARY_OPS:
+            self.advance()
+            operand = self._parse_unary()
+            return Unary(line=token.line, op=token.text, operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            if self.check("op", "("):
+                if not isinstance(expr, Name):
+                    raise ParseError("only named functions can be called",
+                                     self.current.line)
+                self.advance()
+                args: List[Expr] = []
+                if not self.check("op", ")"):
+                    args.append(self.parse_expr())
+                    while self.accept("op", ","):
+                        args.append(self.parse_expr())
+                self.expect("op", ")")
+                expr = Call(line=expr.line, callee=expr.name, args=args)
+            elif self.check("op", "["):
+                self.advance()
+                index = self.parse_expr()
+                self.expect("op", "]")
+                expr = Index(line=expr.line, base=expr, index=index)
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            return IntLiteral(line=token.line, value=token.value)
+        if token.kind == "name":
+            self.advance()
+            return Name(line=token.line, name=token.text)
+        if self.accept("op", "("):
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise ParseError("expected an expression, got %r" % token, token.line)
+
+
+def parse(source: str) -> ProgramAst:
+    """Tokenize and parse ``source`` into a :class:`ProgramAst`."""
+    return Parser(tokenize(source)).parse_program()

@@ -14,8 +14,7 @@ This module carries both halves of the reproduction's C-FLAT model:
 
 * the cost model (:class:`CFlatCostModel`, :class:`CFlatResult`,
   :class:`CFlatAttestation`) applied to an uninstrumented execution --
-  ``attested_cycles = baseline_cycles + events * per_event_cycles`` -- which
-  historically lived in the now-deprecated :mod:`repro.baselines.cflat`;
+  ``attested_cycles = baseline_cycles + events * per_event_cycles``;
 * the first-class measuring scheme (:class:`CFlatSession`,
   :class:`CFlatScheme`) that can be driven by a challenge, verified against
   the measurement database and swept in a campaign.  The session computes,

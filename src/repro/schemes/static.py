@@ -13,9 +13,8 @@ skips the replay entirely -- verification is O(hash) no matter the workload
 campaign pipeline never plans a benign capture for a static reference.
 
 The load-time measurement model itself (:class:`StaticAttestation`,
-:class:`StaticMeasurement`) lives here too; it historically sat in the
-now-deprecated :mod:`repro.baselines.static_attestation`, which re-exports
-it from this module.
+:class:`StaticMeasurement`) lives here too, next to the scheme backend
+built on top of it.
 """
 
 from __future__ import annotations

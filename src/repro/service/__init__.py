@@ -52,6 +52,7 @@ from repro.service.presets import (
     adversary_campaign,
     all_experiments,
     experiment_campaign,
+    family_campaign,
     full_campaign,
 )
 from repro.service.runner import CampaignResult, CampaignRunner, JobResult
@@ -84,6 +85,7 @@ __all__ = [
     "adversary_campaign",
     "all_experiments",
     "experiment_campaign",
+    "family_campaign",
     "full_campaign",
     "CampaignResult",
     "CampaignRunner",

@@ -273,6 +273,54 @@ def adversary_campaign(
     )
 
 
+def family_campaign(
+    seed: Optional[int] = None,
+    families: Optional[List[str]] = None,
+    input_sets: int = 2,
+    repeats: int = 1,
+) -> CampaignSpec:
+    """A seeded campaign over *compiled* workload-family programs.
+
+    Compiles the family matrix (:func:`repro.lang.families.family_matrix`),
+    registers every member in the shared workload registry, and returns a
+    spec attesting all of them under all three schemes with ``input_sets``
+    seed-derived input vectors each.  Like :func:`adversary_campaign`, this
+    is deliberately **not** part of :data:`_PRESETS`: the experiment presets
+    must stay generation-free and seed-independent.
+
+    Campaign workers resolve workloads by registry name; the registrations
+    performed here reach the workers through process forking (the preferred
+    start method), so on spawn-only platforms run this campaign with
+    ``workers=1``.
+    """
+    from repro.adversary.seeds import resolve_seed
+    from repro.lang.families import (
+        family_matrix, get_family, member_inputs,
+    )
+
+    seed = resolve_seed(seed)
+    workloads = family_matrix(names=families, seed=seed)
+    selections: List[WorkloadSelection] = []
+    for workload in workloads:
+        family = get_family(
+            next(t for t in workload.tags if t.startswith("family:"))
+            .split(":", 1)[1])
+        params = next(p for p in family.grid
+                      if family.member_name(p) == workload.name)
+        vectors = [member_inputs(family, params, seed, variant)
+                   for variant in range(input_sets)]
+        selections.append(
+            WorkloadSelection(name=workload.name, input_sets=vectors))
+    return CampaignSpec(
+        name="family_s%d" % seed,
+        description="compiled workload families (seed %d) under every "
+                    "scheme" % seed,
+        workloads=selections,
+        schemes=["lofat", "cflat", "static"],
+        repeats=repeats,
+    )
+
+
 _PRESETS: Dict[str, Callable[[], CampaignSpec]] = {
     "e1": _e1,
     "e2": _e2,

@@ -39,6 +39,11 @@ from repro.workloads import (  # noqa: F401  (imported for registration side eff
 )
 from repro.workloads.generator import SyntheticWorkloadGenerator
 
+# The language ports register themselves alongside the hand-assembled
+# originals (lang_bubble_sort, lang_crc32, lang_binary_search).  Imported
+# last: the ports pin themselves to the originals' registrations.
+from repro.lang import ports  # noqa: F401  (registration side effects)
+
 __all__ = [
     "Workload",
     "WORKLOAD_REGISTRY",

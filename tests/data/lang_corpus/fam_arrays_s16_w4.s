@@ -1,0 +1,147 @@
+.text
+_start:
+    call main
+    li   a7, 93
+    ecall
+main:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    sw   s0, 8(sp)
+    addi s0, sp, 16
+    addi sp, sp, -88
+    li   a7, 5
+    ecall
+    mv   t0, a0
+    sw   t0, -20(s0)
+    li   a7, 5
+    ecall
+    mv   t0, a0
+    sw   t0, -24(s0)
+    addi t0, s0, -88
+    addi t1, s0, -24
+main__zero0:
+    bge  t0, t1, main__endzero1
+    sw   zero, 0(t0)
+    addi t0, t0, 4
+    j    main__zero0
+main__endzero1:
+    li   t0, 0
+    sw   t0, -92(s0)
+main__loop2:
+    lw   t0, -92(s0)
+    li   t1, 16
+    slt  t0, t0, t1
+    beqz t0, main__endloop3
+    lw   t0, -20(s0)
+    li   t1, 1103515245
+    mul  t0, t0, t1
+    li   t1, 12345
+    add  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    sw   t0, -20(s0)
+    lw   t0, -20(s0)
+    li   t1, 1000
+    rem  t0, t0, t1
+    addi t1, s0, -88
+    lw   t2, -92(s0)
+    slli t2, t2, 2
+    add  t1, t1, t2
+    sw   t0, 0(t1)
+    lw   t0, -92(s0)
+    li   t1, 1
+    add  t0, t0, t1
+    sw   t0, -92(s0)
+    j    main__loop2
+main__endloop3:
+    li   t0, 0
+    sw   t0, -96(s0)
+    li   t0, 0
+    sw   t0, -100(s0)
+main__loop4:
+    lw   t0, -100(s0)
+    li   t1, 12
+    slt  t0, t0, t1
+    beqz t0, main__endloop5
+    li   t0, 0
+    sw   t0, -104(s0)
+main__loop6:
+    lw   t0, -104(s0)
+    li   t1, 4
+    slt  t0, t0, t1
+    beqz t0, main__endloop7
+    lw   t0, -96(s0)
+    addi t1, s0, -88
+    lw   t2, -100(s0)
+    lw   t3, -104(s0)
+    add  t2, t2, t3
+    slli t2, t2, 2
+    add  t1, t1, t2
+    lw   t1, 0(t1)
+    add  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    sw   t0, -96(s0)
+    lw   t0, -104(s0)
+    li   t1, 1
+    add  t0, t0, t1
+    sw   t0, -104(s0)
+    j    main__loop6
+main__endloop7:
+    addi t0, s0, -88
+    lw   t1, -100(s0)
+    slli t1, t1, 2
+    add  t0, t0, t1
+    lw   t0, 0(t0)
+    addi t1, s0, -88
+    lw   t2, -100(s0)
+    li   t3, 1
+    add  t2, t2, t3
+    slli t2, t2, 2
+    add  t1, t1, t2
+    lw   t1, 0(t1)
+    slt  t0, t1, t0
+    beqz t0, main__endif8
+    lw   t0, -96(s0)
+    lw   t1, -100(s0)
+    add  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    sw   t0, -96(s0)
+main__endif8:
+    lw   t0, -100(s0)
+    li   t1, 1
+    add  t0, t0, t1
+    sw   t0, -100(s0)
+    j    main__loop4
+main__endloop5:
+    lw   t0, -96(s0)
+    addi t1, s0, -88
+    lw   t2, -24(s0)
+    li   t3, 16
+    rem  t2, t2, t3
+    slli t2, t2, 2
+    add  t1, t1, t2
+    lw   t1, 0(t1)
+    add  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    sw   t0, -96(s0)
+    lw   t0, -96(s0)
+    mv   a0, t0
+    li   a7, 1
+    ecall
+    li   t0, 0
+    li   t0, 10
+    mv   a0, t0
+    li   a7, 11
+    ecall
+    li   t0, 0
+    li   t0, 0
+    mv   a0, t0
+    j    main__ret
+main__ret:
+    mv   sp, s0
+    lw   ra, -4(sp)
+    lw   s0, -8(sp)
+    ret

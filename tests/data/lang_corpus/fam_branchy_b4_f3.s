@@ -1,0 +1,170 @@
+.text
+_start:
+    call main
+    li   a7, 93
+    ecall
+main:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    sw   s0, 8(sp)
+    addi s0, sp, 16
+    addi sp, sp, -16
+    li   a7, 5
+    ecall
+    mv   t0, a0
+    sw   t0, -20(s0)
+    li   a7, 5
+    ecall
+    mv   t0, a0
+    sw   t0, -24(s0)
+    li   t0, 0
+    sw   t0, -28(s0)
+    li   t0, 0
+    sw   t0, -32(s0)
+main__loop0:
+    lw   t0, -32(s0)
+    lw   t1, -20(s0)
+    slt  t0, t0, t1
+    beqz t0, main__endloop1
+    lw   t0, -24(s0)
+    li   t1, 1103515245
+    mul  t0, t0, t1
+    li   t1, 12345
+    add  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    sw   t0, -24(s0)
+    lw   t0, -24(s0)
+    li   t1, 0
+    srl  t0, t0, t1
+    li   t1, 1
+    and  t0, t0, t1
+    beqz t0, main__else3
+    lw   t0, -28(s0)
+    lw   t1, -24(s0)
+    li   t2, 1
+    srl  t1, t1, t2
+    add  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    sw   t0, -28(s0)
+    j    main__endif2
+main__else3:
+    lw   t0, -28(s0)
+    li   t1, 1
+    xor  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    sw   t0, -28(s0)
+main__endif2:
+    lw   t0, -24(s0)
+    li   t1, 1
+    srl  t0, t0, t1
+    li   t1, 1
+    and  t0, t0, t1
+    beqz t0, main__else5
+    lw   t0, -28(s0)
+    lw   t1, -24(s0)
+    li   t2, 2
+    srl  t1, t1, t2
+    add  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    sw   t0, -28(s0)
+    j    main__endif4
+main__else5:
+    lw   t0, -28(s0)
+    li   t1, 2
+    xor  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    sw   t0, -28(s0)
+main__endif4:
+    lw   t0, -24(s0)
+    li   t1, 2
+    srl  t0, t0, t1
+    li   t1, 1
+    and  t0, t0, t1
+    beqz t0, main__else7
+    lw   t0, -28(s0)
+    lw   t1, -24(s0)
+    li   t2, 3
+    srl  t1, t1, t2
+    add  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    sw   t0, -28(s0)
+    j    main__endif6
+main__else7:
+    lw   t0, -28(s0)
+    li   t1, 5
+    xor  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    sw   t0, -28(s0)
+main__endif6:
+    lw   t0, -24(s0)
+    li   t1, 3
+    srl  t0, t0, t1
+    li   t1, 1
+    and  t0, t0, t1
+    beqz t0, main__else9
+    lw   t0, -28(s0)
+    lw   t1, -24(s0)
+    li   t2, 4
+    srl  t1, t1, t2
+    add  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    sw   t0, -28(s0)
+    j    main__endif8
+main__else9:
+    lw   t0, -28(s0)
+    li   t1, 10
+    xor  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    sw   t0, -28(s0)
+main__endif8:
+    lw   t0, -28(s0)
+    li   t1, 506952113
+    add  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    sw   t0, -28(s0)
+    lw   t0, -28(s0)
+    li   t1, 1327217880
+    add  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    sw   t0, -28(s0)
+    lw   t0, -28(s0)
+    li   t1, 663608940
+    add  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    sw   t0, -28(s0)
+    lw   t0, -32(s0)
+    li   t1, 1
+    add  t0, t0, t1
+    sw   t0, -32(s0)
+    j    main__loop0
+main__endloop1:
+    lw   t0, -28(s0)
+    mv   a0, t0
+    li   a7, 1
+    ecall
+    li   t0, 0
+    li   t0, 10
+    mv   a0, t0
+    li   a7, 11
+    ecall
+    li   t0, 0
+    li   t0, 0
+    mv   a0, t0
+    j    main__ret
+main__ret:
+    mv   sp, s0
+    lw   ra, -4(sp)
+    lw   s0, -8(sp)
+    ret

@@ -1,0 +1,204 @@
+.text
+_start:
+    call main
+    li   a7, 93
+    ecall
+f1:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    sw   s0, 8(sp)
+    addi s0, sp, 16
+    addi sp, sp, -12
+    sw   a0, -20(s0)
+    lw   t0, -20(s0)
+    li   t1, 1
+    add  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    sw   t0, -24(s0)
+    li   t0, 0
+    sw   t0, -28(s0)
+f1__loop0:
+    lw   t0, -28(s0)
+    li   t1, 3
+    slt  t0, t0, t1
+    beqz t0, f1__endloop1
+    lw   t0, -24(s0)
+    li   t1, 33
+    mul  t0, t0, t1
+    lw   t1, -28(s0)
+    add  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    sw   t0, -24(s0)
+    lw   t0, -28(s0)
+    li   t1, 1
+    add  t0, t0, t1
+    sw   t0, -28(s0)
+    j    f1__loop0
+f1__endloop1:
+    lw   t0, -24(s0)
+    lw   t1, -24(s0)
+    li   t2, 1
+    xor  t1, t1, t2
+    li   t2, 2147483647
+    and  t1, t1, t2
+    addi sp, sp, -4
+    sw   t0, 0(sp)
+    mv   a0, t1
+    call f2
+    lw   t0, 0(sp)
+    addi sp, sp, 4
+    mv   t1, a0
+    add  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    mv   a0, t0
+    j    f1__ret
+f1__ret:
+    mv   sp, s0
+    lw   ra, -4(sp)
+    lw   s0, -8(sp)
+    ret
+f2:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    sw   s0, 8(sp)
+    addi s0, sp, 16
+    addi sp, sp, -12
+    sw   a0, -20(s0)
+    lw   t0, -20(s0)
+    li   t1, 2
+    add  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    sw   t0, -24(s0)
+    li   t0, 0
+    sw   t0, -28(s0)
+f2__loop0:
+    lw   t0, -28(s0)
+    li   t1, 3
+    slt  t0, t0, t1
+    beqz t0, f2__endloop1
+    lw   t0, -24(s0)
+    li   t1, 33
+    mul  t0, t0, t1
+    lw   t1, -28(s0)
+    add  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    sw   t0, -24(s0)
+    lw   t0, -28(s0)
+    li   t1, 1
+    add  t0, t0, t1
+    sw   t0, -28(s0)
+    j    f2__loop0
+f2__endloop1:
+    lw   t0, -24(s0)
+    lw   t1, -24(s0)
+    li   t2, 2
+    xor  t1, t1, t2
+    li   t2, 2147483647
+    and  t1, t1, t2
+    addi sp, sp, -4
+    sw   t0, 0(sp)
+    mv   a0, t1
+    call f3
+    lw   t0, 0(sp)
+    addi sp, sp, 4
+    mv   t1, a0
+    add  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    mv   a0, t0
+    j    f2__ret
+f2__ret:
+    mv   sp, s0
+    lw   ra, -4(sp)
+    lw   s0, -8(sp)
+    ret
+f3:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    sw   s0, 8(sp)
+    addi s0, sp, 16
+    addi sp, sp, -4
+    sw   a0, -20(s0)
+    lw   t0, -20(s0)
+    li   t1, -1640531535
+    mul  t0, t0, t1
+    li   t1, 97
+    add  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    mv   a0, t0
+    j    f3__ret
+f3__ret:
+    mv   sp, s0
+    lw   ra, -4(sp)
+    lw   s0, -8(sp)
+    ret
+main:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    sw   s0, 8(sp)
+    addi s0, sp, 16
+    addi sp, sp, -16
+    li   a7, 5
+    ecall
+    mv   t0, a0
+    sw   t0, -20(s0)
+    li   a7, 5
+    ecall
+    mv   t0, a0
+    sw   t0, -24(s0)
+    li   t0, 0
+    sw   t0, -28(s0)
+    li   t0, 0
+    sw   t0, -32(s0)
+main__loop0:
+    lw   t0, -32(s0)
+    lw   t1, -20(s0)
+    slt  t0, t0, t1
+    beqz t0, main__endloop1
+    lw   t0, -28(s0)
+    lw   t1, -24(s0)
+    lw   t2, -32(s0)
+    add  t1, t1, t2
+    li   t2, 2147483647
+    and  t1, t1, t2
+    addi sp, sp, -4
+    sw   t0, 0(sp)
+    mv   a0, t1
+    call f1
+    lw   t0, 0(sp)
+    addi sp, sp, 4
+    mv   t1, a0
+    add  t0, t0, t1
+    li   t1, 2147483647
+    and  t0, t0, t1
+    sw   t0, -28(s0)
+    lw   t0, -32(s0)
+    li   t1, 1
+    add  t0, t0, t1
+    sw   t0, -32(s0)
+    j    main__loop0
+main__endloop1:
+    lw   t0, -28(s0)
+    mv   a0, t0
+    li   a7, 1
+    ecall
+    li   t0, 0
+    li   t0, 10
+    mv   a0, t0
+    li   a7, 11
+    ecall
+    li   t0, 0
+    li   t0, 0
+    mv   a0, t0
+    j    main__ret
+main__ret:
+    mv   sp, s0
+    lw   ra, -4(sp)
+    lw   s0, -8(sp)
+    ret

@@ -1,0 +1,207 @@
+.text
+_start:
+    call main
+    li   a7, 93
+    ecall
+main:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    sw   s0, 8(sp)
+    addi s0, sp, 16
+    addi sp, sp, -92
+    li   a7, 5
+    ecall
+    mv   t0, a0
+    sw   t0, -20(s0)
+    addi t0, s0, -84
+    addi t1, s0, -20
+main__zero0:
+    bge  t0, t1, main__endzero1
+    sw   zero, 0(t0)
+    addi t0, t0, 4
+    j    main__zero0
+main__endzero1:
+    li   t0, 2
+    addi t1, s0, -84
+    li   t2, 0
+    slli t2, t2, 2
+    add  t1, t1, t2
+    sw   t0, 0(t1)
+    li   t0, 3
+    addi t1, s0, -84
+    li   t2, 1
+    slli t2, t2, 2
+    add  t1, t1, t2
+    sw   t0, 0(t1)
+    li   t0, 5
+    addi t1, s0, -84
+    li   t2, 2
+    slli t2, t2, 2
+    add  t1, t1, t2
+    sw   t0, 0(t1)
+    li   t0, 7
+    addi t1, s0, -84
+    li   t2, 3
+    slli t2, t2, 2
+    add  t1, t1, t2
+    sw   t0, 0(t1)
+    li   t0, 11
+    addi t1, s0, -84
+    li   t2, 4
+    slli t2, t2, 2
+    add  t1, t1, t2
+    sw   t0, 0(t1)
+    li   t0, 13
+    addi t1, s0, -84
+    li   t2, 5
+    slli t2, t2, 2
+    add  t1, t1, t2
+    sw   t0, 0(t1)
+    li   t0, 17
+    addi t1, s0, -84
+    li   t2, 6
+    slli t2, t2, 2
+    add  t1, t1, t2
+    sw   t0, 0(t1)
+    li   t0, 19
+    addi t1, s0, -84
+    li   t2, 7
+    slli t2, t2, 2
+    add  t1, t1, t2
+    sw   t0, 0(t1)
+    li   t0, 23
+    addi t1, s0, -84
+    li   t2, 8
+    slli t2, t2, 2
+    add  t1, t1, t2
+    sw   t0, 0(t1)
+    li   t0, 29
+    addi t1, s0, -84
+    li   t2, 9
+    slli t2, t2, 2
+    add  t1, t1, t2
+    sw   t0, 0(t1)
+    li   t0, 31
+    addi t1, s0, -84
+    li   t2, 10
+    slli t2, t2, 2
+    add  t1, t1, t2
+    sw   t0, 0(t1)
+    li   t0, 37
+    addi t1, s0, -84
+    li   t2, 11
+    slli t2, t2, 2
+    add  t1, t1, t2
+    sw   t0, 0(t1)
+    li   t0, 41
+    addi t1, s0, -84
+    li   t2, 12
+    slli t2, t2, 2
+    add  t1, t1, t2
+    sw   t0, 0(t1)
+    li   t0, 43
+    addi t1, s0, -84
+    li   t2, 13
+    slli t2, t2, 2
+    add  t1, t1, t2
+    sw   t0, 0(t1)
+    li   t0, 47
+    addi t1, s0, -84
+    li   t2, 14
+    slli t2, t2, 2
+    add  t1, t1, t2
+    sw   t0, 0(t1)
+    li   t0, 53
+    addi t1, s0, -84
+    li   t2, 15
+    slli t2, t2, 2
+    add  t1, t1, t2
+    sw   t0, 0(t1)
+    li   t0, 0
+    sw   t0, -88(s0)
+main__loop2:
+    lw   t0, -88(s0)
+    lw   t1, -20(s0)
+    slt  t0, t0, t1
+    beqz t0, main__endloop3
+    li   a7, 5
+    ecall
+    mv   t0, a0
+    sw   t0, -92(s0)
+    li   t0, 0
+    sw   t0, -96(s0)
+    li   t0, 15
+    sw   t0, -100(s0)
+    li   t0, 1
+    neg  t0, t0
+    sw   t0, -104(s0)
+main__loop4:
+    lw   t0, -96(s0)
+    lw   t1, -100(s0)
+    slt  t0, t1, t0
+    xori t0, t0, 1
+    beqz t0, main__endloop5
+    lw   t0, -96(s0)
+    lw   t1, -100(s0)
+    add  t0, t0, t1
+    li   t1, 1
+    srl  t0, t0, t1
+    sw   t0, -108(s0)
+    addi t0, s0, -84
+    lw   t1, -108(s0)
+    slli t1, t1, 2
+    add  t0, t0, t1
+    lw   t0, 0(t0)
+    lw   t1, -92(s0)
+    sub  t0, t0, t1
+    seqz t0, t0
+    beqz t0, main__endif6
+    lw   t0, -108(s0)
+    sw   t0, -104(s0)
+    j    main__endloop5
+main__endif6:
+    addi t0, s0, -84
+    lw   t1, -108(s0)
+    slli t1, t1, 2
+    add  t0, t0, t1
+    lw   t0, 0(t0)
+    lw   t1, -92(s0)
+    slt  t0, t0, t1
+    beqz t0, main__else8
+    lw   t0, -108(s0)
+    li   t1, 1
+    add  t0, t0, t1
+    sw   t0, -96(s0)
+    j    main__endif7
+main__else8:
+    lw   t0, -108(s0)
+    li   t1, 1
+    sub  t0, t0, t1
+    sw   t0, -100(s0)
+main__endif7:
+    j    main__loop4
+main__endloop5:
+    lw   t0, -104(s0)
+    mv   a0, t0
+    li   a7, 1
+    ecall
+    li   t0, 0
+    li   t0, 32
+    mv   a0, t0
+    li   a7, 11
+    ecall
+    li   t0, 0
+    lw   t0, -88(s0)
+    li   t1, 1
+    add  t0, t0, t1
+    sw   t0, -88(s0)
+    j    main__loop2
+main__endloop3:
+    li   t0, 0
+    mv   a0, t0
+    j    main__ret
+main__ret:
+    mv   sp, s0
+    lw   ra, -4(sp)
+    lw   s0, -8(sp)
+    ret

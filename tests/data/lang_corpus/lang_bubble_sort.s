@@ -1,0 +1,152 @@
+.text
+_start:
+    call main
+    li   a7, 93
+    ecall
+main:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    sw   s0, 8(sp)
+    addi s0, sp, 16
+    addi sp, sp, -272
+    li   a7, 5
+    ecall
+    mv   t0, a0
+    sw   t0, -20(s0)
+    addi t0, s0, -276
+    addi t1, s0, -20
+main__zero0:
+    bge  t0, t1, main__endzero1
+    sw   zero, 0(t0)
+    addi t0, t0, 4
+    j    main__zero0
+main__endzero1:
+    li   t0, 0
+    sw   t0, -280(s0)
+main__loop2:
+    lw   t0, -280(s0)
+    lw   t1, -20(s0)
+    slt  t0, t0, t1
+    beqz t0, main__endloop3
+    li   a7, 5
+    ecall
+    mv   t0, a0
+    addi t1, s0, -276
+    lw   t2, -280(s0)
+    slli t2, t2, 2
+    add  t1, t1, t2
+    sw   t0, 0(t1)
+    lw   t0, -280(s0)
+    li   t1, 1
+    add  t0, t0, t1
+    sw   t0, -280(s0)
+    j    main__loop2
+main__endloop3:
+    li   t0, 0
+    sw   t0, -280(s0)
+main__loop4:
+    lw   t0, -280(s0)
+    lw   t1, -20(s0)
+    li   t2, 1
+    sub  t1, t1, t2
+    slt  t0, t0, t1
+    beqz t0, main__endloop5
+    li   t0, 0
+    sw   t0, -284(s0)
+main__loop6:
+    lw   t0, -284(s0)
+    lw   t1, -20(s0)
+    lw   t2, -280(s0)
+    sub  t1, t1, t2
+    li   t2, 1
+    sub  t1, t1, t2
+    slt  t0, t0, t1
+    beqz t0, main__endloop7
+    addi t0, s0, -276
+    lw   t1, -284(s0)
+    slli t1, t1, 2
+    add  t0, t0, t1
+    lw   t0, 0(t0)
+    addi t1, s0, -276
+    lw   t2, -284(s0)
+    li   t3, 1
+    add  t2, t2, t3
+    slli t2, t2, 2
+    add  t1, t1, t2
+    lw   t1, 0(t1)
+    slt  t0, t1, t0
+    beqz t0, main__endif8
+    addi t0, s0, -276
+    lw   t1, -284(s0)
+    slli t1, t1, 2
+    add  t0, t0, t1
+    lw   t0, 0(t0)
+    sw   t0, -288(s0)
+    addi t0, s0, -276
+    lw   t1, -284(s0)
+    li   t2, 1
+    add  t1, t1, t2
+    slli t1, t1, 2
+    add  t0, t0, t1
+    lw   t0, 0(t0)
+    addi t1, s0, -276
+    lw   t2, -284(s0)
+    slli t2, t2, 2
+    add  t1, t1, t2
+    sw   t0, 0(t1)
+    lw   t0, -288(s0)
+    addi t1, s0, -276
+    lw   t2, -284(s0)
+    li   t3, 1
+    add  t2, t2, t3
+    slli t2, t2, 2
+    add  t1, t1, t2
+    sw   t0, 0(t1)
+main__endif8:
+    lw   t0, -284(s0)
+    li   t1, 1
+    add  t0, t0, t1
+    sw   t0, -284(s0)
+    j    main__loop6
+main__endloop7:
+    lw   t0, -280(s0)
+    li   t1, 1
+    add  t0, t0, t1
+    sw   t0, -280(s0)
+    j    main__loop4
+main__endloop5:
+    li   t0, 0
+    sw   t0, -280(s0)
+main__loop9:
+    lw   t0, -280(s0)
+    lw   t1, -20(s0)
+    slt  t0, t0, t1
+    beqz t0, main__endloop10
+    addi t0, s0, -276
+    lw   t1, -280(s0)
+    slli t1, t1, 2
+    add  t0, t0, t1
+    lw   t0, 0(t0)
+    mv   a0, t0
+    li   a7, 1
+    ecall
+    li   t0, 0
+    li   t0, 32
+    mv   a0, t0
+    li   a7, 11
+    ecall
+    li   t0, 0
+    lw   t0, -280(s0)
+    li   t1, 1
+    add  t0, t0, t1
+    sw   t0, -280(s0)
+    j    main__loop9
+main__endloop10:
+    li   t0, 0
+    mv   a0, t0
+    j    main__ret
+main__ret:
+    mv   sp, s0
+    lw   ra, -4(sp)
+    lw   s0, -8(sp)
+    ret

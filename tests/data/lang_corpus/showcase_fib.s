@@ -1,0 +1,72 @@
+.text
+_start:
+    call main
+    li   a7, 93
+    ecall
+fib:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    sw   s0, 8(sp)
+    addi s0, sp, 16
+    addi sp, sp, -4
+    sw   a0, -20(s0)
+    lw   t0, -20(s0)
+    li   t1, 2
+    slt  t0, t0, t1
+    beqz t0, fib__endif0
+    lw   t0, -20(s0)
+    mv   a0, t0
+    j    fib__ret
+fib__endif0:
+    lw   t0, -20(s0)
+    li   t1, 1
+    sub  t0, t0, t1
+    mv   a0, t0
+    call fib
+    mv   t0, a0
+    lw   t1, -20(s0)
+    li   t2, 2
+    sub  t1, t1, t2
+    addi sp, sp, -4
+    sw   t0, 0(sp)
+    mv   a0, t1
+    call fib
+    lw   t0, 0(sp)
+    addi sp, sp, 4
+    mv   t1, a0
+    add  t0, t0, t1
+    mv   a0, t0
+    j    fib__ret
+fib__ret:
+    mv   sp, s0
+    lw   ra, -4(sp)
+    lw   s0, -8(sp)
+    ret
+main:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    sw   s0, 8(sp)
+    addi s0, sp, 16
+    li   a7, 5
+    ecall
+    mv   t0, a0
+    mv   a0, t0
+    call fib
+    mv   t0, a0
+    mv   a0, t0
+    li   a7, 1
+    ecall
+    li   t0, 0
+    li   t0, 10
+    mv   a0, t0
+    li   a7, 11
+    ecall
+    li   t0, 0
+    li   t0, 0
+    mv   a0, t0
+    j    main__ret
+main__ret:
+    mv   sp, s0
+    lw   ra, -4(sp)
+    lw   s0, -8(sp)
+    ret

@@ -1,0 +1,96 @@
+.text
+_start:
+    call main
+    li   a7, 93
+    ecall
+gcd:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    sw   s0, 8(sp)
+    addi s0, sp, 16
+    addi sp, sp, -12
+    sw   a0, -20(s0)
+    sw   a1, -24(s0)
+gcd__loop0:
+    lw   t0, -24(s0)
+    li   t1, 0
+    sub  t0, t0, t1
+    snez t0, t0
+    beqz t0, gcd__endloop1
+    lw   t0, -24(s0)
+    sw   t0, -28(s0)
+    lw   t0, -20(s0)
+    lw   t1, -24(s0)
+    rem  t0, t0, t1
+    sw   t0, -24(s0)
+    lw   t0, -28(s0)
+    sw   t0, -20(s0)
+    j    gcd__loop0
+gcd__endloop1:
+    lw   t0, -20(s0)
+    mv   a0, t0
+    j    gcd__ret
+gcd__ret:
+    mv   sp, s0
+    lw   ra, -4(sp)
+    lw   s0, -8(sp)
+    ret
+main:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    sw   s0, 8(sp)
+    addi s0, sp, 16
+    addi sp, sp, -12
+    li   a7, 5
+    ecall
+    mv   t0, a0
+    sw   t0, -20(s0)
+    li   t0, 0
+    sw   t0, -24(s0)
+    li   t0, 1
+    sw   t0, -28(s0)
+main__loop0:
+    lw   t0, -28(s0)
+    lw   t1, -20(s0)
+    slt  t0, t1, t0
+    xori t0, t0, 1
+    beqz t0, main__endloop1
+    lw   t0, -24(s0)
+    li   t1, 12
+    lw   t2, -28(s0)
+    mul  t1, t1, t2
+    li   t2, 18
+    addi sp, sp, -4
+    sw   t0, 0(sp)
+    mv   a0, t1
+    mv   a1, t2
+    call gcd
+    lw   t0, 0(sp)
+    addi sp, sp, 4
+    mv   t1, a0
+    add  t0, t0, t1
+    sw   t0, -24(s0)
+    lw   t0, -28(s0)
+    li   t1, 1
+    add  t0, t0, t1
+    sw   t0, -28(s0)
+    j    main__loop0
+main__endloop1:
+    lw   t0, -24(s0)
+    mv   a0, t0
+    li   a7, 1
+    ecall
+    li   t0, 0
+    li   t0, 10
+    mv   a0, t0
+    li   a7, 11
+    ecall
+    li   t0, 0
+    li   t0, 0
+    mv   a0, t0
+    j    main__ret
+main__ret:
+    mv   sp, s0
+    lw   ra, -4(sp)
+    lw   s0, -8(sp)
+    ret

@@ -1,8 +1,8 @@
-"""Unit tests for the C-FLAT and static-attestation baselines.
+"""Unit tests for the C-FLAT and static-attestation baseline models.
 
-The model classes live in :mod:`repro.schemes` since the ``repro.baselines``
-deprecation; :class:`TestDeprecatedBaselinesShim` covers the compatibility
-shim.
+The model classes live in :mod:`repro.schemes`; the historical
+``repro.baselines`` package (a deprecation shim after the models moved) has
+been removed, and :class:`TestBaselinesShimRemoved` pins its absence.
 """
 
 import pytest
@@ -14,50 +14,10 @@ from repro.isa.assembler import assemble
 from repro.workloads import get_workload
 
 
-class TestDeprecatedBaselinesShim:
-    """repro.baselines re-exports from repro.schemes with a warning."""
-
-    def test_package_reexports_with_deprecation_warning(self):
-        import repro.baselines as baselines
-        with pytest.warns(DeprecationWarning):
-            assert baselines.CFlatCostModel is CFlatCostModel
-        with pytest.warns(DeprecationWarning):
-            assert baselines.StaticAttestation is StaticAttestation
-
-    def test_submodules_reexport_with_deprecation_warning(self):
-        import repro.baselines.cflat as old_cflat
-        import repro.baselines.static_attestation as old_static
-        with pytest.warns(DeprecationWarning):
-            assert old_cflat.CFlatAttestation is CFlatAttestation
-        with pytest.warns(DeprecationWarning):
-            from repro.schemes.cflat import CFlatResult
-            assert old_cflat.CFlatResult is CFlatResult
-        with pytest.warns(DeprecationWarning):
-            from repro.schemes.static import StaticMeasurement
-            assert old_static.StaticMeasurement is StaticMeasurement
-
-    def test_scheme_classes_also_reachable(self):
-        from repro.schemes import CFlatScheme, StaticScheme
-        import repro.baselines as baselines
-        with pytest.warns(DeprecationWarning):
-            assert baselines.CFlatScheme is CFlatScheme
-        with pytest.warns(DeprecationWarning):
-            assert baselines.StaticScheme is StaticScheme
-
-    def test_submodules_reachable_as_package_attributes(self):
-        """Pre-deprecation, eager imports bound the submodules as package
-        attributes; attribute access must keep working (with a warning)."""
-        import repro.baselines as baselines
-        with pytest.warns(DeprecationWarning):
-            assert baselines.cflat.CFlatCostModel is CFlatCostModel
-        with pytest.warns(DeprecationWarning):
-            assert baselines.static_attestation.StaticAttestation \
-                   is StaticAttestation
-
-    def test_unknown_attribute_raises_attribute_error(self):
-        import repro.baselines as baselines
-        with pytest.raises(AttributeError):
-            baselines.NoSuchBaseline
+class TestBaselinesShimRemoved:
+    def test_shim_package_is_gone(self):
+        with pytest.raises(ImportError):
+            import repro.baselines  # noqa: F401
 
 
 class TestCFlatCostModel:

@@ -1,0 +1,395 @@
+"""Unit tests for the workload-language compiler (repro.lang).
+
+Covers the lexer, the parser, code generation semantics (checked by
+executing compiled programs on the core model against plain-Python
+oracles), the compiler's error paths, and the central contract: the
+CFG/loop metadata the code generator *predicts* equals what the verifier's
+:mod:`repro.cfg` analysis *computes* from the binary.
+"""
+
+import pytest
+
+from repro.cpu.core import run_program
+from repro.lang import (
+    CodegenError,
+    LexError,
+    ParseError,
+    SemanticError,
+    compile_source,
+    parse,
+    tokenize,
+)
+
+
+def _run(source, inputs=()):
+    compiled = compile_source(source, name="t", verify=True)
+    return run_program(compiled.program, inputs=list(inputs))
+
+
+def _main(body, inputs=()):
+    return _run("fn main() {\n%s\n}" % body, inputs)
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        kinds = [t.kind for t in tokenize("fn x 12 + ;")]
+        assert kinds == ["keyword", "name", "int", "op", "op", "eof"]
+
+    def test_hex_and_binary_literals(self):
+        tokens = tokenize("0xEDB88320 0b1010 42")
+        assert [t.value for t in tokens[:-1]] == [0xEDB88320, 10, 42]
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("1 // comment\n# another\n2")
+        assert [t.value for t in tokens[:-1]] == [1, 2]
+        assert [t.line for t in tokens[:-1]] == [1, 3]
+
+    def test_two_char_operators_win(self):
+        texts = [t.text for t in tokenize("a<=b<<c&&d")[:-1]]
+        assert texts == ["a", "<=", "b", "<<", "c", "&&", "d"]
+
+    def test_literal_too_wide_rejected(self):
+        with pytest.raises(LexError, match="32 bits"):
+            tokenize("0x1FFFFFFFF")
+
+    def test_bad_literal_rejected(self):
+        with pytest.raises(LexError, match="invalid integer"):
+            tokenize("12xy")
+
+    def test_unexpected_character_rejected(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a @ b")
+
+
+class TestParser:
+    def test_precedence_mul_over_add(self):
+        ast = parse("fn main() { return 1 + 2 * 3; }")
+        expr = ast.functions[0].body[0].value
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_else_if_chain(self):
+        ast = parse("""
+            fn main() {
+                if (1) { return 1; } else if (2) { return 2; }
+                else { return 3; }
+            }
+        """)
+        outer = ast.functions[0].body[0]
+        assert outer.else_body is not None
+        assert outer.else_body[0].else_body is not None
+
+    def test_index_assignment_target(self):
+        ast = parse("fn main() { a[1] = 2; }")
+        stmt = ast.functions[0].body[0]
+        assert type(stmt).__name__ == "IndexAssign"
+
+    def test_invalid_assignment_target_rejected(self):
+        with pytest.raises(ParseError, match="assignment target"):
+            parse("fn main() { 1 + 2 = 3; }")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse("fn main() { var x = 1 }")
+
+    def test_unterminated_block_rejected(self):
+        with pytest.raises(ParseError, match="unterminated block"):
+            parse("fn main() { while (1) { ")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError, match="no functions"):
+            parse("   // nothing here\n")
+
+    def test_call_on_non_name_rejected(self):
+        with pytest.raises(ParseError, match="named functions"):
+            parse("fn main() { (1 + 2)(); }")
+
+
+class TestCodegenSemantics:
+    @pytest.mark.parametrize("expr,expected", [
+        ("17 + 5", 22), ("17 - 5", 12), ("17 * 5", 85), ("17 / 5", 3),
+        ("17 % 5", 2), ("-17 / 5", -3), ("-17 % 5", -2),  # RV32 rem/div
+        ("17 & 5", 1), ("17 | 5", 21), ("17 ^ 5", 20),
+        ("1 << 10", 1024), ("-1 >> 28", 15),  # >> is logical (srl)
+        ("17 < 5", 0), ("5 < 17", 1), ("17 <= 17", 1), ("17 > 5", 1),
+        ("17 >= 18", 0), ("17 == 17", 1), ("17 != 17", 0),
+        ("!0", 1), ("!7", 0), ("~0", -1), ("-(3 + 4)", -7),
+        ("1 && 2", 1), ("1 && 0", 0), ("0 || 3", 1), ("0 || 0", 0),
+    ])
+    def test_expression_value(self, expr, expected):
+        result = _main("return %s;" % expr)
+        assert result.exit_code == expected
+
+    def test_print_renders_signed(self):
+        result = _main("print(0 - 42); printc(10); return 0;")
+        assert result.output == "-42\n"
+
+    def test_read_consumes_inputs_in_order(self):
+        result = _main("print(read() - read()); return 0;", inputs=[7, 3])
+        assert result.output == "4"
+
+    def test_short_circuit_skips_side_effects(self):
+        # The right operand would consume input; it must not run.
+        result = _main("var x = 0 && read(); print(x); return 0;", inputs=[])
+        assert result.output == "0"
+
+    def test_while_loop_sum(self):
+        result = _main("""
+            var total = 0;
+            var i = 0;
+            while (i < 10) { total = total + i; i = i + 1; }
+            return total;
+        """)
+        assert result.exit_code == 45
+
+    def test_break_and_continue(self):
+        result = _main("""
+            var total = 0;
+            var i = 0;
+            while (1) {
+                i = i + 1;
+                if (i > 10) { break; }
+                if (i % 2) { continue; }
+                total = total + i;
+            }
+            return total;
+        """)
+        assert result.exit_code == 2 + 4 + 6 + 8 + 10
+
+    def test_recursion(self):
+        result = _run("""
+            fn fib(n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            fn main() { return fib(10); }
+        """)
+        assert result.exit_code == 55
+
+    def test_array_zero_initialised(self):
+        result = _main("""
+            array a[8];
+            var total = 0;
+            var i = 0;
+            while (i < 8) { total = total + a[i]; i = i + 1; }
+            return total;
+        """)
+        assert result.exit_code == 0
+
+    def test_array_store_load(self):
+        result = _main("""
+            array a[4];
+            a[0] = 3; a[1] = 5; a[3] = a[0] * a[1];
+            return a[3];
+        """)
+        assert result.exit_code == 15
+
+    def test_arrays_pass_as_pointers(self):
+        result = _run("""
+            fn fill(buf, n) {
+                var i = 0;
+                while (i < n) { buf[i] = i * i; i = i + 1; }
+                return 0;
+            }
+            fn main() {
+                array a[5];
+                fill(a, 5);
+                return a[4];
+            }
+        """)
+        assert result.exit_code == 16
+
+    def test_large_frame_addressing(self):
+        # 1000 words exceeds the 12-bit immediate range: the wide-offset
+        # path (li + add through the scratch register) must kick in.
+        result = _main("""
+            array a[1000];
+            a[999] = 77;
+            return a[999];
+        """)
+        assert result.exit_code == 77
+
+    def test_fall_off_end_returns_zero(self):
+        assert _main("var x = 5;").exit_code == 0
+
+    def test_seven_arguments(self):
+        # Seven is the call-site ceiling: arguments are staged through the
+        # expression temporaries t0-t6 before moving into a0-a6.
+        result = _run("""
+            fn sum7(a, b, c, d, e, f, g) {
+                return a + b + c + d + e + f + g;
+            }
+            fn main() { return sum7(1, 2, 3, 4, 5, 6, 7); }
+        """)
+        assert result.exit_code == 28
+
+    def test_eight_arguments_at_call_site_rejected(self):
+        from repro.lang import CodegenError
+        with pytest.raises(CodegenError, match="too deep"):
+            compile_source("""
+                fn sum8(a, b, c, d, e, f, g, h) {
+                    return a + b + c + d + e + f + g + h;
+                }
+                fn main() { return sum8(1, 2, 3, 4, 5, 6, 7, 8); }
+            """)
+
+
+class TestCompileErrors:
+    def test_missing_main_rejected(self):
+        with pytest.raises(SemanticError, match="main"):
+            compile_source("fn helper() { return 1; }")
+
+    def test_main_with_params_rejected(self):
+        with pytest.raises(SemanticError, match="main"):
+            compile_source("fn main(x) { return x; }")
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(SemanticError, match="defined twice"):
+            compile_source("fn main() { return 0; } fn main() { return 1; }")
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(SemanticError, match="ghost"):
+            compile_source("fn main() { return ghost; }")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(SemanticError, match="ghost"):
+            compile_source("fn main() { return ghost(); }")
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SemanticError, match="argument"):
+            compile_source("""
+                fn f(a, b) { return a + b; }
+                fn main() { return f(1); }
+            """)
+
+    def test_unreachable_function_rejected(self):
+        # Loops in never-called functions are invisible to the verifier's
+        # analysis (dominator trees are rooted at reachable entries only),
+        # so the compiler rejects dead functions outright.
+        with pytest.raises(SemanticError, match="never called"):
+            compile_source("""
+                fn dead(x) { return x; }
+                fn main() { return 0; }
+            """)
+
+    def test_expression_too_deep_rejected(self):
+        nested = "1 + (" * 10 + "2" + ")" * 10
+        with pytest.raises(CodegenError, match="too deep"):
+            compile_source("fn main() { return %s; }" % nested)
+
+    def test_too_many_params_rejected(self):
+        params = ", ".join("p%d" % i for i in range(9))
+        with pytest.raises(SemanticError, match="parameters"):
+            compile_source("""
+                fn f(%s) { return 0; }
+                fn main() { return f(0,0,0,0,0,0,0,0,0); }
+            """ % params)
+
+    def test_reserved_name_rejected(self):
+        with pytest.raises(SemanticError, match="__"):
+            compile_source("fn main() { var a__b = 1; return a__b; }")
+
+    def test_builtin_shadowing_rejected(self):
+        with pytest.raises(SemanticError, match="builtin"):
+            compile_source("""
+                fn read() { return 1; }
+                fn main() { return read(); }
+            """)
+
+    def test_oversized_array_rejected(self):
+        with pytest.raises(SemanticError, match="array"):
+            compile_source("fn main() { array a[100000]; return 0; }")
+
+
+class TestMetadataContract:
+    """Predicted leaders/loops/functions == repro.cfg analysis results."""
+
+    PROGRAMS = {
+        "straight": "fn main() { return 1 + 2; }",
+        "single_loop": """
+            fn main() {
+                var i = 0;
+                while (i < 5) { i = i + 1; }
+                return i;
+            }
+        """,
+        "if_in_loop": """
+            fn main() {
+                var i = 0;
+                var n = 0;
+                while (i < 8) {
+                    if (i % 2) { n = n + i; } else { n = n - 1; }
+                    i = i + 1;
+                }
+                return n;
+            }
+        """,
+        "loop_in_both_arms": """
+            fn main() {
+                var n = read();
+                var total = 0;
+                if (n > 0) {
+                    var i = 0;
+                    while (i < n) { total = total + i; i = i + 1; }
+                } else {
+                    var j = 0;
+                    while (j > n) { total = total - 1; j = j - 1; }
+                }
+                return total;
+            }
+        """,
+        "no_back_edge": """
+            fn main() {
+                while (read()) { return 1; }
+                return 0;
+            }
+        """,
+        "call_graph": """
+            fn leaf(x) { return x * 2; }
+            fn mid(x) {
+                var i = 0;
+                while (i < 3) { x = leaf(x); i = i + 1; }
+                return x;
+            }
+            fn main() { return mid(1) % 256; }
+        """,
+    }
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_verification_passes(self, name):
+        compiled = compile_source(self.PROGRAMS[name], name=name)
+        stats = compiled.verify_against_analysis()
+        assert stats["instructions"] > 0
+
+    def test_depth_five_nest(self):
+        source = self.deep_nest(5)
+        compiled = compile_source(source, name="deep", verify=True)
+        depths = sorted(loop.depth for loop in compiled.loops)
+        assert depths == [1, 2, 3, 4, 5]
+
+    @staticmethod
+    def deep_nest(depth):
+        head = "fn main() {\n"
+        body = ""
+        pad = "    "
+        for level in range(depth):
+            body += "%svar i%d = 0;\n%swhile (i%d < 2) {\n" % (
+                pad, level, pad, level)
+            pad += "    "
+        body += "%si0 = i0 + 0;\n" % pad
+        for level in range(depth - 1, -1, -1):
+            body += "%si%d = i%d + 1;\n" % (pad, level, level)
+            pad = pad[:-4]
+            body += "%s}\n" % pad
+        return head + body + "    return 0;\n}"
+
+    def test_loops_carry_function_attribution(self):
+        compiled = compile_source(self.PROGRAMS["call_graph"], name="attr",
+                                  verify=True)
+        assert {loop.function for loop in compiled.loops} == {"mid"}
+
+    def test_label_addresses_match_symbols(self):
+        compiled = compile_source(self.PROGRAMS["call_graph"], name="sym",
+                                  verify=True)
+        for fn_name, address in compiled.functions.items():
+            assert compiled.program.symbols[fn_name] == address

@@ -1,0 +1,84 @@
+"""Drift guard for the golden corpus of compiled language programs.
+
+Recompiles every checked-in corpus entry from its ``.lang`` source and
+fails on any divergence from the committed assembly, digest or CFG
+metadata -- the compiled-workload analogue of the adversary corpus guard.
+An intentional compiler change that alters generated code must regenerate
+the corpus (``python -m repro.lang.corpus tests/data/lang_corpus``) so the
+diff is reviewed like any other golden-file change.
+
+This is also where the PR's acceptance criterion lives: for every corpus
+program, the compiler-emitted block leaders and loop nesting must equal
+what :mod:`repro.cfg` computes from the binary.
+"""
+
+import os
+
+import pytest
+
+from repro.cpu.core import run_program
+from repro.lang import compile_source
+from repro.lang.corpus import build_corpus, load_corpus, write_corpus
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "data", "lang_corpus")
+
+_ENTRIES = {entry.name: entry for entry in load_corpus(CORPUS_DIR)}
+ENTRY_NAMES = sorted(_ENTRIES)
+
+
+class TestCorpusDriftGuard:
+    def test_membership_matches_builder(self):
+        built = {entry.name for entry in build_corpus()}
+        assert built == set(ENTRY_NAMES)
+
+    @pytest.mark.parametrize("name", ENTRY_NAMES)
+    def test_recompilation_matches_golden_assembly(self, name):
+        entry = _ENTRIES[name]
+        compiled = compile_source(entry.source, name=name)
+        assert compiled.assembly == entry.assembly, (
+            "generated code drifted for %r; if intentional, regenerate with "
+            "'python -m repro.lang.corpus tests/data/lang_corpus'" % name)
+        assert compiled.program.digest == entry.digest
+
+    @pytest.mark.parametrize("name", ENTRY_NAMES)
+    def test_metadata_matches_cfg_analysis(self, name):
+        entry = _ENTRIES[name]
+        compiled = compile_source(entry.source, name=name)
+        stats = compiled.verify_against_analysis()  # raises on mismatch
+        assert stats["blocks"] == len(entry.block_leaders)
+        assert compiled.block_leaders == entry.block_leaders
+        assert [
+            {"label": loop.header_label, "header": loop.header,
+             "depth": loop.depth, "function": loop.function}
+            for loop in compiled.loops
+        ] == entry.loops
+
+    @pytest.mark.parametrize("name", ENTRY_NAMES)
+    def test_behaviour_matches_recorded_output(self, name):
+        entry = _ENTRIES[name]
+        compiled = compile_source(entry.source, name=name)
+        result = run_program(compiled.program, inputs=entry.inputs)
+        assert result.output == entry.expected_output
+        assert result.exit_code == 0
+
+    def test_corpus_spans_the_compiler_surface(self):
+        # Ports, one member per family axis, and both showcases.
+        assert {"lang_bubble_sort", "lang_crc32", "lang_binary_search",
+                "showcase_gcd", "showcase_fib"} <= set(ENTRY_NAMES)
+        families = {name.split("_")[1] for name in ENTRY_NAMES
+                    if name.startswith("fam_")}
+        assert families == {"nest", "branchy", "calls", "arrays"}
+
+
+class TestCorpusRoundTrip:
+    def test_write_then_load_is_identity(self, tmp_path):
+        directory = str(tmp_path / "corpus")
+        write_corpus(directory)
+        reloaded = load_corpus(directory)
+        assert [e.name for e in reloaded] == ENTRY_NAMES
+        for entry in reloaded:
+            golden = _ENTRIES[entry.name]
+            assert entry.assembly == golden.assembly
+            assert entry.digest == golden.digest
+            assert entry.loops == golden.loops
+            assert entry.inputs == golden.inputs

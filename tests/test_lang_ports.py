@@ -1,0 +1,111 @@
+"""Equivalence tests: language ports vs. the hand-assembled originals.
+
+Each ported workload must compute the same function as its original: same
+output for the default inputs, same output for fresh input vectors, and the
+same ACCEPT verdict under every registered attestation scheme.  The
+measurements differ by construction (different binaries), so equivalence is
+pinned at the observable-behaviour and protocol-verdict level.
+"""
+
+import pytest
+
+from repro.attestation import Prover, Verifier
+from repro.cpu.core import run_program
+from repro.lang.ports import PORTS, compile_port
+from repro.schemes import scheme_names
+from repro.workloads import get_workload
+from repro.workloads.crc import reference_output as crc_reference
+from repro.workloads.search import reference_output as search_reference
+from repro.workloads.sorting import reference_output as sort_reference
+
+PORT_NAMES = sorted(PORTS)
+
+#: Extra input vectors per original workload (beyond the registered defaults).
+EXTRA_INPUTS = {
+    "bubble_sort": [
+        [1, 5],
+        [5, 9, 9, 1, 0, 4],
+        [6, -3, 7, -12, 0, 2, 2],
+    ],
+    "crc32": [
+        [1, 0],
+        [2, 0xFFFFFFFF, 1],
+        [3, 0x0BADF00D, 0xDEADBEEF, 0x12345678],
+    ],
+    "binary_search": [
+        [1, 2],
+        [3, 53, 1, 54],
+        [4, 11, 12, 13, 47],
+    ],
+}
+
+REFERENCES = {
+    "bubble_sort": sort_reference,
+    "crc32": crc_reference,
+    "binary_search": search_reference,
+}
+
+
+def _verdict(workload, scheme_name):
+    program = workload.build()
+    prover = Prover({workload.name: program})
+    verifier = Verifier()
+    verifier.register_program(workload.name, program)
+    verifier.register_device_key(
+        "prover-0", prover.keystore.export_for_verifier())
+    challenge = verifier.challenge(
+        workload.name, workload.inputs, scheme=scheme_name)
+    return verifier.verify(prover.attest(challenge))
+
+
+class TestPortOutputs:
+    @pytest.mark.parametrize("port_name", PORT_NAMES)
+    def test_default_inputs_match_original_expectation(self, port_name):
+        port = get_workload(port_name)
+        original = get_workload(PORTS[port_name][0])
+        assert port.inputs == original.inputs
+        result = run_program(port.build(), inputs=port.inputs)
+        assert result.output == original.expected_output
+        assert result.exit_code == 0
+
+    @pytest.mark.parametrize("port_name", PORT_NAMES)
+    def test_fresh_inputs_match_original_and_reference(self, port_name):
+        original_name = PORTS[port_name][0]
+        port_program = get_workload(port_name).build()
+        original_program = get_workload(original_name).build()
+        for inputs in EXTRA_INPUTS[original_name]:
+            ported = run_program(port_program, inputs=inputs)
+            original = run_program(original_program, inputs=inputs)
+            assert ported.output == original.output
+            assert ported.output == REFERENCES[original_name](inputs)
+
+
+class TestPortVerdicts:
+    @pytest.mark.parametrize("port_name", PORT_NAMES)
+    @pytest.mark.parametrize("scheme_name", scheme_names())
+    def test_port_and_original_both_accepted(self, port_name, scheme_name):
+        port_verdict = _verdict(get_workload(port_name), scheme_name)
+        original_verdict = _verdict(
+            get_workload(PORTS[port_name][0]), scheme_name)
+        assert port_verdict.accepted
+        assert original_verdict.accepted
+        assert port_verdict.reason == original_verdict.reason
+
+
+class TestPortMetadata:
+    @pytest.mark.parametrize("port_name", PORT_NAMES)
+    def test_compiler_metadata_matches_cfg_analysis(self, port_name):
+        compiled = compile_port(port_name, verify=False)
+        stats = compiled.verify_against_analysis()
+        assert stats["instructions"] > 0
+        assert stats["loops"] >= 2  # every port is loop-structured
+
+    def test_bubble_sort_port_has_nested_loops(self):
+        compiled = compile_port("lang_bubble_sort")
+        depths = [loop.depth for loop in compiled.loops]
+        assert max(depths) == 2  # the inner swap loop
+
+    def test_crc_port_has_nested_bit_loop(self):
+        compiled = compile_port("lang_crc32")
+        depths = sorted(loop.depth for loop in compiled.loops)
+        assert depths == [1, 2]  # word loop containing the bit loop
