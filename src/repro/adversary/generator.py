@@ -16,6 +16,15 @@ candidate empirically* before emitting it:
 * a benign input variant is kept only if the program runs to completion on
   it within the vetting fuel budget.
 
+Where the static analyzer (:mod:`repro.dataflow.attackvet`) can *prove* the
+measurement outcome, the scheme-instrumented vetting runs are skipped: a
+redirect proven divergent needs one plain run (termination / trigger /
+output checks) instead of one instrumented run per runtime scheme, and a
+data-only corruption proven invisible needs no extra run at all -- its
+attacked execution is bit-identical to the benign profile already captured.
+Candidates the analyzer cannot decide fall back to full execution vetting,
+so the emitted population is byte-identical either way (tier-1 pins this).
+
 Candidates that fail vetting are discarded, not patched: the RNG stream is
 consumed identically either way, so generation is deterministic in the seed.
 
@@ -36,10 +45,15 @@ from repro.attacks.injector import (
     MemoryCorruption,
 )
 from repro.adversary.seeds import derive_rng, resolve_seed
-from repro.cfg.builder import build_cfg
-from repro.cfg.loops import find_natural_loops
 from repro.cpu.core import Cpu, CpuConfig
 from repro.cpu.exceptions import CpuError
+from repro.dataflow.attackvet import (
+    PROVEN_DIVERGENT,
+    PROVEN_INVISIBLE,
+    classify_data_only,
+    classify_redirect,
+)
+from repro.dataflow.program import analyze_program
 from repro.schemes import get_scheme
 from repro.workloads import Workload, get_workload
 
@@ -98,6 +112,9 @@ class GeneratedSuite:
     seed: int
     benign: List[BenignVariant] = field(default_factory=list)
     attacks: List[AttackScenario] = field(default_factory=list)
+    #: How many candidates the static pre-filter proved (and so vetted
+    #: without scheme-instrumented runs) versus deferred to execution.
+    static_vet: Dict[str, int] = field(default_factory=dict)
 
     @property
     def scenario_count(self) -> int:
@@ -169,9 +186,13 @@ class _WorkloadContext:
     def __init__(self, workload: Workload) -> None:
         self.workload = workload
         self.program = workload.build()
-        self.cfg = build_cfg(self.program)
-        self.loops = find_natural_loops(self.cfg)
+        self.analysis = analyze_program(self.program)
+        self.cfg = self.analysis.cfg
+        self.loops = self.analysis.loops
         self.inputs = tuple(workload.inputs)
+        #: How often the static pre-filter decided (or declined to decide) a
+        #: candidate; purely observational, surfaced by ``repro adversary``.
+        self.static_vet_counts: Counter = Counter()
 
         cpu = Cpu(
             self.program,
@@ -201,8 +222,18 @@ class _WorkloadContext:
         """Vet a control-flow candidate; returns (changes_output, output) or None.
 
         The candidate must terminate, fire, and diverge from the benign
-        reference under every runtime scheme.
+        reference under every runtime scheme.  When the analyzer proves the
+        divergence, one plain run replaces the per-scheme instrumented runs.
         """
+        redirect = self._single_redirect(builder)
+        if redirect is not None:
+            verdict = classify_redirect(
+                self.analysis, redirect.trigger_pc, int(redirect.target)
+            )
+            if verdict == PROVEN_DIVERGENT:
+                self.static_vet_counts["redirect_proven_divergent"] += 1
+                return self._vet_plain_run(builder)
+            self.static_vet_counts["redirect_unknown"] += 1
         observed_output = None
         for name, scheme in self.schemes.items():
             corruptions = builder(self.program)
@@ -222,7 +253,22 @@ class _WorkloadContext:
 
         The candidate must terminate, fire, and leave the measurement
         *identical* to the benign reference under every runtime scheme.
+        When the analyzer proves the written bytes are never read, the
+        attacked run is bit-identical to the benign profile, so no run at
+        all is needed: firing follows from the benign pc counts and the
+        output cannot change.
         """
+        corruption = self._single_corruption(builder)
+        if corruption is not None:
+            verdict = classify_data_only(
+                self.analysis, int(corruption.address), corruption.size
+            )
+            if verdict == PROVEN_INVISIBLE:
+                self.static_vet_counts["data_proven_invisible"] += 1
+                if self.pc_counts.get(corruption.trigger_pc, 0) < corruption.occurrence:
+                    return None
+                return (False, self.benign_output)
+            self.static_vet_counts["data_unknown"] += 1
         observed_output = None
         for name, scheme in self.schemes.items():
             corruptions = builder(self.program)
@@ -236,6 +282,57 @@ class _WorkloadContext:
                 return None
             observed_output = result.output
         return (observed_output != self.benign_output, observed_output)
+
+    # ---------------------------------------------------- static pre-filter
+    def _single_redirect(self, builder) -> Optional[ControlFlowRedirect]:
+        """The candidate's lone constant redirect, when that's its shape."""
+        corruptions = builder(self.program)
+        if len(corruptions) != 1:
+            return None
+        corruption = corruptions[0]
+        if not isinstance(corruption, ControlFlowRedirect):
+            return None
+        if callable(corruption.target) or corruption.repeat:
+            return None
+        return corruption
+
+    def _single_corruption(self, builder) -> Optional[MemoryCorruption]:
+        """The candidate's lone constant word write into the mapped data
+        region, when that's its shape (so the write itself cannot fault and
+        the invisibility proof extends to the whole run)."""
+        corruptions = builder(self.program)
+        if len(corruptions) != 1:
+            return None
+        corruption = corruptions[0]
+        if not isinstance(corruption, MemoryCorruption):
+            return None
+        if callable(corruption.address) or callable(corruption.value):
+            return None
+        if corruption.repeat:
+            return None
+        address = int(corruption.address)
+        region_end = self.program.data_base + CpuConfig().data_region_size
+        if address < self.program.data_base or address + corruption.size > region_end:
+            return None
+        return corruption
+
+    def _vet_plain_run(self, builder) -> Optional[Tuple[bool, str]]:
+        """Behavioural checks only: terminate, fire, observe the output."""
+        corruptions = builder(self.program)
+        cpu = Cpu(
+            self.program,
+            inputs=list(self.inputs),
+            config=CpuConfig(collect_trace=False, max_instructions=VET_FUEL),
+        )
+        for corruption in corruptions:
+            corruption.install(cpu)
+        try:
+            result = cpu.run()
+        except CpuError:
+            return None
+        if not any(corruption.fired for corruption in corruptions):
+            return None
+        return (result.output != self.benign_output, result.output)
 
     def vet_benign(self, inputs: Sequence[int]) -> Optional[str]:
         """Vet a benign input variant; returns its output or None."""
@@ -545,6 +642,7 @@ def generate_suite(
         start_index=0, seed=seed,
     )
 
+    suite.static_vet = dict(context.static_vet_counts)
     return suite
 
 

@@ -27,21 +27,30 @@ Step 4 is implemented in three complementary modes:
   target of a backward edge; path encodings must be consistent with the loop
   body).  These checks catch malformed metadata and are also applied in the
   two modes above; schemes without loop metadata pass them trivially.
+
+On top of the structural checks, an installed :class:`repro.dataflow.policy.
+StaticPolicy` pre-screens reports against statically *proven* facts: a loop
+record naming an entry outside the proven loop forest, or an iteration count
+outside the proven trip-count interval, is rejected with
+``POLICY_VIOLATION`` before any simulation or replay is spent on the report.
+The offline analysis itself is shared with every other static consumer
+through :func:`repro.dataflow.analyze_program`.
 """
 
 from __future__ import annotations
 
 import json
-import threading
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.attestation.crypto import fresh_nonce, verify_signature
 from repro.attestation.protocol import AttestationChallenge, AttestationReport
-from repro.cfg.builder import ControlFlowGraph, build_cfg
-from repro.cfg.loops import NaturalLoop, find_natural_loops
-from repro.cfg.paths import PathChecker
 from repro.cpu.core import CpuConfig
+from repro.dataflow.policy import StaticPolicy
+from repro.dataflow.program import (
+    ProgramAnalysis,
+    analyze_program,
+    clear_analysis_cache,
+)
 from repro.isa.assembler import Program
 from repro.lofat.config import LoFatConfig
 from repro.lofat.metadata import LoopMetadata
@@ -49,52 +58,22 @@ from repro.schemes import get_scheme
 # Re-exported for backward compatibility: these historically lived here.
 from repro.schemes.base import VerdictReason, VerificationResult  # noqa: F401
 
-
-@dataclass
-class ProgramKnowledge:
-    """Everything the verifier precomputes offline for one program."""
-
-    program: Program
-    cfg: ControlFlowGraph
-    loops: List[NaturalLoop]
-    path_checker: PathChecker
-    #: Addresses that are plausible run-time loop entries: targets of
-    #: backward CFG edges (the heuristic LO-FAT applies in hardware).
-    backward_edge_targets: frozenset
-    #: Every instruction address of the program; precomputed once so the
-    #: per-report structural metadata checks are set lookups, not a fresh
-    #: set build per verification (the attestation server verifies
-    #: thousands of reports against one analysis).
-    instruction_addresses: frozenset = frozenset()
-
-
-#: Process-wide cache of offline program analyses, keyed by program digest.
-#: The CFG, loop structure and path checker are read-only once built, so
-#: every Verifier instance in this process (and every campaign run) shares
-#: one analysis per distinct binary instead of re-deriving it.
-_KNOWLEDGE_CACHE: Dict[str, ProgramKnowledge] = {}
-
-#: Growth bound for the knowledge cache: a long-lived service registering a
-#: stream of distinct binaries must not accumulate analyses forever.
-_KNOWLEDGE_CACHE_MAX = 64
+#: Historical name for the verifier's offline program analysis.  The class
+#: moved to ``repro.dataflow.program`` (where the dataflow passes live) and
+#: grew lazy interval/loop-bound/liveness passes; the attribute surface the
+#: verifier relies on (``program``, ``cfg``, ``loops``, ``path_checker``,
+#: ``backward_edge_targets``, ``instruction_addresses``) is unchanged.
+ProgramKnowledge = ProgramAnalysis
 
 #: Growth bound for a verifier's memoised structural verdicts: benign
 #: metadata repeats, attack metadata is mostly distinct, so the cache is
 #: cleared wholesale when a flood of distinct L values fills it.
 _STRUCTURAL_CACHE_MAX = 4096
 
-#: Guards the evict-then-insert sequence below.  Reads stay lock-free (a
-#: dict get is atomic under the GIL and the cached analyses are immutable);
-#: the lock only keeps two threads from interleaving the eviction with an
-#: insert, which could otherwise drop a just-added entry.  The attestation
-#: server computes cold references on executor threads, so this cache is
-#: the one piece of verifier state reachable from more than one thread.
-_KNOWLEDGE_CACHE_LOCK = threading.Lock()
-
 
 def clear_knowledge_cache() -> None:
     """Drop all cached offline analyses (used by tests and benchmarks)."""
-    _KNOWLEDGE_CACHE.clear()
+    clear_analysis_cache()
 
 
 class Verifier:
@@ -120,45 +99,57 @@ class Verifier:
         ] = {}
         #: Memoised structural verdicts keyed by (program_id, serialized L).
         #: A standing verifier sees the same benign metadata thousands of
-        #: times; the CFG checks are pure in the program analysis and the
-        #: metadata bytes, so each distinct L is checked once.
+        #: times; the CFG checks are pure in the program analysis, the
+        #: installed policy and the metadata bytes, so each distinct L is
+        #: checked once (the cache is cleared when a policy is installed).
         self._structural_cache: Dict[Tuple[str, bytes], VerificationResult] = {}
+        #: Per-program StaticPolicy artifacts enforced before replay/lookup.
+        self._policies: Dict[str, StaticPolicy] = {}
 
     # ------------------------------------------------------- provisioning
     def register_program(self, program_id: str, program: Program) -> ProgramKnowledge:
-        """Offline pre-processing: build and store the program's CFG.
+        """Offline pre-processing: build and store the program's analysis.
 
-        The analysis is cached process-wide by program digest, so registering
-        the same binary again (under any id, on any Verifier instance) is an
-        O(lookup) operation.
+        Delegates to the shared :func:`repro.dataflow.analyze_program` entry
+        point, which caches one analysis per program digest process-wide, so
+        registering the same binary again (under any id, on any Verifier
+        instance) is an O(lookup) operation and the dataflow passes are
+        computed at most once per binary.
         """
-        knowledge = _KNOWLEDGE_CACHE.get(program.digest)
-        if knowledge is None:
-            cfg = build_cfg(program)
-            loops = find_natural_loops(cfg)
-            backward_targets = set()
-            for block in cfg.blocks:
-                terminator = block.terminator
-                if terminator.is_conditional_branch or terminator.is_direct_jump:
-                    target = terminator.address + terminator.imm
-                    if target <= terminator.address:
-                        backward_targets.add(target)
-            knowledge = ProgramKnowledge(
-                program=program,
-                cfg=cfg,
-                loops=loops,
-                path_checker=PathChecker(cfg),
-                backward_edge_targets=frozenset(backward_targets),
-                instruction_addresses=frozenset(
-                    instr.address for instr in program.instructions
-                ),
-            )
-            with _KNOWLEDGE_CACHE_LOCK:
-                if len(_KNOWLEDGE_CACHE) >= _KNOWLEDGE_CACHE_MAX:
-                    _KNOWLEDGE_CACHE.clear()
-                _KNOWLEDGE_CACHE[program.digest] = knowledge
+        knowledge = analyze_program(program)
         self._programs[program_id] = knowledge
         return knowledge
+
+    def install_policy(
+        self, program_id: str, policy: Optional[StaticPolicy] = None
+    ) -> StaticPolicy:
+        """Enforce a :class:`StaticPolicy` on ``program_id``'s reports.
+
+        With ``policy=None`` the policy is derived from the registered
+        program's own analysis (the common case); passing an explicit policy
+        supports artifacts shipped from another process via the measurement
+        database.  A policy whose ``program_digest`` disagrees with the
+        registered binary is rejected — enforcing facts proven about a
+        different image would be unsound in both directions.
+        """
+        knowledge = self._programs.get(program_id)
+        if knowledge is None:
+            raise KeyError("program %r is not registered" % program_id)
+        if policy is None:
+            policy = knowledge.policy
+        elif policy.program_digest != knowledge.program.digest:
+            raise ValueError(
+                "policy digest %s does not match program %r (digest %s)"
+                % (policy.program_digest, program_id, knowledge.program.digest)
+            )
+        self._policies[program_id] = policy
+        # Memoised structural verdicts were computed under the old policy.
+        self._structural_cache.clear()
+        return policy
+
+    def installed_policy(self, program_id: str) -> Optional[StaticPolicy]:
+        """The policy currently enforced for ``program_id``, if any."""
+        return self._policies.get(program_id)
 
     def register_device_key(self, device_id: str, verification_key: bytes) -> None:
         """Provision the verification key of a prover device."""
@@ -431,13 +422,18 @@ class Verifier:
     def _check_metadata_structure(
         self, program_id: str, metadata: LoopMetadata
     ) -> VerificationResult:
-        """Validate the loop metadata against the static CFG.
+        """Validate the loop metadata against the static CFG and policy.
 
         Schemes that report no loop metadata (C-FLAT as modelled here,
-        static attestation) pass vacuously.
+        static attestation) pass vacuously.  When a :class:`StaticPolicy`
+        is installed for the program, each loop record is additionally
+        screened against the proven loop-entry set and trip-count
+        intervals — rejecting infeasible reports here costs a few set
+        lookups instead of a full golden replay.
         """
         knowledge = self._programs[program_id]
         instruction_addresses = knowledge.instruction_addresses
+        policy = self._policies.get(program_id)
         try:
             records = list(metadata)
         except ValueError as error:
@@ -448,6 +444,12 @@ class Verifier:
                 "loop metadata does not deserialise: %s" % error,
             )
         for record in records:
+            if policy is not None:
+                detail = policy.check_loop_record(record.entry, record.iterations)
+                if detail is not None:
+                    return VerificationResult(
+                        False, VerdictReason.POLICY_VIOLATION, detail
+                    )
             if record.entry not in instruction_addresses:
                 return VerificationResult(
                     False, VerdictReason.METADATA_CFG_VIOLATION,

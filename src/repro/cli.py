@@ -36,6 +36,12 @@ the CLI exposes the most common interactions without writing any Python:
   (see ``docs/LANG.md``) to RV32 assembly, cross-checking the compiler's
   CFG/loop metadata against the verifier's analysis; ``--emit-asm`` prints
   the assembly, ``--run --inputs ...`` executes the program.
+* ``repro analyze [targets...]`` -- run the static dataflow analyses
+  (see ``docs/ANALYSIS.md``) over the lang corpus and the registered
+  workloads (or named targets / ``.lang`` files): loop-bound report, lint
+  findings, ``--json`` machine output, ``--baseline`` drift gating,
+  ``--policy-out`` StaticPolicy artifacts and ``--selfcheck`` dynamic
+  soundness validation.
 * ``repro workloads`` -- generate the seeded compiled workload families
   (``--family nest,branchy``), optionally executing each member against
   its Python reference model (``--check``).  ``repro campaign --experiment
@@ -515,6 +521,182 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _analyze_targets(args: argparse.Namespace):
+    """Resolve the programs ``repro analyze`` covers.
+
+    Yields ``(name, program, inputs)`` tuples: named targets may be workload
+    registry names, lang-corpus entry names or ``.lang`` source paths; with
+    no targets the whole lang corpus plus every registered workload is
+    analyzed.
+    """
+    from repro.isa.assembler import assemble
+    from repro.lang import compile_source
+    from repro.lang.corpus import build_corpus
+
+    corpus = {entry.name: entry for entry in build_corpus()}
+    workload_names = {workload.name for workload in all_workloads()}
+    if args.targets:
+        for token in args.targets:
+            if token in corpus:
+                entry = corpus[token]
+                yield token, assemble(entry.assembly), tuple(entry.inputs)
+            elif token in workload_names:
+                workload = get_workload(token)
+                yield token, workload.build(), tuple(workload.inputs)
+            elif os.path.exists(token):
+                with open(token) as handle:
+                    source = handle.read()
+                name = os.path.splitext(os.path.basename(token))[0]
+                compiled = compile_source(source, name=name)
+                yield name, compiled.program, ()
+            else:
+                raise KeyError(token)
+    else:
+        for name in sorted(corpus):
+            entry = corpus[name]
+            yield name, assemble(entry.assembly), tuple(entry.inputs)
+        for workload in all_workloads():
+            yield workload.name, workload.build(), tuple(workload.inputs)
+
+
+def _analyze_selfcheck(analysis, inputs) -> List[str]:
+    """Execute once and compare the trace against the statically proven facts.
+
+    Returns soundness violations (empty = every proven fact held).  This is
+    the CLI face of the tier-1 soundness oracle: CI runs it over the corpus
+    and the workloads on every push.
+    """
+    violations: List[str] = []
+    result = run_program(analysis.program, inputs=list(inputs))
+    valid_pairs = analysis.valid_pairs
+    for pair in result.trace.executed_edges:
+        if pair not in valid_pairs:
+            violations.append(
+                "executed edge (0x%x, 0x%x) is not in the proven valid-pair set"
+                % pair
+            )
+            break
+    executed = {record.pc for record in result.trace.records}
+    for start in sorted(analysis.unreachable_blocks):
+        block = analysis.cfg.block_starting_at(start)
+        if block is not None and any(
+            instr.address in executed for instr in block.instructions
+        ):
+            violations.append(
+                "block 0x%x executed but was proven unreachable" % start
+            )
+    policy = analysis.policy
+    scheme = get_scheme("lofat")
+    _, measurement = scheme.measure_execution(
+        analysis.program, list(inputs)
+    )
+    for record in measurement.metadata.loops:
+        detail = policy.check_loop_record(record.entry, record.iterations)
+        if detail is not None:
+            violations.append("dynamic loop record violates the policy: " + detail)
+    return violations
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Static analysis report (and policy artifacts) over programs."""
+    import json as _json
+
+    from repro.dataflow import analyze_program, lint_program, new_findings
+
+    baseline = {}
+    if args.baseline:
+        try:
+            with open(args.baseline) as handle:
+                document = _json.load(handle)
+        except (OSError, ValueError) as error:
+            print("error: cannot read baseline: %s" % error, file=sys.stderr)
+            return 2
+        for row in document.get("programs", []):
+            baseline[row["name"]] = row.get("findings", [])
+
+    try:
+        targets = list(_analyze_targets(args))
+    except KeyError as error:
+        print("error: unknown analyze target %s (not a workload, corpus "
+              "entry or file)" % error, file=sys.stderr)
+        return 2
+    except Exception as error:  # lang compile errors on file targets
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+
+    if args.policy_out:
+        os.makedirs(args.policy_out, exist_ok=True)
+
+    report = {"version": 1, "programs": []}
+    failed = False
+    for name, program, inputs in targets:
+        analysis = analyze_program(program)
+        findings = lint_program(analysis)
+        policy = analysis.policy
+        fresh = new_findings(findings, baseline.get(name, [])) if args.baseline \
+            else []
+        violations: List[str] = []
+        if args.selfcheck and inputs is not None:
+            violations = _analyze_selfcheck(analysis, inputs)
+        entry = {
+            "name": name,
+            "digest": program.digest,
+            "blocks": len(analysis.cfg.blocks),
+            "unreachable_blocks": sorted(analysis.unreachable_blocks),
+            "loops": len(analysis.loops),
+            "loop_bounds": [
+                {
+                    "entry": header,
+                    "max_back_edges": bound.max_back_edges,
+                    "exact_back_edges": bound.exact_back_edges,
+                }
+                for header, bound in sorted(analysis.loop_bounds.items())
+            ],
+            "findings": [finding.to_json() for finding in findings],
+            "policy_digest": policy.policy_digest(),
+            "soundness_violations": violations,
+        }
+        if args.baseline:
+            entry["new_findings"] = [finding.to_json() for finding in fresh]
+        report["programs"].append(entry)
+        if fresh or violations:
+            failed = True
+        if args.policy_out:
+            path = os.path.join(args.policy_out, "%s.policy.json" % name)
+            with open(path, "w") as handle:
+                _json.dump(policy.to_json(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+        return 1 if failed else 0
+
+    for entry in report["programs"]:
+        print("== %s (%s) ==" % (entry["name"], entry["digest"][:12]))
+        print("  blocks %d (%d unreachable), loops %d"
+              % (entry["blocks"], len(entry["unreachable_blocks"]),
+                 entry["loops"]))
+        for bound in entry["loop_bounds"]:
+            if bound["max_back_edges"] is None:
+                line = "unbounded (data-dependent)"
+            else:
+                line = "back-edges <= %d" % bound["max_back_edges"]
+                if bound["exact_back_edges"] is not None:
+                    line += " (exact %d)" % bound["exact_back_edges"]
+            print("  loop @%#06x %s" % (bound["entry"], line))
+        for finding in entry["findings"]:
+            print("  %-20s %#06x  %s"
+                  % (finding["kind"], finding["address"], finding["detail"]))
+        for violation in entry["soundness_violations"]:
+            print("  SOUNDNESS VIOLATION: %s" % violation)
+        if entry.get("new_findings"):
+            print("  %d finding(s) not in the baseline" % len(entry["new_findings"]))
+    print("%d program(s) analyzed%s"
+          % (len(report["programs"]),
+             ", FAILURES above" if failed else ""))
+    return 1 if failed else 0
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     """Generate (and optionally execute) the compiled workload families."""
     from repro.adversary.seeds import resolve_seed
@@ -889,6 +1071,32 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument("--legacy-loop", action="store_true",
                              help="run on the legacy per-instruction loop")
 
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="static dataflow analysis report over programs "
+             "(loop bounds, lint findings, StaticPolicy artifacts)",
+    )
+    analyze.add_argument(
+        "targets", nargs="*",
+        help="workload names, lang-corpus entry names or .lang files "
+             "(default: the whole lang corpus plus every workload)",
+    )
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the report as JSON")
+    analyze.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="previous --json report; exit 1 on lint findings not in it",
+    )
+    analyze.add_argument(
+        "--policy-out", default=None, metavar="DIR",
+        help="write one <name>.policy.json StaticPolicy artifact per program",
+    )
+    analyze.add_argument(
+        "--selfcheck", action="store_true",
+        help="execute each program once and fail on any statically proven "
+             "fact the dynamic trace violates (the CI soundness gate)",
+    )
+
     workloads_cmd = subparsers.add_parser(
         "workloads",
         help="generate the compiled workload families (seeded)",
@@ -993,6 +1201,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "adversary": _cmd_adversary,
     "compile": _cmd_compile,
+    "analyze": _cmd_analyze,
     "workloads": _cmd_workloads,
     "trace": _cmd_trace,
     "serve": _cmd_serve,

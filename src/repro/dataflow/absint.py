@@ -1,0 +1,814 @@
+"""Interval abstract interpretation over the whole-program CFG.
+
+Computes, for every reachable basic block, a sound over-approximation of
+each register's value set as an unsigned 32-bit :class:`Interval`, together
+with derived facts used by the other passes and consumers:
+
+* per-load / per-store address intervals (data-only attack vetting),
+* the ``a7`` interval at every reachable ``ecall`` (syscall resolution),
+* conditional-branch edges proven infeasible at the fixpoint,
+* indirect-jump target resolution (``jalr`` destinations),
+* the set of statically reachable blocks.
+
+Registers are tracked flow-sensitively.  Memory is tracked at two levels:
+
+* *flow-insensitively*, a word cell's interval covering every value the
+  cell can hold at any point of any execution (the register pass runs in
+  outer rounds against a memory snapshot, accumulating store effects into
+  the next snapshot until the memory fixpoint is reached); and
+* *flow-sensitively* as per-block **cell constraints**: for constant,
+  word-aligned addresses, an interval the cell provably lies in at block
+  entry.  Constraints are strongly updated by ``sw`` to a known address,
+  refined along conditional edges (including through the codegen's
+  ``slt t, a, b; beq/bne t, x0`` flag idiom), widened against the set of
+  immediates appearing in the program, and dropped across calls.  They are
+  what bounds memory-resident loop counters, which the flow-insensitive
+  view alone cannot do.
+
+Interprocedural contract: register states propagate into callees along CALL
+and feasible INDIRECT edges.  A call's continuation receives the call-site
+state with every register not in :data:`repro.dataflow.semantics.CALLEE_SAVED`
+havocked to TOP — i.e. the analysis *assumes* callees honour the RISC-V ABI
+preservation rules for ``sp``/``gp``/``tp``/``s0``–``s11``.  That assumption
+(and every other fact produced here) is pinned empirically by the tier-1
+soundness oracle, which replays dynamic traces of the whole golden corpus
+against the static claims.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.cfg.builder import ControlFlowGraph, EdgeKind
+from repro.cpu.core import CpuConfig
+from repro.dataflow.lattice import (
+    TOP,
+    ZERO,
+    Interval,
+    refine_branch,
+    to_signed,
+    to_unsigned,
+)
+from repro.isa.assembler import Program
+from repro.isa.instructions import Instruction
+from repro.dataflow.semantics import CALLEE_SAVED, register_def
+
+#: After this many *changed* joins into one block, changed registers widen
+#: straight to TOP.  Loop trip counts come from the dedicated induction
+#: analysis in :mod:`repro.dataflow.loopbounds`, not from interval widening,
+#: so an aggressive limit costs little precision.
+WIDEN_LIMIT = 8
+
+#: Maximum outer rounds for the flow-insensitive memory fixpoint before the
+#: whole memory havocs to TOP.
+MAX_MEMORY_ROUNDS = 8
+
+#: A non-constant store address whose span exceeds this many bytes havocs
+#: all of memory instead of individual cells.
+HAVOC_SPAN_CAP = 4096
+
+RegState = List[Interval]
+
+#: Flow-sensitive constraints on constant-address word cells at a block
+#: entry: ``{word address: interval}``.  Absence of a key means the only
+#: known fact is the flow-insensitive memory interval.
+CellState = Dict[int, Interval]
+
+_SP = 2
+_GP = 3
+_A0 = 10
+_A7 = 17
+
+
+class MemoryState:
+    """Flow-insensitive abstract memory over the CPU's data region.
+
+    Word-granular: each aligned word cell holds an interval covering the
+    initial image value joined with every value any store may write to it.
+    Reads outside the data region (including the code region) return TOP.
+    """
+
+    def __init__(self, program: Program, region_size: Optional[int] = None) -> None:
+        if region_size is None:
+            region_size = CpuConfig().data_region_size
+        self.data_base = program.data_base
+        self.data_end = program.data_base + region_size
+        self._image = program.data
+        self.havocked = False
+        self._cells: Dict[int, Interval] = {}
+        self._pending: Dict[int, Interval] = {}
+        self._pending_havoc = False
+
+    # -- reads ---------------------------------------------------------------
+    def initial_word(self, address: int) -> Interval:
+        offset = address - self.data_base
+        chunk = bytes(self._image[offset:offset + 4]) if 0 <= offset else b""
+        if len(chunk) < 4:
+            chunk = chunk + b"\x00" * (4 - len(chunk))
+        return Interval.const(int.from_bytes(chunk, "little"))
+
+    def read_word(self, address: int) -> Interval:
+        if self.havocked:
+            return TOP
+        if address % 4 or not (self.data_base <= address <= self.data_end - 4):
+            return TOP
+        stored = self._cells.get(address)
+        initial = self.initial_word(address)
+        return initial if stored is None else initial.join(stored)
+
+    def read(self, address: Interval, size: int, signed: bool) -> Interval:
+        if address.is_const:
+            value = self._read_const(address.value, size)
+            if value is not None:
+                return Interval.const(_extend(value, size, signed))
+        if size == 1 and not signed:
+            return Interval(0, 0xFF)
+        if size == 2 and not signed:
+            return Interval(0, 0xFFFF)
+        if size == 4 and address.is_const:
+            return self.read_word(address.value)
+        return TOP
+
+    def _read_const(self, address: int, size: int) -> Optional[int]:
+        """The exact loaded value when the covering word cell is constant."""
+        word_addr = address - (address % 4)
+        if address % 4 + size > 4:
+            return None  # crosses a word boundary
+        cell = self.read_word(word_addr)
+        if not cell.is_const:
+            return None
+        shift = 8 * (address % 4)
+        return (cell.value >> shift) & ((1 << (8 * size)) - 1)
+
+    # -- stores --------------------------------------------------------------
+    def record_store(self, address: Interval, value: Interval, size: int) -> None:
+        if address.hi + size <= self.data_base or address.lo >= self.data_end:
+            return  # entirely outside the data region: would fault, no effect
+        if address.is_const:
+            target = address.value
+            if size == 4 and target % 4 == 0:
+                self._pend(target, value)
+            else:
+                first = target - (target % 4)
+                last = (target + size - 1) - ((target + size - 1) % 4)
+                for word in range(first, last + 4, 4):
+                    self._pend(word, TOP)
+            return
+        span = (address.hi - address.lo) + size
+        if span > HAVOC_SPAN_CAP:
+            self._pending_havoc = True
+            return
+        lo = max(address.lo, self.data_base)
+        hi = min(address.hi + size - 1, self.data_end - 1)
+        for word in range(lo - (lo % 4), hi - (hi % 4) + 4, 4):
+            self._pend(word, TOP)
+
+    def _pend(self, address: int, value: Interval) -> None:
+        if not (self.data_base <= address <= self.data_end - 4):
+            return
+        existing = self._pending.get(address)
+        self._pending[address] = value if existing is None else existing.join(value)
+
+    def commit(self) -> bool:
+        """Fold pending store effects into the cells; True if anything grew."""
+        changed = False
+        if self._pending_havoc and not self.havocked:
+            self.havocked = True
+            changed = True
+        if not self.havocked:
+            for address, value in self._pending.items():
+                current = self._cells.get(address)
+                merged = value if current is None else current.join(value)
+                if merged != current:
+                    self._cells[address] = merged
+                    changed = True
+        self._pending.clear()
+        self._pending_havoc = False
+        return changed
+
+    def havoc(self) -> None:
+        self.havocked = True
+        self._pending.clear()
+        self._pending_havoc = False
+
+
+def _extend(value: int, size: int, signed: bool) -> int:
+    if not signed:
+        return value
+    bits = 8 * size
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return to_unsigned(value)
+
+
+@dataclass
+class StoreFact:
+    """Final-fixpoint facts about one store instruction."""
+
+    address: Interval
+    value: Interval
+    size: int
+
+
+@dataclass
+class IntervalAnalysis:
+    """Fixpoint results of the interval abstract interpretation."""
+
+    program: Program
+    cfg: ControlFlowGraph
+    memory: MemoryState
+    #: Reachable block start -> register in-state at block entry.
+    block_states: Dict[int, RegState]
+    #: (src block, dst block, EdgeKind name) -> joined propagated state.
+    edge_states: Dict[Tuple[int, int, str], RegState]
+    #: Load pc -> (address interval, access size in bytes).
+    load_ranges: Dict[int, Tuple[Interval, int]]
+    #: Store pc -> address/value facts.
+    store_facts: Dict[int, StoreFact]
+    #: Reachable ecall pc -> a7 interval.
+    ecall_sites: Dict[int, Interval]
+    #: (src block, dst block) conditional-branch edges proven infeasible.
+    infeasible_edges: Set[Tuple[int, int]]
+    #: jalr pc -> (feasible destination blocks, resolved flag).  Unresolved
+    #: means the target interval was TOP and every INDIRECT edge stayed live.
+    indirect_targets: Dict[int, Tuple[FrozenSet[int], bool]]
+    reachable_blocks: Set[int] = field(default_factory=set)
+    #: Reachable block start -> cell constraints at block entry.
+    block_cell_states: Dict[int, CellState] = field(default_factory=dict)
+
+    def ecalls_may_print_string(self) -> bool:
+        """True when some reachable ecall may select SYS_PRINT_STRING (4),
+        whose handler reads memory beyond any load instruction's range."""
+        return any(a7.contains(4) for a7 in self.ecall_sites.values())
+
+    def loaded_ranges(self) -> List[Tuple[int, int]]:
+        """Inclusive byte ranges any load instruction may touch."""
+        return [
+            (interval.lo, min(interval.hi + size - 1, 0xFFFFFFFF))
+            for interval, size in self.load_ranges.values()
+        ]
+
+
+#: mnemonic -> (access size, sign-extended)
+_LOAD_SIZES = {
+    "lb": (1, True), "lbu": (1, False),
+    "lh": (2, True), "lhu": (2, False),
+    "lw": (4, True),
+}
+_STORE_SIZES = {"sb": 1, "sh": 2, "sw": 4}
+
+_INT_MIN = -(1 << 31)
+
+
+def _div_signed(lhs: int, rhs: int) -> int:
+    a, b = to_signed(lhs), to_signed(rhs)
+    if b == 0:
+        return to_unsigned(-1)
+    if a == _INT_MIN and b == -1:
+        return to_unsigned(_INT_MIN)
+    return to_unsigned(int(a / b))
+
+
+def _rem_signed(lhs: int, rhs: int) -> int:
+    a, b = to_signed(lhs), to_signed(rhs)
+    if b == 0:
+        return to_unsigned(a)
+    if a == _INT_MIN and b == -1:
+        return 0
+    return to_unsigned(a - int(a / b) * b)
+
+
+def _bool_interval(verdict: Optional[bool]) -> Interval:
+    if verdict is None:
+        return Interval(0, 1)
+    return Interval.const(1 if verdict else 0)
+
+
+class _Sink:
+    """Per-round fact collector; only the final round's sink is kept."""
+
+    def __init__(self) -> None:
+        self.load_ranges: Dict[int, Tuple[Interval, int]] = {}
+        self.store_facts: Dict[int, StoreFact] = {}
+        self.ecall_sites: Dict[int, Interval] = {}
+        self.infeasible: Dict[Tuple[int, int], bool] = {}
+        self.indirect: Dict[int, Tuple[Set[int], bool]] = {}
+        self.edge_states: Dict[Tuple[int, int, str], RegState] = {}
+
+    def load(self, pc: int, address: Interval, size: int) -> None:
+        current = self.load_ranges.get(pc)
+        if current is None:
+            self.load_ranges[pc] = (address, size)
+        else:
+            self.load_ranges[pc] = (current[0].join(address), size)
+
+    def store(self, pc: int, address: Interval, value: Interval, size: int) -> None:
+        current = self.store_facts.get(pc)
+        if current is None:
+            self.store_facts[pc] = StoreFact(address, value, size)
+        else:
+            self.store_facts[pc] = StoreFact(
+                current.address.join(address), current.value.join(value), size
+            )
+
+    def ecall(self, pc: int, a7: Interval) -> None:
+        current = self.ecall_sites.get(pc)
+        self.ecall_sites[pc] = a7 if current is None else current.join(a7)
+
+    def edge_feasible(self, src: int, dst: int, feasible: bool) -> None:
+        self.infeasible[(src, dst)] = self.infeasible.get((src, dst), False) or feasible
+
+    def indirect_target(self, pc: int, dst: Optional[int], resolved: bool) -> None:
+        targets, was_resolved = self.indirect.setdefault(pc, (set(), True))
+        if dst is not None:
+            targets.add(dst)
+        self.indirect[pc] = (targets, was_resolved and resolved)
+
+
+def _step(instr: Instruction, regs: RegState, memory: MemoryState, sink: _Sink) -> None:
+    """Abstractly execute one non-control-flow instruction in place."""
+    mnemonic = instr.mnemonic
+    spec = instr.spec
+    if spec.is_load:
+        size, signed = _LOAD_SIZES[mnemonic]
+        address = regs[instr.rs1].add_const(instr.imm)
+        sink.load(instr.address, address, size)
+        _write(regs, instr.rd, memory.read(address, size, signed))
+        return
+    if spec.is_store:
+        size = _STORE_SIZES[mnemonic]
+        address = regs[instr.rs1].add_const(instr.imm)
+        value = regs[instr.rs2]
+        sink.store(instr.address, address, value, size)
+        memory.record_store(address, value, size)
+        return
+    if mnemonic == "ecall":
+        sink.ecall(instr.address, regs[_A7])
+        _write(regs, _A0, TOP)
+        return
+    if mnemonic in ("ebreak", "fence"):
+        return
+    if mnemonic == "lui":
+        _write(regs, instr.rd, Interval.const(instr.imm << 12))
+        return
+    if mnemonic == "auipc":
+        _write(regs, instr.rd, Interval.const((instr.address or 0) + (instr.imm << 12)))
+        return
+    if spec.fmt.name == "I":
+        lhs = regs[instr.rs1]
+        imm = instr.imm
+        result = _alu_imm(mnemonic, lhs, imm)
+    else:
+        result = _alu_reg(mnemonic, regs[instr.rs1], regs[instr.rs2])
+    _write(regs, instr.rd, result)
+
+
+def _alu_imm(mnemonic: str, lhs: Interval, imm: int) -> Interval:
+    if mnemonic == "addi":
+        return lhs.add_const(imm)
+    if mnemonic == "slti":
+        return _bool_interval(lhs.compare_lt(Interval.const(imm)))
+    if mnemonic == "sltiu":
+        return _bool_interval(lhs.compare_ltu(Interval.const(imm)))
+    if mnemonic == "xori":
+        return lhs.xor(Interval.const(imm))
+    if mnemonic == "ori":
+        return lhs.or_(Interval.const(imm))
+    if mnemonic == "andi":
+        return lhs.and_(Interval.const(imm))
+    if mnemonic == "slli":
+        return lhs.shl(Interval.const(imm))
+    if mnemonic == "srli":
+        return lhs.shr_logical(Interval.const(imm))
+    if mnemonic == "srai":
+        return lhs.shr_arithmetic(Interval.const(imm))
+    return TOP
+
+
+def _alu_reg(mnemonic: str, lhs: Interval, rhs: Interval) -> Interval:
+    if mnemonic == "add":
+        return lhs.add(rhs)
+    if mnemonic == "sub":
+        return lhs.sub(rhs)
+    if mnemonic == "sll":
+        return lhs.shl(rhs)
+    if mnemonic == "slt":
+        return _bool_interval(lhs.compare_lt(rhs))
+    if mnemonic == "sltu":
+        return _bool_interval(lhs.compare_ltu(rhs))
+    if mnemonic == "xor":
+        return lhs.xor(rhs)
+    if mnemonic == "srl":
+        return lhs.shr_logical(rhs)
+    if mnemonic == "sra":
+        return lhs.shr_arithmetic(rhs)
+    if mnemonic == "or":
+        return lhs.or_(rhs)
+    if mnemonic == "and":
+        return lhs.and_(rhs)
+    if mnemonic == "mul":
+        return lhs.mul(rhs)
+    if mnemonic == "divu":
+        return lhs.divu(rhs)
+    if mnemonic == "remu":
+        return lhs.remu(rhs)
+    if lhs.is_const and rhs.is_const:
+        return _const_muldiv(mnemonic, lhs.value, rhs.value)
+    return TOP
+
+
+def _const_muldiv(mnemonic: str, lhs: int, rhs: int) -> Interval:
+    sl, sr = to_signed(lhs), to_signed(rhs)
+    if mnemonic == "mulh":
+        return Interval.const((sl * sr) >> 32)
+    if mnemonic == "mulhu":
+        return Interval.const((lhs * rhs) >> 32)
+    if mnemonic == "mulhsu":
+        return Interval.const((sl * rhs) >> 32)
+    if mnemonic == "div":
+        return Interval.const(_div_signed(lhs, rhs))
+    if mnemonic == "rem":
+        return Interval.const(_rem_signed(lhs, rhs))
+    return TOP
+
+
+def _write(regs: RegState, rd: int, value: Interval) -> None:
+    if rd:
+        regs[rd] = value
+
+
+def entry_state(program: Program, region_size: Optional[int] = None) -> RegState:
+    """Register state at the program entry, mirroring ``Cpu.reset``."""
+    if region_size is None:
+        region_size = CpuConfig().data_region_size
+    regs: RegState = [ZERO] * 32
+    regs[_SP] = Interval.const(program.data_base + region_size)
+    regs[_GP] = Interval.const(program.data_base)
+    return regs
+
+
+def _call_transparent(regs: RegState) -> RegState:
+    """The continuation state after a call, under the ABI assumption."""
+    return [regs[i] if i in CALLEE_SAVED else TOP for i in range(32)]
+
+
+def _widening_thresholds(program: Program) -> List[int]:
+    """Ascending candidate landing points for cell-constraint widening.
+
+    Loop bounds almost always appear as instruction immediates (the compare
+    constant, or an address offset); widening a growing constraint to the
+    next such value — rather than straight to TOP — lets counted loops
+    stabilise at their true bound.
+    """
+    values: Set[int] = {0, 1}
+    for instr in program.instructions:
+        imm = instr.imm
+        if 0 <= imm <= (1 << 20):
+            values.add(imm)
+            values.add(imm + 1)
+    return sorted(values)
+
+
+def _widen_cell(thresholds: List[int], old: Interval, new: Interval) -> Optional[Interval]:
+    """Widen a changed cell constraint; None drops the constraint."""
+    lo = new.lo
+    if lo < old.lo:
+        # Land on 1 first: ``while (x > 0)``-style refinement keeps a
+        # decremented counter at lo == 1, and jumping straight to 0 would
+        # let the post-continue decrement wrap the interval to TOP.
+        lo = 1 if lo >= 1 else 0
+    hi = new.hi
+    if hi > old.hi:
+        for candidate in thresholds:
+            if candidate >= hi:
+                hi = candidate
+                break
+        else:
+            return None
+    return Interval(lo, hi)
+
+
+def analyze_intervals(program: Program, cfg: ControlFlowGraph) -> IntervalAnalysis:
+    """Run the interval analysis to its register+memory fixpoint."""
+    memory = MemoryState(program)
+    states: Dict[int, RegState] = {}
+    cell_states: Dict[int, CellState] = {}
+    sink = _Sink()
+    for _ in range(MAX_MEMORY_ROUNDS):
+        sink = _Sink()
+        states, cell_states = _register_round(program, cfg, memory, sink)
+        if not memory.commit():
+            break
+    else:
+        memory.havoc()
+        sink = _Sink()
+        states, cell_states = _register_round(program, cfg, memory, sink)
+        memory.commit()
+
+    reachable = set(states)
+    infeasible: Set[Tuple[int, int]] = set()
+    for (src, dst), feasible in sink.infeasible.items():
+        if not feasible and src in reachable:
+            infeasible.add((src, dst))
+    indirect = {
+        pc: (frozenset(targets), resolved)
+        for pc, (targets, resolved) in sink.indirect.items()
+    }
+    return IntervalAnalysis(
+        program=program,
+        cfg=cfg,
+        memory=memory,
+        block_states=states,
+        edge_states=sink.edge_states,
+        load_ranges=sink.load_ranges,
+        store_facts=sink.store_facts,
+        ecall_sites=sink.ecall_sites,
+        infeasible_edges=infeasible,
+        indirect_targets=indirect,
+        reachable_blocks=reachable,
+        block_cell_states=cell_states,
+    )
+
+
+#: A flag fact: register holds the 0/1 result of ``lhs < rhs`` — (signed,
+#: lhs interval at compare time, lhs source cell, rhs interval, rhs cell).
+_FlagFact = Tuple[bool, Interval, Optional[int], Interval, Optional[int]]
+
+
+class _BlockCells:
+    """Cell constraints + register provenance while stepping one block."""
+
+    def __init__(self, cells: CellState) -> None:
+        self.cells: CellState = dict(cells)
+        #: register -> cell whose *current* value the register holds.
+        self.reg_cell: Dict[int, int] = {}
+        #: register -> compare fact for slt-family results.
+        self.flags: Dict[int, _FlagFact] = {}
+
+    def invalidate_cell(self, cell: int) -> None:
+        self.cells.pop(cell, None)
+        self.reg_cell = {r: c for r, c in self.reg_cell.items() if c != cell}
+        self.flags = {
+            r: (s, li, None if lc == cell else lc, ri, None if rc == cell else rc)
+            for r, (s, li, lc, ri, rc) in self.flags.items()
+        }
+
+    def invalidate_all(self) -> None:
+        self.cells.clear()
+        self.reg_cell.clear()
+        self.flags = {
+            r: (s, li, None, ri, None)
+            for r, (s, li, lc, ri, rc) in self.flags.items()
+        }
+
+    def drop_register(self, reg: int) -> None:
+        self.reg_cell.pop(reg, None)
+        self.flags.pop(reg, None)
+
+    def store(self, instr: Instruction, address: Interval, size: int) -> None:
+        if address.is_const and size == 4 and address.value % 4 == 0:
+            target = address.value
+            self.invalidate_cell(target)
+            return  # caller records the strong update after the step
+        if address.is_top or (address.hi - address.lo) + size > HAVOC_SPAN_CAP:
+            self.invalidate_all()
+            return
+        lo = address.lo - (address.lo % 4)
+        hi = (address.hi + size - 1) - ((address.hi + size - 1) % 4)
+        touched = [c for c in self.cells if lo <= c <= hi]
+        touched += [c for c in set(self.reg_cell.values()) if lo <= c <= hi]
+        for cell in set(touched):
+            self.invalidate_cell(cell)
+
+
+def _refine_into(cells: CellState, cell: Optional[int], refined: Interval) -> bool:
+    """Meet a refinement into an edge cell state; False when contradictory."""
+    if cell is None:
+        return True
+    current = cells.get(cell)
+    met = refined if current is None else current.meet(refined)
+    if met is None:
+        return False
+    cells[cell] = met
+    return True
+
+
+def _register_round(
+    program: Program,
+    cfg: ControlFlowGraph,
+    memory: MemoryState,
+    sink: _Sink,
+) -> Tuple[Dict[int, RegState], Dict[int, CellState]]:
+    """One flow-sensitive register pass against a fixed memory snapshot."""
+    edge_states = sink.edge_states
+    thresholds = _widening_thresholds(program)
+    states: Dict[int, RegState] = {}
+    cell_states: Dict[int, CellState] = {}
+    visits: Dict[int, int] = {}
+    worklist: deque = deque()
+    pending: Set[int] = set()
+
+    def propagate(
+        dst: int,
+        state: RegState,
+        cells: CellState,
+        edge_key: Optional[Tuple[int, int, str]],
+    ) -> None:
+        if cfg.block_starting_at(dst) is None:
+            return
+        if edge_key is not None:
+            recorded = edge_states.get(edge_key)
+            edge_states[edge_key] = (
+                list(state) if recorded is None
+                else [a.join(b) for a, b in zip(recorded, state)]
+            )
+        current = states.get(dst)
+        if current is None:
+            states[dst] = list(state)
+            cell_states[dst] = dict(cells)
+        else:
+            joined = [a.join(b) for a, b in zip(current, state)]
+            current_cells = cell_states.get(dst, {})
+            joined_cells: CellState = {}
+            for cell, interval in current_cells.items():
+                incoming = cells.get(cell)
+                if incoming is not None:
+                    joined_cells[cell] = interval.join(incoming)
+            if joined == current and joined_cells == current_cells:
+                return
+            visits[dst] = visits.get(dst, 0) + 1
+            if visits[dst] > WIDEN_LIMIT:
+                joined = [
+                    old if new == old else TOP
+                    for old, new in zip(current, joined)
+                ]
+                widened_cells: CellState = {}
+                for cell, interval in joined_cells.items():
+                    old_cell = current_cells[cell]
+                    if interval == old_cell:
+                        widened_cells[cell] = interval
+                        continue
+                    widened = _widen_cell(thresholds, old_cell, interval)
+                    if widened is not None:
+                        widened_cells[cell] = widened
+                joined_cells = widened_cells
+                if joined == current and joined_cells == current_cells:
+                    return
+            states[dst] = joined
+            cell_states[dst] = joined_cells
+        if dst not in pending:
+            pending.add(dst)
+            worklist.append(dst)
+
+    entry_block = cfg.entry_block
+    if entry_block is None:
+        return states, cell_states
+    propagate(entry_block.start, entry_state(program), {}, None)
+
+    while worklist:
+        start = worklist.popleft()
+        pending.discard(start)
+        block = cfg.block_starting_at(start)
+        regs = list(states[start])
+        tracker = _BlockCells(cell_states.get(start, {}))
+        terminator = block.terminator
+        body = block.instructions[:-1] if terminator.is_control_flow else block.instructions
+        for instr in body:
+            mnemonic = instr.mnemonic
+            defined = register_def(instr)
+            flag_fact: Optional[_FlagFact] = None
+            if mnemonic in ("slt", "slti", "sltu", "sltiu"):
+                if mnemonic in ("slt", "sltu"):
+                    rhs_iv: Interval = regs[instr.rs2]
+                    rhs_cell = tracker.reg_cell.get(instr.rs2)
+                else:
+                    rhs_iv = Interval.const(to_unsigned(instr.imm))
+                    rhs_cell = None
+                flag_fact = (
+                    mnemonic in ("slt", "slti"),
+                    regs[instr.rs1], tracker.reg_cell.get(instr.rs1),
+                    rhs_iv, rhs_cell,
+                )
+            load_address: Optional[Interval] = None
+            if instr.spec.is_load:
+                load_address = regs[instr.rs1].add_const(instr.imm)
+            if instr.spec.is_store:
+                tracker.store(
+                    instr,
+                    regs[instr.rs1].add_const(instr.imm),
+                    _STORE_SIZES[mnemonic],
+                )
+            _step(instr, regs, memory, sink)
+            if defined is not None:
+                tracker.drop_register(defined)
+            if flag_fact is not None and defined:
+                tracker.flags[defined] = flag_fact
+            if instr.spec.is_store:
+                address = regs[instr.rs1].add_const(instr.imm)
+                if (
+                    mnemonic == "sw"
+                    and address.is_const
+                    and address.value % 4 == 0
+                ):
+                    tracker.cells[address.value] = regs[instr.rs2]
+                    if instr.rs2:
+                        tracker.reg_cell[instr.rs2] = address.value
+            elif (
+                mnemonic == "lw"
+                and load_address is not None
+                and load_address.is_const
+                and load_address.value % 4 == 0
+            ):
+                cell = load_address.value
+                constraint = tracker.cells.get(cell)
+                if constraint is not None and instr.rd:
+                    met = regs[instr.rd].meet(constraint)
+                    if met is not None:
+                        regs[instr.rd] = met
+                if instr.rd:
+                    tracker.reg_cell[instr.rd] = cell
+
+        out_edges = cfg.successors(start)
+        is_branch = terminator.is_conditional_branch
+        for edge in out_edges:
+            kind = edge.kind
+            if kind is EdgeKind.RETURN:
+                continue  # continuations are fed from their call sites below
+            key = (start, edge.dst, kind.name)
+            if kind in (EdgeKind.BRANCH_TAKEN, EdgeKind.FALLTHROUGH) and is_branch:
+                taken = kind is EdgeKind.BRANCH_TAKEN
+                refined = refine_branch(
+                    terminator.mnemonic, taken,
+                    regs[terminator.rs1], regs[terminator.rs2],
+                )
+                feasible = refined is not None
+                state = list(regs)
+                edge_cells = dict(tracker.cells)
+                if feasible:
+                    assert refined is not None
+                    _write(state, terminator.rs1, refined[0])
+                    if terminator.rs2 != terminator.rs1:
+                        _write(state, terminator.rs2, refined[1])
+                    feasible = _refine_into(
+                        edge_cells, tracker.reg_cell.get(terminator.rs1), refined[0]
+                    ) and _refine_into(
+                        edge_cells, tracker.reg_cell.get(terminator.rs2), refined[1]
+                    )
+                if feasible and terminator.mnemonic in ("beq", "bne"):
+                    flag = None
+                    if terminator.rs2 == 0 and terminator.rs1 in tracker.flags:
+                        flag = terminator.rs1
+                    elif terminator.rs1 == 0 and terminator.rs2 in tracker.flags:
+                        flag = terminator.rs2
+                    if flag is not None:
+                        signed, lhs_iv, lhs_cell, rhs_iv, rhs_cell = tracker.flags[flag]
+                        # flag != 0  <=>  lhs < rhs
+                        cmp_taken = taken if terminator.mnemonic == "bne" else not taken
+                        cmp_refined = refine_branch(
+                            "blt" if signed else "bltu", cmp_taken, lhs_iv, rhs_iv
+                        )
+                        if cmp_refined is None:
+                            feasible = False
+                        else:
+                            feasible = _refine_into(
+                                edge_cells, lhs_cell, cmp_refined[0]
+                            ) and _refine_into(edge_cells, rhs_cell, cmp_refined[1])
+                sink.edge_feasible(start, edge.dst, feasible)
+                if not feasible:
+                    continue
+                propagate(edge.dst, state, edge_cells, key)
+            elif kind is EdgeKind.INDIRECT:
+                raw = regs[terminator.rs1].add_const(terminator.imm)
+                # jalr clears bit 0 of the computed target.
+                target = Interval(raw.lo & ~1, raw.hi & ~1)
+                resolved = not raw.is_top
+                if resolved and not target.contains(edge.dst):
+                    sink.indirect_target(terminator.address, None, resolved)
+                    continue
+                sink.indirect_target(terminator.address, edge.dst, resolved)
+                state = list(regs)
+                _write(state, terminator.rd, Interval.const(terminator.address + 4))
+                propagate(edge.dst, state, {}, key)
+            elif kind is EdgeKind.CALL:
+                state = list(regs)
+                _write(state, terminator.rd, Interval.const(terminator.address + 4))
+                propagate(edge.dst, state, {}, key)
+            elif kind is EdgeKind.JUMP:
+                state = regs
+                if terminator.mnemonic == "jal" and terminator.rd:
+                    state = list(regs)
+                    _write(state, terminator.rd, Interval.const(terminator.address + 4))
+                propagate(edge.dst, state, tracker.cells, key)
+            else:  # plain fallthrough from a non-branch terminator
+                propagate(edge.dst, regs, tracker.cells, key)
+
+        # A linking terminator's continuation is fed directly from the call
+        # site with caller-saved registers havocked (ABI assumption); the
+        # callee may write any cell, so no constraint survives the call.
+        if terminator.is_control_flow and terminator.writes_link_register:
+            continuation = cfg.block_starting_at(block.end)
+            if continuation is not None:
+                propagate(block.end, _call_transparent(regs), {}, None)
+    return states, cell_states

@@ -1,0 +1,89 @@
+"""Static feasibility classification of candidate attack scenarios.
+
+Replaces a portion of the adversary generator's execution-based vetting:
+instead of running every candidate under every runtime scheme, candidates
+whose effect on the measurement is statically forced are classified here
+and only receive a single plain (uninstrumented) run for the behavioural
+checks (termination, trigger firing, output divergence).
+
+Soundness arguments:
+
+* **Redirects** (`classify_redirect`): a control-flow redirect replaces the
+  program counter *before* the trigger retires, so the attacked run's next
+  control-flow record is the first control-flow instruction on the
+  straight-line path from the redirect target, while the benign run's is
+  the first on the path from the trigger.  If those two source addresses
+  differ, the (src, dest) pair streams differ at that position and a
+  collision-resistant stream hash must differ.  The argument is exact for
+  C-FLAT's single chained hash; for LO-FAT the diverging pair may land in
+  a loop-path encoding rather than the main hash, moving the difference
+  from ``A`` to ``L`` — either way the report key changes.  Tier-1 pins
+  the classification against the execution oracle for both schemes.
+* **Data-only corruptions** (`classify_data_only`): if the corrupted byte
+  range intersects no load instruction's address interval and no reachable
+  ``ecall`` can select SYS_PRINT_STRING (whose handler reads memory beyond
+  any load), the written bytes are never read, the execution is
+  bit-identical to benign from the trigger onward, and the measurement —
+  of any scheme — cannot change.
+
+``UNKNOWN`` always falls back to the execution-based vetting path, so a
+miss here costs time, never correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dataflow.program import ProgramAnalysis
+
+#: The attacked measurement provably differs from the benign reference.
+PROVEN_DIVERGENT = "proven-divergent"
+#: The attacked measurement provably equals the benign reference.
+PROVEN_INVISIBLE = "proven-invisible"
+#: No static proof either way: vet by execution.
+UNKNOWN = "unknown"
+
+
+def classify_redirect(
+    analysis: ProgramAnalysis, trigger_pc: int, target_pc: int
+) -> str:
+    """Classify a control-flow redirect (bend / skip / loop tamper)."""
+    benign_next = analysis.first_control_flow_from(trigger_pc)
+    attacked_next = analysis.first_control_flow_from(target_pc)
+    if benign_next is None or attacked_next is None:
+        return UNKNOWN  # a scan ran off the program image
+    if benign_next != attacked_next:
+        return PROVEN_DIVERGENT
+    return UNKNOWN
+
+
+def classify_data_only(
+    analysis: ProgramAnalysis, address: int, size: int
+) -> str:
+    """Classify a memory corruption of ``size`` bytes at ``address``."""
+    intervals = analysis.intervals
+    if intervals.ecalls_may_print_string():
+        return UNKNOWN
+    corrupt_lo, corrupt_hi = address, address + size - 1
+    for load_lo, load_hi in intervals.loaded_ranges():
+        if not (corrupt_hi < load_lo or corrupt_lo > load_hi):
+            return UNKNOWN  # some load may observe the corrupted bytes
+    return PROVEN_INVISIBLE
+
+
+def predicted_detection(scheme: str, verdict: str) -> Optional[bool]:
+    """Whether ``scheme`` detects an attack with the given static verdict.
+
+    True: the report key provably differs from the benign reference.
+    False: the key provably matches (the attack is invisible).
+    None: undecided — use execution-based vetting.
+    """
+    if verdict == PROVEN_INVISIBLE:
+        return False
+    if scheme == "static":
+        # The static scheme measures the program image, not the run; no
+        # runtime attack can move its measurement.
+        return False
+    if verdict == PROVEN_DIVERGENT:
+        return True
+    return None

@@ -1,0 +1,52 @@
+"""A small generic worklist dataflow solver.
+
+The solver is direction-agnostic: a forward pass feeds it CFG successors,
+a backward pass feeds it predecessors.  Facts must be immutable values with
+structural equality (frozensets, tuples) drawn from a finite lattice so the
+iteration terminates; passes needing widening (the interval analysis in
+:mod:`repro.dataflow.absint`) implement their own specialised loop instead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterable, Mapping, TypeVar
+
+Node = TypeVar("Node")
+Fact = TypeVar("Fact")
+
+
+def solve(
+    nodes: Iterable[Node],
+    successors: Callable[[Node], Iterable[Node]],
+    transfer: Callable[[Node, Fact], Fact],
+    join: Callable[[Fact, Fact], Fact],
+    seeds: Mapping[Node, Fact],
+) -> Dict[Node, Fact]:
+    """Iterate ``transfer`` to a fixpoint and return the entry fact per node.
+
+    ``seeds`` maps boundary nodes to their initial entry facts; nodes never
+    reached by propagation are absent from the result (callers decide what
+    absence means — typically unreachability or the bottom fact).
+    """
+    order = list(nodes)
+    entry_facts: Dict[Node, Fact] = dict(seeds)
+    worklist: deque = deque(node for node in order if node in entry_facts)
+    pending = set(worklist)
+
+    while worklist:
+        node = worklist.popleft()
+        pending.discard(node)
+        exit_fact = transfer(node, entry_facts[node])
+        for succ in successors(node):
+            if succ in entry_facts:
+                merged = join(entry_facts[succ], exit_fact)
+                if merged == entry_facts[succ]:
+                    continue
+                entry_facts[succ] = merged
+            else:
+                entry_facts[succ] = exit_fact
+            if succ not in pending:
+                pending.add(succ)
+                worklist.append(succ)
+    return entry_facts

@@ -1,0 +1,352 @@
+"""Value lattices for the dataflow passes.
+
+The central domain is :class:`Interval`: a contiguous range of *unsigned*
+32-bit machine words ``[lo, hi]`` with ``0 <= lo <= hi <= 2**32 - 1``.  The
+top element is the full range; a singleton interval is a known constant.
+There is deliberately no bottom element — unreachable states are represented
+by absence (``None``) in the engine, which keeps every stored interval a
+valid, inhabited set.
+
+All transfer helpers are *conservative over-approximations* of the RV32IM
+executor semantics in :mod:`repro.cpu.core`: for every concrete input drawn
+from the argument intervals, the concrete result is contained in the result
+interval.  When a precise range would wrap around 2**32 or straddle the
+signed boundary in a way a single contiguous unsigned interval cannot
+express, the helpers give up and return TOP rather than guess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+WORD_MASK = 0xFFFFFFFF
+WORD_MODULUS = 1 << 32
+SIGN_BIT = 1 << 31
+INT_MIN = -(1 << 31)
+INT_MAX = (1 << 31) - 1
+
+
+def to_signed(value: int) -> int:
+    """Interpret an unsigned 32-bit word as a signed integer."""
+    return value - WORD_MODULUS if value & SIGN_BIT else value
+
+
+def to_unsigned(value: int) -> int:
+    """Truncate a Python integer to an unsigned 32-bit word."""
+    return value & WORD_MASK
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A contiguous set of unsigned 32-bit words ``{lo, ..., hi}``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.lo <= self.hi <= WORD_MASK):
+            raise ValueError("invalid interval [%d, %d]" % (self.lo, self.hi))
+
+    # -- constructors ---------------------------------------------------------
+    @staticmethod
+    def top() -> "Interval":
+        return TOP
+
+    @staticmethod
+    def const(value: int) -> "Interval":
+        value = to_unsigned(value)
+        return Interval(value, value)
+
+    @staticmethod
+    def range(lo: int, hi: int) -> "Interval":
+        return Interval(lo, hi)
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def is_top(self) -> bool:
+        return self.lo == 0 and self.hi == WORD_MASK
+
+    @property
+    def is_const(self) -> bool:
+        return self.lo == self.hi
+
+    @property
+    def value(self) -> int:
+        """The constant value; only meaningful when :attr:`is_const`."""
+        if not self.is_const:
+            raise ValueError("interval %r is not a constant" % (self,))
+        return self.lo
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= to_unsigned(value) <= self.hi
+
+    def signed_bounds(self) -> Optional[Tuple[int, int]]:
+        """Signed ``(lo, hi)`` when the set is contiguous in signed order.
+
+        Returns None when the interval straddles the signed boundary
+        (contains both INT_MAX and INT_MIN as unsigned neighbours), in which
+        case no single signed range describes it.
+        """
+        if self.hi < SIGN_BIT or self.lo >= SIGN_BIT:
+            return (to_signed(self.lo), to_signed(self.hi))
+        return None
+
+    # -- lattice operations ---------------------------------------------------
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def meet(self, other: "Interval") -> Optional["Interval"]:
+        """Intersection; None when the intervals are disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def widen(self) -> "Interval":
+        return TOP
+
+    # -- arithmetic transfer --------------------------------------------------
+    @staticmethod
+    def _wrap(lo: int, hi: int) -> "Interval":
+        """Normalize an un-truncated result range into the wrapped domain."""
+        if hi - lo >= WORD_MODULUS:
+            return TOP
+        if (lo // WORD_MODULUS) != (hi // WORD_MODULUS):
+            # The range straddles a wrap boundary: the truncated set is not
+            # contiguous in unsigned order.
+            return TOP
+        return Interval(lo % WORD_MODULUS, hi % WORD_MODULUS)
+
+    def add(self, other: "Interval") -> "Interval":
+        return Interval._wrap(self.lo + other.lo, self.hi + other.hi)
+
+    def add_const(self, constant: int) -> "Interval":
+        return Interval._wrap(self.lo + constant, self.hi + constant)
+
+    def sub(self, other: "Interval") -> "Interval":
+        return Interval._wrap(self.lo - other.hi, self.hi - other.lo)
+
+    def mul(self, other: "Interval") -> "Interval":
+        # The executor computes a signed product and truncates.  For operands
+        # below the signed boundary the signed and unsigned products agree,
+        # and the unsigned product is monotone in both operands.
+        if self.is_const and other.is_const:
+            product = to_signed(self.value) * to_signed(other.value)
+            return Interval.const(product)
+        if self.hi < SIGN_BIT and other.hi < SIGN_BIT:
+            return Interval._wrap(self.lo * other.lo, self.hi * other.hi)
+        return TOP
+
+    def and_(self, other: "Interval") -> "Interval":
+        if self.is_const and other.is_const:
+            return Interval.const(self.value & other.value)
+        # Masking can only clear bits: the result never exceeds either bound.
+        return Interval(0, min(self.hi, other.hi))
+
+    def or_(self, other: "Interval") -> "Interval":
+        if self.is_const and other.is_const:
+            return Interval.const(self.value | other.value)
+        # x | y < 2**k whenever both operands are < 2**k, and x | y >= x.
+        bound = (1 << max(self.hi.bit_length(), other.hi.bit_length())) - 1
+        return Interval(max(self.lo, other.lo), bound)
+
+    def xor(self, other: "Interval") -> "Interval":
+        if self.is_const and other.is_const:
+            return Interval.const(self.value ^ other.value)
+        bound = (1 << max(self.hi.bit_length(), other.hi.bit_length())) - 1
+        return Interval(0, bound)
+
+    def shl(self, other: "Interval") -> "Interval":
+        if not other.is_const:
+            return TOP
+        amount = other.value & 0x1F
+        return Interval._wrap(self.lo << amount, self.hi << amount)
+
+    def shr_logical(self, other: "Interval") -> "Interval":
+        if not other.is_const:
+            return Interval(0, self.hi)
+        amount = other.value & 0x1F
+        return Interval(self.lo >> amount, self.hi >> amount)
+
+    def shr_arithmetic(self, other: "Interval") -> "Interval":
+        if not other.is_const:
+            return TOP
+        amount = other.value & 0x1F
+        bounds = self.signed_bounds()
+        if bounds is None:
+            return TOP
+        lo, hi = bounds
+        return Interval(to_unsigned(lo >> amount), to_unsigned(hi >> amount))
+
+    def divu(self, other: "Interval") -> "Interval":
+        if other.contains(0):
+            # Division by zero yields 0xFFFFFFFF; the union with the normal
+            # quotient range is rarely contiguous, so stay conservative.
+            return TOP
+        return Interval(self.lo // other.hi, self.hi // other.lo)
+
+    def remu(self, other: "Interval") -> "Interval":
+        if other.contains(0):
+            return TOP
+        return Interval(0, min(self.hi, other.hi - 1))
+
+    # -- comparisons (three-valued) ------------------------------------------
+    def compare_ltu(self, other: "Interval") -> Optional[bool]:
+        """Decide ``self < other`` (unsigned) when the intervals permit."""
+        if self.hi < other.lo:
+            return True
+        if self.lo >= other.hi:
+            return False
+        return None
+
+    def compare_lt(self, other: "Interval") -> Optional[bool]:
+        """Decide ``self < other`` (signed) when the intervals permit."""
+        a = self.signed_bounds()
+        b = other.signed_bounds()
+        if a is None or b is None:
+            return None
+        if a[1] < b[0]:
+            return True
+        if a[0] >= b[1]:
+            return False
+        return None
+
+    def compare_eq(self, other: "Interval") -> Optional[bool]:
+        if self.is_const and other.is_const:
+            return self.value == other.value
+        if self.meet(other) is None:
+            return False
+        return None
+
+    def __repr__(self) -> str:
+        if self.is_top:
+            return "Interval(TOP)"
+        if self.is_const:
+            return "Interval(%#x)" % self.lo
+        return "Interval(%#x..%#x)" % (self.lo, self.hi)
+
+
+TOP = Interval(0, WORD_MASK)
+ZERO = Interval(0, 0)
+BOOL = Interval(0, 1)
+
+
+def _signed_interval(lo: int, hi: int, fallback: Interval) -> Optional[Interval]:
+    """Map a signed range back into the unsigned domain.
+
+    Returns None for an empty range.  When the range straddles zero it is not
+    contiguous in unsigned order, so ``fallback`` (the unrefined interval) is
+    returned instead — a sound no-op refinement.
+    """
+    if lo > hi:
+        return None
+    if lo < INT_MIN or hi > INT_MAX:
+        return fallback
+    if lo >= 0 or hi < 0:
+        return Interval(to_unsigned(lo), to_unsigned(hi))
+    return fallback
+
+
+def refine_branch(
+    mnemonic: str, taken: bool, lhs: Interval, rhs: Interval
+) -> Optional[Tuple[Interval, Interval]]:
+    """Refine ``(lhs, rhs)`` under the outcome of a conditional branch.
+
+    Returns the refined pair, or None when the outcome is infeasible for
+    every concrete value drawn from the intervals.  Refinement is optional:
+    returning the operands unchanged is always sound.
+    """
+    if mnemonic == "beq":
+        if taken:
+            met = lhs.meet(rhs)
+            if met is None:
+                return None
+            return (met, met)
+        return _refine_ne(lhs, rhs)
+    if mnemonic == "bne":
+        if taken:
+            return _refine_ne(lhs, rhs)
+        met = lhs.meet(rhs)
+        if met is None:
+            return None
+        return (met, met)
+    if mnemonic == "bltu":
+        return _refine_ltu(lhs, rhs) if taken else _refine_geu(lhs, rhs)
+    if mnemonic == "bgeu":
+        return _refine_geu(lhs, rhs) if taken else _refine_ltu(lhs, rhs)
+    if mnemonic == "blt":
+        return _refine_lt(lhs, rhs) if taken else _refine_ge(lhs, rhs)
+    if mnemonic == "bge":
+        return _refine_ge(lhs, rhs) if taken else _refine_lt(lhs, rhs)
+    return (lhs, rhs)
+
+
+def _refine_ne(lhs: Interval, rhs: Interval) -> Optional[Tuple[Interval, Interval]]:
+    if lhs.is_const and rhs.is_const and lhs.value == rhs.value:
+        return None
+    new_lhs, new_rhs = lhs, rhs
+    if rhs.is_const and not lhs.is_const:
+        if rhs.value == lhs.lo:
+            new_lhs = Interval(lhs.lo + 1, lhs.hi)
+        elif rhs.value == lhs.hi:
+            new_lhs = Interval(lhs.lo, lhs.hi - 1)
+    if lhs.is_const and not rhs.is_const:
+        if lhs.value == rhs.lo:
+            new_rhs = Interval(rhs.lo + 1, rhs.hi)
+        elif lhs.value == rhs.hi:
+            new_rhs = Interval(rhs.lo, rhs.hi - 1)
+    return (new_lhs, new_rhs)
+
+
+def _refine_ltu(lhs: Interval, rhs: Interval) -> Optional[Tuple[Interval, Interval]]:
+    # lhs < rhs (unsigned): lhs <= rhs.hi - 1, rhs >= lhs.lo + 1.
+    if rhs.hi == 0:
+        return None
+    new_lhs = lhs.meet(Interval(0, rhs.hi - 1))
+    if new_lhs is None:
+        return None
+    new_rhs = rhs.meet(Interval(min(new_lhs.lo + 1, WORD_MASK), WORD_MASK))
+    if new_rhs is None:
+        return None
+    return (new_lhs, new_rhs)
+
+
+def _refine_geu(lhs: Interval, rhs: Interval) -> Optional[Tuple[Interval, Interval]]:
+    # lhs >= rhs (unsigned): lhs >= rhs.lo, rhs <= lhs.hi.
+    new_lhs = lhs.meet(Interval(rhs.lo, WORD_MASK))
+    if new_lhs is None:
+        return None
+    new_rhs = rhs.meet(Interval(0, new_lhs.hi))
+    if new_rhs is None:
+        return None
+    return (new_lhs, new_rhs)
+
+
+def _refine_lt(lhs: Interval, rhs: Interval) -> Optional[Tuple[Interval, Interval]]:
+    a = lhs.signed_bounds()
+    b = rhs.signed_bounds()
+    if a is None or b is None:
+        return (lhs, rhs)
+    new_lhs = _signed_interval(a[0], min(a[1], b[1] - 1), lhs)
+    if new_lhs is None:
+        return None
+    new_rhs = _signed_interval(max(b[0], a[0] + 1), b[1], rhs)
+    if new_rhs is None:
+        return None
+    return (new_lhs, new_rhs)
+
+
+def _refine_ge(lhs: Interval, rhs: Interval) -> Optional[Tuple[Interval, Interval]]:
+    a = lhs.signed_bounds()
+    b = rhs.signed_bounds()
+    if a is None or b is None:
+        return (lhs, rhs)
+    new_lhs = _signed_interval(max(a[0], b[0]), a[1], lhs)
+    if new_lhs is None:
+        return None
+    new_rhs = _signed_interval(b[0], min(b[1], a[1]), rhs)
+    if new_rhs is None:
+        return None
+    return (new_lhs, new_rhs)

@@ -1,0 +1,91 @@
+"""Lint over assembled programs, fed by the dataflow passes.
+
+Finding kinds:
+
+* ``dead-block`` — a basic block the interval fixpoint proves unreachable
+  from the program entry.
+* ``unbounded-loop`` — a natural loop with no statically provable
+  trip-count bound (legitimate for data-dependent loops; the finding makes
+  the verifier's blind spot explicit).
+* ``unresolved-indirect`` — a ``jalr`` whose target interval is TOP, so
+  every function entry stays a feasible destination.
+* ``dead-def`` — a side-effect-light instruction whose register result is
+  provably never read (reported only inside reachable blocks).
+
+Findings are deterministic for a given program, so CI can diff them
+against a checked-in baseline and fail on *new* findings only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.dataflow.program import ProgramAnalysis
+
+
+@dataclass(frozen=True)
+class Finding:
+    kind: str
+    address: int
+    detail: str
+
+    def key(self) -> Tuple[str, int]:
+        return (self.kind, self.address)
+
+    def to_json(self) -> Dict[str, object]:
+        return {"kind": self.kind, "address": self.address, "detail": self.detail}
+
+
+def lint_program(analysis: ProgramAnalysis) -> List[Finding]:
+    """All lint findings for one analysed program, sorted by address."""
+    findings: List[Finding] = []
+
+    for start in sorted(analysis.unreachable_blocks):
+        block = analysis.cfg.block_starting_at(start)
+        label = block.label if block is not None and block.label else ""
+        findings.append(Finding(
+            "dead-block", start,
+            "block %s%#x is unreachable from the program entry"
+            % (("%s at " % label) if label else "", start),
+        ))
+
+    for header, bound in sorted(analysis.loop_bounds.items()):
+        if bound.max_back_edges is None:
+            findings.append(Finding(
+                "unbounded-loop", header,
+                "no static trip-count bound for the loop headed at %#x" % header,
+            ))
+
+    intervals = analysis.intervals
+    for pc, (targets, resolved) in sorted(intervals.indirect_targets.items()):
+        if not resolved:
+            findings.append(Finding(
+                "unresolved-indirect", pc,
+                "indirect jump at %#x: target interval is TOP "
+                "(%d candidate entries remain)" % (pc, len(targets)),
+            ))
+
+    reachable_pcs: Set[int] = set()
+    for start in intervals.reachable_blocks:
+        block = analysis.cfg.block_starting_at(start)
+        if block is not None:
+            reachable_pcs.update(i.address for i in block.instructions)
+    for dead in analysis.liveness.dead_defs:
+        if dead.pc in reachable_pcs:
+            findings.append(Finding(
+                "dead-def", dead.pc,
+                "%s at %#x defines x%d but the value is never read"
+                % (dead.mnemonic, dead.pc, dead.register),
+            ))
+
+    findings.sort(key=lambda f: (f.address, f.kind))
+    return findings
+
+
+def new_findings(
+    findings: Sequence[Finding], baseline: Iterable[Mapping[str, object]]
+) -> List[Finding]:
+    """Findings not present in a baseline (matched on kind + address)."""
+    known = {(str(row["kind"]), int(row["address"])) for row in baseline}  # type: ignore[arg-type]
+    return [f for f in findings if f.key() not in known]

@@ -1,0 +1,668 @@
+"""Static loop trip-count inference.
+
+For each natural loop, tries to prove an upper bound (and, in fully
+constant cases, the exact count) on the number of *back-edge traversals*
+per entry of the loop, by recognising a single induction cell — a register
+or a constant-address memory word — updated by exactly one constant-step
+instruction per iteration, and an exit branch comparing that cell against a
+loop-invariant bound.
+
+The bound is stated in back edges because that is what the LO-FAT monitor
+counts: per episode, ``LoopRecord.iterations`` equals the number of back
+edges observed (the first back edge *discovers* the loop, each further one
+fires an iteration boundary, and the partial exit path adds the final
+count).  Soundness argument for the upper bound, given the requirements
+enforced below:
+
+* the exit branch's block dominates the latch within the loop body, so the
+  condition is evaluated at least once per back-edge traversal;
+* the step instruction's block dominates the latch and belongs to no inner
+  loop, so between consecutive evaluations the cell advances by at least
+  one step toward the bound, and no other instruction writes the cell;
+* the bound operand is loop-invariant, so its value stays inside the
+  interval the fixpoint analysis assigns it;
+* signedness/overflow guards keep the comparison monotone in the cell.
+
+Hence the j-th evaluation that continues the loop sees a cell value at
+least ``init_lo + (j-1)*step`` past the initial interval's low end, which
+caps j — and with it the back-edge count.  Lower bounds are only claimed
+when every quantity is an exact constant and the loop has a single exit
+and no system instruction that could cut an iteration short.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cfg.builder import ControlFlowGraph, EdgeKind
+from repro.cfg.loops import NaturalLoop
+from repro.dataflow.absint import IntervalAnalysis, RegState, StoreFact
+from repro.dataflow.lattice import Interval
+from repro.dataflow.semantics import register_def
+from repro.isa.assembler import Program
+from repro.isa.instructions import Instruction
+
+INT_MAX = (1 << 31) - 1
+WORD_MODULUS = 1 << 32
+
+#: Symbolic block-local values: ("const", c), ("entry", reg, k) — register
+#: value at block entry plus k — or ("cell", addr, k) — memory word value at
+#: block entry plus k.
+Sym = Tuple[str, int, int]
+
+_BODY_EDGE_KINDS = (EdgeKind.FALLTHROUGH, EdgeKind.BRANCH_TAKEN, EdgeKind.JUMP)
+
+
+@dataclass(frozen=True)
+class LoopBound:
+    """Inferred per-entry back-edge bounds for one natural loop."""
+
+    header: int
+    latch: int
+    #: Sound upper bound on back edges per loop entry; None when unbounded.
+    max_back_edges: Optional[int]
+    #: Exact back-edge count when statically forced; None otherwise.
+    exact_back_edges: Optional[int]
+    #: Human-readable induction-cell description for lint output.
+    counter: str = ""
+
+    @property
+    def bounded(self) -> bool:
+        return self.max_back_edges is not None
+
+
+def infer_loop_bounds(
+    program: Program,
+    cfg: ControlFlowGraph,
+    loops: Sequence[NaturalLoop],
+    intervals: IntervalAnalysis,
+) -> Dict[int, LoopBound]:
+    """Infer bounds for every loop; unbounded loops map to an open bound."""
+    bounds: Dict[int, LoopBound] = {}
+    for loop in loops:
+        bounds[loop.header] = _analyze_loop(program, cfg, loops, loop, intervals)
+    return bounds
+
+
+def _analyze_loop(
+    program: Program,
+    cfg: ControlFlowGraph,
+    loops: Sequence[NaturalLoop],
+    loop: NaturalLoop,
+    intervals: IntervalAnalysis,
+) -> LoopBound:
+    unbounded = LoopBound(loop.header, -1, None, None)
+    if len(loop.back_edges) != 1:
+        return unbounded
+    latch = loop.back_edges[0][0]
+    unbounded = LoopBound(loop.header, latch, None, None)
+    body = set(loop.body)
+
+    blocks = []
+    has_system = False
+    for start in sorted(body):
+        block = cfg.block_starting_at(start)
+        if block is None:
+            return unbounded
+        terminator = block.terminator
+        if terminator.is_indirect_jump or (
+            terminator.is_control_flow and terminator.writes_link_register
+        ):
+            return unbounded  # calls / indirect flow: no iteration contract
+        if any(i.spec.is_system for i in block.instructions):
+            has_system = True
+        blocks.append(block)
+
+    dominators = _body_dominators(cfg, loop.header, body)
+
+    exiting_blocks = [
+        block for block in blocks
+        if any(edge.dst not in body for edge in cfg.successors(block.start)
+               if edge.kind in _BODY_EDGE_KINDS)
+    ]
+
+    best: Optional[LoopBound] = None
+    for block in blocks:
+        terminator = block.terminator
+        if not terminator.is_conditional_branch:
+            continue
+        taken = terminator.address + terminator.imm
+        fall = block.end
+        taken_in = taken in body
+        fall_in = fall in body
+        if taken_in == fall_in:
+            continue  # not a (single-sided) exit branch
+        single_exit = len(exiting_blocks) == 1 and exiting_blocks[0] is block
+        candidate = _try_exit_branch(
+            cfg, loops, loop, intervals, dominators, body,
+            block, latch, continue_on_taken=taken_in,
+            has_system=has_system, single_exit=single_exit,
+        )
+        if candidate is None:
+            continue
+        if best is None or (
+            best.max_back_edges is None
+            or (candidate.max_back_edges is not None
+                and candidate.max_back_edges < best.max_back_edges)
+        ):
+            best = candidate
+    return best if best is not None else unbounded
+
+
+def _body_dominators(
+    cfg: ControlFlowGraph, header: int, body: Set[int]
+) -> Dict[int, Set[int]]:
+    """Dominators of the loop-body subgraph, rooted at the header."""
+    successors: Dict[int, List[int]] = {start: [] for start in body}
+    for start in body:
+        for edge in cfg.successors(start):
+            if edge.kind in _BODY_EDGE_KINDS and edge.dst in body:
+                successors[start].append(edge.dst)
+    dominators: Dict[int, Set[int]] = {header: {header}}
+    everything = set(body)
+    for start in body:
+        if start != header:
+            dominators[start] = set(everything)
+    changed = True
+    order = sorted(body)
+    while changed:
+        changed = False
+        for start in order:
+            if start == header:
+                continue
+            preds = [p for p in body if start in successors[p]]
+            incoming = None
+            for pred in preds:
+                incoming = (
+                    set(dominators[pred]) if incoming is None
+                    else incoming & dominators[pred]
+                )
+            new = (incoming or set()) | {start}
+            if new != dominators[start]:
+                dominators[start] = new
+                changed = True
+    return dominators
+
+
+def _try_exit_branch(
+    cfg: ControlFlowGraph,
+    loops: Sequence[NaturalLoop],
+    loop: NaturalLoop,
+    intervals: IntervalAnalysis,
+    dominators: Dict[int, Set[int]],
+    body: Set[int],
+    block,  # BasicBlock
+    latch: int,
+    continue_on_taken: bool,
+    has_system: bool,
+    single_exit: bool,
+) -> Optional[LoopBound]:
+    entry_regs = intervals.block_states.get(block.start)
+    if entry_regs is None:
+        return None  # statically unreachable: leave the loop unbounded
+    if block.start not in dominators.get(latch, set()):
+        return None  # the condition may be skipped on some iteration
+    terminator = block.terminator
+    sym, cmp = _symbolic_block(
+        block, block.size - 1, entry_regs, intervals.store_facts
+    )
+    mnemonic = terminator.mnemonic
+    lhs = sym.get(terminator.rs1)
+    rhs = sym.get(terminator.rs2)
+    # The codegen lowers `a < b` as `slt t, a, b; beq/bne t, x0, ...`:
+    # rewrite such branches into the equivalent direct comparison.
+    if mnemonic in ("beq", "bne"):
+        for flag_reg, other_sym in ((terminator.rs1, rhs), (terminator.rs2, lhs)):
+            fact = cmp.get(flag_reg)
+            if fact is not None and other_sym == ("const", 0, 0):
+                cmp_op, cmp_lhs, cmp_rhs = fact
+                mnemonic = {
+                    "slt": {"bne": "blt", "beq": "bge"},
+                    "sltu": {"bne": "bltu", "beq": "bgeu"},
+                }[cmp_op][mnemonic]
+                lhs, rhs = cmp_lhs, cmp_rhs
+                break
+    if lhs is None or rhs is None:
+        return None
+
+    resolved = []
+    for counter_sym, bound_sym, counter_left in ((lhs, rhs, True), (rhs, lhs, False)):
+        step = _find_step(cfg, loops, loop, intervals, dominators, body,
+                          latch, counter_sym)
+        if step is None:
+            continue
+        bound = _invariant_bound(cfg, intervals, body, block, bound_sym)
+        if bound is None:
+            continue
+        resolved.append((counter_sym, bound, counter_left, step))
+    if len(resolved) != 1:
+        return None
+    counter_sym, bound_iv, counter_left, step_info = resolved[0]
+    step, init_iv, counter_desc, single_writer = step_info
+
+    op = _continue_op(mnemonic, continue_on_taken, counter_left)
+    if op is None:
+        return None
+    offset = counter_sym[2]
+    max_back = _max_back_edges(op, init_iv, offset, step, bound_iv)
+    if max_back is None:
+        return None
+
+    exact: Optional[int] = None
+    if (
+        init_iv.is_const
+        and bound_iv.is_const
+        and not has_system
+        and single_exit
+        and single_writer
+    ):
+        exact = max_back
+    return LoopBound(loop.header, latch, max_back, exact, counter_desc)
+
+
+# ---------------------------------------------------------------------------
+# induction cell discovery
+
+
+def _find_step(
+    cfg: ControlFlowGraph,
+    loops: Sequence[NaturalLoop],
+    loop: NaturalLoop,
+    intervals: IntervalAnalysis,
+    dominators: Dict[int, Set[int]],
+    body: Set[int],
+    latch: int,
+    counter_sym: Sym,
+):
+    """Locate the unique step instruction for a candidate counter.
+
+    Returns ``(step, init_interval, description, single_writer)`` or None.
+    """
+    kind = counter_sym[0]
+    if kind == "entry":
+        return _find_register_step(
+            cfg, loops, loop, intervals, dominators, body, latch, counter_sym[1]
+        )
+    if kind == "cell":
+        return _find_cell_step(
+            cfg, loops, loop, intervals, dominators, body, latch, counter_sym[1]
+        )
+    return None
+
+
+def _step_block_ok(
+    loops: Sequence[NaturalLoop],
+    loop: NaturalLoop,
+    dominators: Dict[int, Set[int]],
+    latch: int,
+    block_start: int,
+) -> bool:
+    if block_start not in dominators.get(latch, set()):
+        return False
+    innermost = _innermost_loop(loops, block_start)
+    return innermost is loop
+
+
+def _innermost_loop(loops: Sequence[NaturalLoop], block_start: int) -> Optional[NaturalLoop]:
+    best = None
+    for candidate in loops:
+        if block_start in candidate.body:
+            if best is None or candidate.depth > best.depth:
+                best = candidate
+    return best
+
+
+def _find_register_step(cfg, loops, loop, intervals, dominators, body, latch, reg):
+    if reg == 0:
+        return None
+    writers: List[Instruction] = []
+    for start in body:
+        block = cfg.block_starting_at(start)
+        for instr in block.instructions:
+            if register_def(instr) == reg:
+                writers.append(instr)
+    if len(writers) != 1:
+        return None
+    step_instr = writers[0]
+    if (
+        step_instr.mnemonic != "addi"
+        or step_instr.rs1 != reg
+        or step_instr.imm == 0
+    ):
+        return None
+    step_block = cfg.block_containing(step_instr.address)
+    if step_block is None or not _step_block_ok(loops, loop, dominators, latch, step_block.start):
+        return None
+    init = _entry_edge_interval(cfg, intervals, body, loop.header, reg)
+    if init is None:
+        return None
+    return (step_instr.imm, init, "reg x%d" % reg, True)
+
+
+def _find_cell_step(cfg, loops, loop, intervals, dominators, body, latch, cell):
+    step_instr: Optional[Instruction] = None
+    step = 0
+    for start in body:
+        block = cfg.block_starting_at(start)
+        for index, instr in enumerate(block.instructions):
+            if not instr.spec.is_store:
+                continue
+            fact = intervals.store_facts.get(instr.address)
+            if fact is None:
+                if start in intervals.reachable_blocks:
+                    return None
+                continue  # unreachable store can never execute
+            touch_lo, touch_hi = fact.address.lo, fact.address.hi + fact.size - 1
+            if touch_hi < cell or touch_lo > cell + 3:
+                continue
+            # Any store that may alias the cell must be *the* step store.
+            if (
+                instr.mnemonic != "sw"
+                or not fact.address.is_const
+                or fact.address.value != cell
+                or step_instr is not None
+            ):
+                return None
+            entry_regs = intervals.block_states.get(start)
+            if entry_regs is None:
+                return None
+            sym, _cmp = _symbolic_block(
+                block, index, entry_regs, intervals.store_facts
+            )
+            value = sym.get(instr.rs2)
+            if value is None or value[0] != "cell" or value[1] != cell or value[2] == 0:
+                return None
+            if not _step_block_ok(loops, loop, dominators, latch, start):
+                return None
+            step_instr = instr
+            step = value[2]
+    if step_instr is None:
+        return None
+    # The loop's own updates fold into the cell's interval, which keeps the
+    # bound sound (only the interval's *low* end feeds the trip count) but
+    # never constant: exactness is only claimed for register counters.  The
+    # flow-sensitive header constraint is preferred over the flow-insensitive
+    # memory word, which havocs to TOP for any loop deeper than the outer
+    # memory rounds.
+    init = intervals.block_cell_states.get(loop.header, {}).get(cell)
+    if init is None:
+        init = intervals.memory.read_word(cell)
+    return (step, init, "cell 0x%x" % cell, False)
+
+
+def _entry_edge_interval(cfg, intervals, body, header, reg) -> Optional[Interval]:
+    joined: Optional[Interval] = None
+    for (src, dst, _kind), state in intervals.edge_states.items():
+        if dst != header or src in body:
+            continue
+        value = state[reg]
+        joined = value if joined is None else joined.join(value)
+    return joined
+
+
+def _invariant_bound(cfg, intervals, body, block, bound_sym: Sym) -> Optional[Interval]:
+    kind, ident, offset = bound_sym
+    if kind == "const":
+        return Interval.const(ident)
+    if kind == "entry":
+        if ident == 0:
+            return Interval.const(offset)
+        for start in body:
+            for instr in cfg.block_starting_at(start).instructions:
+                if register_def(instr) == ident:
+                    return None  # written inside the loop: not invariant
+        entry_regs = intervals.block_states.get(block.start)
+        if entry_regs is None:
+            return None
+        return entry_regs[ident].add_const(offset)
+    if kind == "cell":
+        for start in body:
+            for instr in cfg.block_starting_at(start).instructions:
+                if not instr.spec.is_store:
+                    continue
+                fact = intervals.store_facts.get(instr.address)
+                if fact is None:
+                    if start in intervals.reachable_blocks:
+                        return None
+                    continue
+                if fact.address.hi + fact.size - 1 < ident or fact.address.lo > ident + 3:
+                    continue
+                return None  # may be overwritten inside the loop
+        value = intervals.memory.read_word(ident)
+        constraint = intervals.block_cell_states.get(block.start, {}).get(ident)
+        if constraint is not None:
+            met = value.meet(constraint)
+            value = met if met is not None else constraint
+        return value.add_const(offset)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# block-local symbolic evaluation
+
+
+#: A compare fact: ("slt" | "sltu", lhs sym, rhs sym) — the register holds
+#: the 0/1 outcome of that comparison over block-entry-relative values.
+CmpFact = Tuple[str, Sym, Sym]
+
+
+def _signed_const(value: int) -> int:
+    value %= WORD_MODULUS
+    return value - WORD_MODULUS if value >= (1 << 31) else value
+
+
+def _offset_sym(source: Sym, delta: int) -> Sym:
+    """``source + delta`` where delta folds into the symbolic offset."""
+    if source[0] == "const":
+        return ("const", (source[1] + delta) % WORD_MODULUS, 0)
+    return (source[0], source[1], source[2] + delta)
+
+
+_SYM_STORE_SIZES = {"sb": 1, "sh": 2, "sw": 4}
+
+
+def _symbolic_block(
+    block,
+    stop_index: int,
+    entry_regs: RegState,
+    store_facts: Optional[Dict[int, "StoreFact"]] = None,
+) -> Tuple[Dict[int, Sym], Dict[int, CmpFact]]:
+    """Evaluate ``block`` up to (excluding) ``stop_index`` symbolically.
+
+    Register meanings are relative to the *block entry*: ``("entry", r, k)``
+    is the entry value of ``r`` plus ``k``; ``("cell", a, k)`` is the value
+    the word at constant address ``a`` held at block entry, plus ``k``.
+    In-block word stores to known addresses are forwarded; other stores
+    poison subsequent loads overlapping their fixpoint address range (or
+    every load, when the range is unknown).  Alongside the value map,
+    ``slt``-family results are tracked as compare facts so exit branches of
+    the form ``slt t, a, b; beq t, x0`` can be decoded.
+    """
+    sym: Dict[int, Optional[Sym]] = {r: ("entry", r, 0) for r in range(32)}
+    sym[0] = ("const", 0, 0)
+    cmp: Dict[int, CmpFact] = {}
+    local_cells: Dict[int, Sym] = {}
+    poisoned: List[Tuple[int, int]] = []
+    all_poisoned = False
+
+    def _poison(lo: int, hi: int) -> None:
+        poisoned.append((lo, hi))
+        for cell in [c for c in local_cells if not (c + 3 < lo or c > hi)]:
+            del local_cells[cell]
+
+    for instr in block.instructions[:stop_index]:
+        mnemonic = instr.mnemonic
+        if instr.spec.is_store:
+            size = _SYM_STORE_SIZES[mnemonic]
+            address = _const_address(instr, sym, entry_regs)
+            if address is not None and mnemonic == "sw" and address % 4 == 0:
+                value = sym.get(instr.rs2)
+                local_cells[address] = value if value is not None else ("top", 0, 0)
+            elif address is not None:
+                _poison(address, address + size - 1)
+            else:
+                fact = store_facts.get(instr.address) if store_facts else None
+                if fact is not None and not fact.address.is_top:
+                    _poison(fact.address.lo, fact.address.hi + size - 1)
+                else:
+                    all_poisoned = True
+                    local_cells.clear()
+            continue
+        if instr.spec.is_load:
+            result: Optional[Sym] = None
+            if mnemonic == "lw":
+                address = _const_address(instr, sym, entry_regs)
+                if address is not None and address % 4 == 0:
+                    if address in local_cells:
+                        forwarded = local_cells[address]
+                        result = forwarded if forwarded[0] != "top" else None
+                    elif not all_poisoned and not any(
+                        not (address + 3 < lo or address > hi)
+                        for lo, hi in poisoned
+                    ):
+                        result = ("cell", address, 0)
+            _sym_write(sym, cmp, instr.rd, result)
+            continue
+        if mnemonic == "lui":
+            _sym_write(sym, cmp, instr.rd, ("const", (instr.imm << 12) % WORD_MODULUS, 0))
+            continue
+        if mnemonic == "auipc":
+            value = ((instr.address or 0) + (instr.imm << 12)) % WORD_MODULUS
+            _sym_write(sym, cmp, instr.rd, ("const", value, 0))
+            continue
+        if mnemonic == "addi":
+            source = sym.get(instr.rs1)
+            result = _offset_sym(source, instr.imm) if source is not None else None
+            _sym_write(sym, cmp, instr.rd, result)
+            continue
+        if mnemonic in ("add", "sub"):
+            a = sym.get(instr.rs1)
+            b = sym.get(instr.rs2)
+            result = None
+            if a is not None and b is not None:
+                if mnemonic == "add" and a[0] == "const" and b[0] != "const":
+                    a, b = b, a
+                if b[0] == "const":
+                    delta = _signed_const(b[1])
+                    result = _offset_sym(a, delta if mnemonic == "add" else -delta)
+            _sym_write(sym, cmp, instr.rd, result)
+            continue
+        if mnemonic in ("slt", "slti", "sltu", "sltiu"):
+            a = sym.get(instr.rs1)
+            if mnemonic in ("slt", "sltu"):
+                b = sym.get(instr.rs2)
+            else:
+                b = ("const", instr.imm % WORD_MODULUS, 0)
+            _sym_write(sym, cmp, instr.rd, None)
+            if a is not None and b is not None and instr.rd:
+                cmp[instr.rd] = (
+                    "slt" if mnemonic in ("slt", "slti") else "sltu", a, b
+                )
+            continue
+        target = register_def(instr)
+        if target is not None:
+            sym[target] = None
+            cmp.pop(target, None)
+    return {r: v for r, v in sym.items() if v is not None}, cmp
+
+
+def _sym_write(
+    sym: Dict[int, Optional[Sym]],
+    cmp: Dict[int, CmpFact],
+    rd: int,
+    value: Optional[Sym],
+) -> None:
+    if rd:
+        sym[rd] = value
+        cmp.pop(rd, None)
+
+
+def _const_address(
+    instr: Instruction, sym: Dict[int, Optional[Sym]], entry_regs: RegState
+) -> Optional[int]:
+    base = sym.get(instr.rs1)
+    if base is None:
+        return None
+    if base[0] == "const":
+        return (base[1] + instr.imm) % WORD_MODULUS
+    if base[0] == "entry":
+        interval = entry_regs[base[1]]
+        if interval.is_const:
+            return (interval.value + base[2] + instr.imm) % WORD_MODULUS
+    return None
+
+
+# ---------------------------------------------------------------------------
+# trip-count arithmetic
+
+
+def _continue_op(mnemonic: str, continue_on_taken: bool, counter_left: bool) -> Optional[str]:
+    base = {
+        "beq": "eq", "bne": "ne",
+        "blt": "lt", "bge": "ge",
+        "bltu": "ltu", "bgeu": "geu",
+    }.get(mnemonic)
+    if base is None:
+        return None
+    if not continue_on_taken:
+        base = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt",
+                "ltu": "geu", "geu": "ltu"}[base]
+    if not counter_left:
+        base = {"eq": "eq", "ne": "ne", "lt": "gt", "ge": "le",
+                "ltu": "gtu", "geu": "leu"}[base]
+    return base
+
+
+def _max_back_edges(
+    op: str, init: Interval, offset: int, step: int, bound: Interval
+) -> Optional[int]:
+    """Upper bound on continue-evaluations (hence back edges), or None."""
+    i_lo = init.lo + offset
+    i_hi = init.hi + offset
+    signed_ops = {"lt", "le", "gt", "ge"}
+    if op in signed_ops:
+        # Keep every quantity inside [0, INT_MAX] so the signed comparison
+        # coincides with integer order and no wrap can occur.
+        if not (0 <= i_lo and i_hi <= INT_MAX and bound.hi <= INT_MAX):
+            return None
+    else:
+        if not (0 <= i_lo and i_hi <= WORD_MODULUS - 1):
+            return None
+
+    if op in ("lt", "ltu", "le", "leu"):
+        if step <= 0:
+            return None
+        b_eff = bound.hi + (1 if op in ("le", "leu") else 0)
+        if op in ("ltu", "leu") and b_eff + step > WORD_MODULUS:
+            return None
+        if op in ("lt", "le") and b_eff + step > INT_MAX + 1:
+            return None
+        if i_lo >= b_eff:
+            return 0
+        return (b_eff - i_lo - 1) // step + 1
+
+    if op in ("gt", "gtu", "ge", "geu"):
+        if step >= 0:
+            return None
+        magnitude = -step
+        b_eff = bound.lo - (0 if op in ("gt", "gtu") else 1)
+        if b_eff < 0:
+            return None
+        if op in ("gtu", "geu") and bound.lo < magnitude:
+            return None  # the counter could wrap below zero and continue
+        if i_hi <= b_eff:
+            return 0
+        return (i_hi - b_eff - 1) // magnitude + 1
+
+    if op == "ne":
+        if not (init.is_const and bound.is_const and step != 0):
+            return None
+        delta = bound.value - (init.value + offset)
+        if step > 0 and 0 <= delta and delta % step == 0:
+            return delta // step
+        if step < 0 and delta <= 0 and delta % step == 0:
+            return delta // step
+        return None
+
+    return None  # "eq" loops carry no useful static bound

@@ -1,0 +1,65 @@
+"""Reaching definitions over registers.
+
+A definition is a ``(register, pc)`` pair; the pseudo-pc ``-1`` denotes the
+initial register file state at reset (every register starts defined: zeroed,
+with ``sp``/``gp`` seeded by the CPU).  Propagation follows every CFG edge
+kind, over-approximating the possible flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.cfg.builder import ControlFlowGraph
+from repro.dataflow import engine
+from repro.dataflow.semantics import register_def
+
+#: (register, defining pc); pc == INITIAL_PC for the reset state.
+Definition = Tuple[int, int]
+INITIAL_PC = -1
+
+
+@dataclass
+class ReachingDefinitions:
+    reach_in: Dict[int, FrozenSet[Definition]]
+
+    def reaching(self, block_start: int, register: int) -> Set[int]:
+        """The pcs of definitions of ``register`` live at block entry."""
+        return {
+            pc for reg, pc in self.reach_in.get(block_start, frozenset())
+            if reg == register
+        }
+
+
+def analyze_reaching_definitions(cfg: ControlFlowGraph) -> ReachingDefinitions:
+    block_by_start = {block.start: block for block in cfg.blocks}
+
+    def successors(start: int):
+        return [edge.dst for edge in cfg.successors(start)
+                if edge.dst in block_by_start]
+
+    def transfer(start: int, reach_in: FrozenSet[Definition]) -> FrozenSet[Definition]:
+        killed: Set[int] = set()
+        generated: Dict[int, int] = {}
+        for instr in block_by_start[start].instructions:
+            defined = register_def(instr)
+            if defined is not None:
+                killed.add(defined)
+                generated[defined] = instr.address
+        surviving = {d for d in reach_in if d[0] not in killed}
+        surviving.update(generated.items())
+        return frozenset(surviving)
+
+    entry = cfg.entry_block
+    seeds = {
+        entry.start: frozenset((reg, INITIAL_PC) for reg in range(1, 32))
+    }
+    reach_in = engine.solve(
+        nodes=[block.start for block in cfg.blocks],
+        successors=successors,
+        transfer=transfer,
+        join=lambda a, b: a | b,
+        seeds=seeds,
+    )
+    return ReachingDefinitions(reach_in=dict(reach_in))

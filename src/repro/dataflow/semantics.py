@@ -1,0 +1,61 @@
+"""Shared per-instruction register semantics.
+
+Single source of truth for which architectural registers an instruction
+reads and writes, used by the liveness pass, the dead-definition detector
+and the dynamic soundness oracle.  The ``ecall`` row mirrors
+:mod:`repro.cpu.syscalls`: the handler dispatches on ``a7``, reads ``a0``
+and only ever writes ``a0`` (the ``read_int`` result).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.isa.instructions import Instruction
+
+#: Conditional branch mnemonics, in ``repro.isa`` spelling.
+BRANCH_MNEMONICS = ("beq", "bne", "blt", "bge", "bltu", "bgeu")
+
+#: Registers the RISC-V ABI requires a callee to preserve, plus x0.  The
+#: interval analysis assumes direct calls respect this contract for ``sp``,
+#: ``gp``, ``tp`` and the saved registers; the assumption is pinned
+#: empirically by the tier-1 soundness oracle.
+CALLEE_SAVED = frozenset((0, 2, 3, 4, 8, 9) + tuple(range(18, 28)))
+
+_A0 = 10
+_A7 = 17
+
+_NO_OPERANDS = ("lui", "auipc", "jal", "ebreak", "fence")
+
+
+def register_uses(instr: Instruction) -> Tuple[int, ...]:
+    """Architectural registers read by ``instr`` (x0 included when encoded)."""
+    mnemonic = instr.mnemonic
+    if mnemonic == "ecall":
+        return (_A0, _A7)
+    if mnemonic in _NO_OPERANDS:
+        return ()
+    spec = instr.spec
+    if spec.is_branch or spec.is_store:
+        return (instr.rs1, instr.rs2)
+    if spec.fmt.name == "R":
+        return (instr.rs1, instr.rs2)
+    # Loads, jalr and I-format ALU operations read a single source register.
+    return (instr.rs1,)
+
+
+def register_def(instr: Instruction) -> Optional[int]:
+    """The register written by ``instr``, or None.
+
+    Writes to x0 are architectural no-ops and are reported as None, so a
+    ``j target`` (``jal x0``) is never treated as a definition.
+    """
+    mnemonic = instr.mnemonic
+    if mnemonic == "ecall":
+        return _A0
+    if mnemonic in ("ebreak", "fence"):
+        return None
+    spec = instr.spec
+    if spec.is_branch or spec.is_store:
+        return None
+    return instr.rd or None

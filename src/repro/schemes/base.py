@@ -61,6 +61,7 @@ class VerdictReason(enum.Enum):
     MEASUREMENT_MISMATCH = "measurement_mismatch"
     METADATA_MISMATCH = "metadata_mismatch"
     METADATA_CFG_VIOLATION = "metadata_cfg_violation"
+    POLICY_VIOLATION = "policy_violation"
     NO_REFERENCE = "no_reference_measurement"
 
 

@@ -27,9 +27,15 @@ both keys, so any later job whose capture serialises to the same bytes --
 whatever workload/input signature it was captured under -- reuses the
 measurement without another replay.  Both keyspaces persist.
 
+A third keyspace stores :class:`repro.dataflow.policy.StaticPolicy`
+artifacts keyed by program digest, so verifier processes loading a shared
+database also pick up the statically proven loop bounds and enforce them
+without re-running the dataflow passes.
+
 The database stores only public reference values -- the expected measurement
-and metadata for known inputs -- so persisting or sharing it does not weaken
-the protocol (freshness still comes from the per-challenge nonce).
+and metadata for known inputs, and statically derivable program facts -- so
+persisting or sharing it does not weaken the protocol (freshness still comes
+from the per-challenge nonce).
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from __future__ import annotations
 import json
 from typing import Dict, Optional, Tuple
 
+from repro.dataflow.policy import StaticPolicy
 from repro.isa.assembler import Program
 from repro.lofat.config import LoFatConfig
 from repro.schemes import get_scheme
@@ -71,6 +78,7 @@ class MeasurementDatabase:
     def __init__(self) -> None:
         self._entries: Dict[DatabaseKey, Tuple[bytes, bytes]] = {}
         self._trace_entries: Dict[TraceKey, Tuple[bytes, bytes]] = {}
+        self._policy_entries: Dict[str, StaticPolicy] = {}
         self.hits = 0
         self.misses = 0
 
@@ -178,6 +186,19 @@ class MeasurementDatabase:
         key = self.trace_key_for(scheme, trace_digest, config, config_digest)
         self._trace_entries[key] = (bytes(measurement), bytes(metadata_bytes))
 
+    def store_policy(self, policy: StaticPolicy) -> None:
+        """Persist a StaticPolicy, keyed by its own program digest."""
+        self._policy_entries[policy.program_digest] = policy
+
+    def lookup_policy(self, program_digest: str) -> Optional[StaticPolicy]:
+        """The stored StaticPolicy for a program digest, or None.
+
+        Deliberately not counted in the hit/miss statistics: those measure
+        measurement-reference reuse (the E10 cache-speedup benchmark), and
+        policy lookups happen once per program registration, not per report.
+        """
+        return self._policy_entries.get(program_digest)
+
     def lookup_or_compute(
         self,
         program: Program,
@@ -254,6 +275,7 @@ class MeasurementDatabase:
         return {
             "entries": len(self._entries),
             "trace_entries": len(self._trace_entries),
+            "policy_entries": len(self._policy_entries),
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,
@@ -312,6 +334,11 @@ class MeasurementDatabase:
         document = {"version": 1, "entries": entries}
         if trace_entries:
             document["trace_entries"] = trace_entries
+        if self._policy_entries:
+            document["policy_entries"] = [
+                self._policy_entries[digest].to_json()
+                for digest in sorted(self._policy_entries)
+            ]
         return json.dumps(document, indent=2)
 
     @classmethod
@@ -348,6 +375,9 @@ class MeasurementDatabase:
                 bytes.fromhex(entry["measurement"]),
                 bytes.fromhex(entry["metadata"]),
             )
+        for entry in document.get("policy_entries", []):
+            policy = StaticPolicy.from_json(entry)
+            database._policy_entries[policy.program_digest] = policy
         return database
 
     def save(self, path: str) -> int:

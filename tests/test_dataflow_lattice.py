@@ -1,0 +1,203 @@
+"""Unit and property tests for the interval lattice.
+
+The soundness contract every transfer helper promises: for any concrete
+operands drawn from the argument intervals, the concrete RV32 result is
+contained in the result interval.  The property tests sample that contract
+directly against the Python-level reference semantics.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.lattice import (
+    BOOL,
+    TOP,
+    WORD_MASK,
+    Interval,
+    refine_branch,
+    to_signed,
+    to_unsigned,
+)
+
+# Small bounds keep the shrunk counterexamples readable; a separate strategy
+# mixes in boundary words so the sign/wrap corners are exercised too.
+_words = st.integers(min_value=0, max_value=WORD_MASK)
+_edgy_words = st.sampled_from(
+    [0, 1, 2, 0x7FFFFFFE, 0x7FFFFFFF, 0x80000000, 0x80000001,
+     0xFFFFFFFE, 0xFFFFFFFF, 41, 1000]
+) | _words
+
+
+@st.composite
+def intervals(draw):
+    a = draw(_edgy_words)
+    b = draw(_edgy_words)
+    return Interval(min(a, b), max(a, b))
+
+
+@st.composite
+def interval_with_member(draw):
+    interval = draw(intervals())
+    value = draw(st.integers(min_value=interval.lo, max_value=interval.hi))
+    return interval, value
+
+
+class TestBasics:
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 4)
+        with pytest.raises(ValueError):
+            Interval(-1, 4)
+        with pytest.raises(ValueError):
+            Interval(0, WORD_MASK + 1)
+
+    def test_const_and_top(self):
+        assert Interval.const(-1) == Interval(WORD_MASK, WORD_MASK)
+        assert Interval.const(7).is_const
+        assert Interval.const(7).value == 7
+        assert TOP.is_top
+        assert not BOOL.is_top
+        with pytest.raises(ValueError):
+            BOOL.value
+
+    def test_signed_bounds(self):
+        assert Interval(0, 5).signed_bounds() == (0, 5)
+        assert Interval.const(-3).signed_bounds() == (-3, -3)
+        # Straddles the signed boundary: no single signed range.
+        assert Interval(0x7FFFFFFF, 0x80000000).signed_bounds() is None
+
+    @given(intervals(), intervals())
+    def test_join_is_upper_bound(self, a, b):
+        joined = a.join(b)
+        assert joined.lo <= min(a.lo, b.lo)
+        assert joined.hi >= max(a.hi, b.hi)
+
+    @given(intervals(), intervals())
+    def test_meet_is_intersection(self, a, b):
+        met = a.meet(b)
+        expected_lo, expected_hi = max(a.lo, b.lo), min(a.hi, b.hi)
+        if expected_lo > expected_hi:
+            assert met is None
+        else:
+            assert met == Interval(expected_lo, expected_hi)
+
+    def test_widen_is_top(self):
+        assert Interval(3, 9).widen() is TOP
+
+
+def _concrete(op, x, y):
+    """The executor's reference result for one binary operation."""
+    if op == "add":
+        return to_unsigned(x + y)
+    if op == "sub":
+        return to_unsigned(x - y)
+    if op == "mul":
+        return to_unsigned(to_signed(x) * to_signed(y))
+    if op == "and_":
+        return x & y
+    if op == "or_":
+        return x | y
+    if op == "xor":
+        return x ^ y
+    if op == "shl":
+        return to_unsigned(x << (y & 0x1F))
+    if op == "shr_logical":
+        return x >> (y & 0x1F)
+    if op == "shr_arithmetic":
+        return to_unsigned(to_signed(x) >> (y & 0x1F))
+    if op == "divu":
+        return WORD_MASK if y == 0 else x // y
+    if op == "remu":
+        return x if y == 0 else x % y
+    raise AssertionError(op)
+
+
+@pytest.mark.parametrize("op", [
+    "add", "sub", "mul", "and_", "or_", "xor",
+    "shl", "shr_logical", "shr_arithmetic", "divu", "remu",
+])
+@given(interval_with_member(), interval_with_member())
+@settings(max_examples=60)
+def test_transfer_soundness(op, lhs, rhs):
+    a, x = lhs
+    b, y = rhs
+    result = getattr(a, op)(b)
+    assert result.contains(_concrete(op, x, y)), (
+        "%s: %r op %r -> %r must contain %#x"
+        % (op, a, b, result, _concrete(op, x, y))
+    )
+
+
+def _branch_outcome(mnemonic, x, y):
+    if mnemonic == "beq":
+        return x == y
+    if mnemonic == "bne":
+        return x != y
+    if mnemonic == "bltu":
+        return x < y
+    if mnemonic == "bgeu":
+        return x >= y
+    if mnemonic == "blt":
+        return to_signed(x) < to_signed(y)
+    if mnemonic == "bge":
+        return to_signed(x) >= to_signed(y)
+    raise AssertionError(mnemonic)
+
+
+@pytest.mark.parametrize("mnemonic", ["beq", "bne", "bltu", "bgeu", "blt", "bge"])
+@pytest.mark.parametrize("taken", [True, False])
+@given(interval_with_member(), interval_with_member())
+@settings(max_examples=60)
+def test_refine_branch_soundness(mnemonic, taken, lhs, rhs):
+    """Concrete pairs consistent with the outcome survive refinement."""
+    a, x = lhs
+    b, y = rhs
+    refined = refine_branch(mnemonic, taken, a, b)
+    if _branch_outcome(mnemonic, x, y) == taken:
+        assert refined is not None, (
+            "(%#x, %#x) satisfies %s taken=%s but the edge was pruned"
+            % (x, y, mnemonic, taken)
+        )
+        new_lhs, new_rhs = refined
+        assert new_lhs.contains(x)
+        assert new_rhs.contains(y)
+
+
+@pytest.mark.parametrize("mnemonic", ["beq", "bne", "bltu", "bgeu", "blt", "bge"])
+def test_refine_branch_prunes_only_infeasible(mnemonic):
+    """Exhaustive check on a small box: None only when no pair satisfies."""
+    for a_lo in range(4):
+        for a_hi in range(a_lo, 4):
+            for b_lo in range(4):
+                for b_hi in range(b_lo, 4):
+                    a, b = Interval(a_lo, a_hi), Interval(b_lo, b_hi)
+                    for taken in (True, False):
+                        feasible = any(
+                            _branch_outcome(mnemonic, x, y) == taken
+                            for x in range(a.lo, a.hi + 1)
+                            for y in range(b.lo, b.hi + 1)
+                        )
+                        refined = refine_branch(mnemonic, taken, a, b)
+                        if not feasible:
+                            assert refined is None
+                        else:
+                            assert refined is not None
+
+
+class TestComparisons:
+    def test_compare_ltu(self):
+        assert Interval(0, 3).compare_ltu(Interval(4, 9)) is True
+        assert Interval(5, 9).compare_ltu(Interval(0, 5)) is False
+        assert Interval(0, 5).compare_ltu(Interval(3, 9)) is None
+
+    def test_compare_lt_signed(self):
+        minus_one = Interval.const(-1)
+        assert minus_one.compare_lt(Interval.const(0)) is True
+        assert Interval.const(0).compare_lt(minus_one) is False
+        assert TOP.compare_lt(Interval.const(0)) is None
+
+    def test_compare_eq(self):
+        assert Interval.const(3).compare_eq(Interval.const(3)) is True
+        assert Interval(0, 2).compare_eq(Interval(5, 9)) is False
+        assert Interval(0, 5).compare_eq(Interval(3, 9)) is None
