@@ -11,6 +11,8 @@ This package is that pre-processing step:
 * :mod:`repro.cfg.loops` -- natural-loop detection and nesting analysis.
 * :mod:`repro.cfg.paths` -- edge/path validity queries used during
   attestation verification.
+* :mod:`repro.cfg.superblocks` -- superblock chain formation for the
+  trace-compiling execution engine.
 """
 
 from repro.cfg.basic_blocks import BasicBlock, split_basic_blocks
@@ -18,10 +20,13 @@ from repro.cfg.builder import CfgEdge, ControlFlowGraph, EdgeKind, build_cfg
 from repro.cfg.dominators import compute_dominators, dominator_tree
 from repro.cfg.loops import NaturalLoop, find_natural_loops
 from repro.cfg.paths import EdgeValidity, PathChecker
+from repro.cfg.superblocks import Superblock, form_superblocks
 
 __all__ = [
     "BasicBlock",
     "split_basic_blocks",
+    "Superblock",
+    "form_superblocks",
     "CfgEdge",
     "ControlFlowGraph",
     "EdgeKind",

@@ -1,0 +1,108 @@
+"""Superblock chain formation for the trace-compiling execution engine.
+
+A *superblock* is a chain of basic blocks that executes as one straight
+line at run time: each non-final member hands control to the next either
+by falling through (a non-control-flow terminator) or by a *forward,
+non-linking* ``jal x0`` -- an unconditional direct jump whose transfer is
+fully determined at compile time.  The block compiler
+(:mod:`repro.cpu.compile`) turns each chain into a single generated step
+function, so the per-instruction dispatch cost of the interpreter is paid
+once per chain instead of once per instruction.
+
+Chains deliberately stop at every transfer whose destination or outcome
+is dynamic (conditional branches, calls, returns, indirect jumps) and at
+every *backward* ``jal x0``: backward direct jumps are loop back edges
+under LO-FAT's run-time heuristic and must stay visible to the branch
+filter as chain terminators, never as chain-internal jumps.  Every block
+leader heads its own chain, so chains may overlap (tail duplication);
+entering a chain mid-way simply enters the chain headed there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.cfg.basic_blocks import BasicBlock
+from repro.isa.instructions import Instruction
+
+#: Upper bound on chain length; keeps generated step functions small and
+#: bounds the work lost when a chain exits early (``ecall`` that halts).
+MAX_SUPERBLOCK_BLOCKS = 8
+
+
+@dataclass(frozen=True)
+class Superblock:
+    """One compile-time chain of basic blocks.
+
+    Attributes:
+        head: address of the first instruction of the first member.
+        blocks: the member basic blocks, in execution order.
+    """
+
+    head: int
+    blocks: Tuple[BasicBlock, ...]
+
+    @property
+    def size(self) -> int:
+        """Total number of instructions across all members."""
+        return sum(block.size for block in self.blocks)
+
+    def instructions(self) -> Iterator[Instruction]:
+        """All member instructions in execution order."""
+        for block in self.blocks:
+            for instruction in block.instructions:
+                yield instruction
+
+    def __repr__(self) -> str:
+        return "Superblock(%#x, %d blocks, %d instrs)" % (
+            self.head, len(self.blocks), self.size,
+        )
+
+
+def _chain_successor(
+    block: BasicBlock, by_start: Dict[int, BasicBlock]
+) -> Optional[BasicBlock]:
+    """The unique compile-time successor ``block`` may chain into, if any."""
+    terminator = block.terminator
+    if not terminator.is_control_flow:
+        # Fall-through into the next leader (the follower is a leader only
+        # because something else targets it; execution itself is linear).
+        return by_start.get(block.end)
+    if (
+        terminator.is_direct_jump
+        and terminator.rd == 0
+        and terminator.imm > 0
+    ):
+        # Forward jal x0: target static, non-linking, and -- because it is
+        # strictly forward -- never a loop back edge.
+        return by_start.get(terminator.address + terminator.imm)
+    return None
+
+
+def form_superblocks(
+    blocks: Sequence[BasicBlock],
+    max_blocks: int = MAX_SUPERBLOCK_BLOCKS,
+) -> List[Superblock]:
+    """Form one superblock chain per block leader.
+
+    Every basic block heads exactly one chain; a chain extends through
+    fall-through and forward ``jal x0`` successors until it meets a dynamic
+    terminator, revisits a member (a straight-line cycle cannot occur in a
+    well-formed program, but a jal chain could), or reaches ``max_blocks``.
+    """
+    by_start: Dict[int, BasicBlock] = {block.start: block for block in blocks}
+    superblocks: List[Superblock] = []
+    for block in blocks:
+        chain: List[BasicBlock] = [block]
+        seen = {block.start}
+        current = block
+        while len(chain) < max_blocks:
+            successor = _chain_successor(current, by_start)
+            if successor is None or successor.start in seen:
+                break
+            chain.append(successor)
+            seen.add(successor.start)
+            current = successor
+        superblocks.append(Superblock(head=block.start, blocks=tuple(chain)))
+    return superblocks

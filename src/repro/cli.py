@@ -17,9 +17,12 @@ the CLI exposes the most common interactions without writing any Python:
 * ``repro overhead`` -- print the E1 LO-FAT vs C-FLAT overhead table.
 * ``repro area`` -- print the E3 FPGA resource estimate and sweep.
 * ``repro fastpath [--workload NAME]`` -- verify that the fused fast-path
-  interpreter is enabled by default and produces byte-identical
-  measurements to the legacy per-instruction loop, and print the
-  per-scheme instructions/sec speedup (the CI smoke check for E12).
+  interpreter is enabled by default and that the fast and compiled engines
+  both produce byte-identical measurements to the legacy per-instruction
+  loop, and print the per-scheme instructions/sec speedups (the CI smoke
+  check for E12/E17).  Execution-bearing commands take ``--engine
+  {legacy,fast,compiled}``; ``--legacy-loop`` is a deprecated alias for
+  ``--engine legacy``.
 * ``repro campaign`` -- run an attestation campaign (schemes x workloads x
   configs x attacks) through the parallel campaign service, e.g.
   ``repro campaign --experiment all --workers 4`` or
@@ -118,9 +121,22 @@ def _resolve_inputs(args: argparse.Namespace, workload) -> List[int]:
     return list(workload.inputs) if args.inputs is None else list(args.inputs)
 
 
+def _cli_engine(args: argparse.Namespace) -> Optional[str]:
+    """The execution engine selected by the CLI flags, or None for default.
+
+    ``--legacy-loop`` is the deprecated spelling of ``--engine legacy``;
+    an explicit ``--engine`` wins when both are given.
+    """
+    engine = getattr(args, "engine", None)
+    if engine is None and getattr(args, "legacy_loop", False):
+        return "legacy"
+    return engine
+
+
 def _cpu_config(args: argparse.Namespace) -> CpuConfig:
     """The core-model configuration implied by the CLI flags."""
-    return CpuConfig(fast_path=not getattr(args, "legacy_loop", False))
+    engine = _cli_engine(args)
+    return CpuConfig(fast_path=engine != "legacy", engine=engine)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -251,20 +267,20 @@ def _cmd_area(args: argparse.Namespace) -> int:
 
 
 def _cmd_fastpath(args: argparse.Namespace) -> int:
-    """Smoke-check the fast execution pipeline against the legacy loop."""
+    """Smoke-check the fast and compiled pipelines against the legacy loop."""
     workload = get_workload(args.workload)
     program = workload.build()
     inputs = list(workload.inputs)
 
-    default_on = CpuConfig().fast_path
-    print("fast path enabled by default: %s" % default_on)
+    default_engine = CpuConfig().resolved_engine()
+    print("default engine: %s" % default_engine)
     all_identical = True
 
     for scheme in all_schemes():
         measurements = {}
         rates = {}
-        for label, fast in (("legacy", False), ("fast", True)):
-            config = CpuConfig(fast_path=fast, collect_trace=False)
+        for label in ("legacy", "fast", "compiled"):
+            config = CpuConfig(engine=label, collect_trace=False)
             best = None
             for _ in range(max(1, args.repeats)):
                 started = time.perf_counter()
@@ -275,15 +291,20 @@ def _cmd_fastpath(args: argparse.Namespace) -> int:
             measurements[label] = (measured.measurement,
                                    measured.metadata.to_bytes())
             rates[label] = result.instructions / best if best else 0.0
-        identical = measurements["legacy"] == measurements["fast"]
+        identical = (measurements["legacy"] == measurements["fast"]
+                     == measurements["compiled"])
         all_identical = all_identical and identical
-        speedup = rates["fast"] / rates["legacy"] if rates["legacy"] else 0.0
-        print("  %-8s measurements %s  legacy %8.0f i/s  fast %8.0f i/s  "
-              "speedup %.2fx"
+        legacy_rate = rates["legacy"]
+        print("  %-8s measurements %s  legacy %8.0f i/s  "
+              "fast %8.0f i/s (%.2fx)  compiled %8.0f i/s (%.2fx)"
               % (scheme.name, "identical" if identical else "DIFFER",
-                 rates["legacy"], rates["fast"], speedup))
+                 legacy_rate,
+                 rates["fast"],
+                 rates["fast"] / legacy_rate if legacy_rate else 0.0,
+                 rates["compiled"],
+                 rates["compiled"] / legacy_rate if legacy_rate else 0.0))
 
-    ok = default_on and all_identical
+    ok = default_engine == "fast" and all_identical
     print("fastpath check: %s" % ("OK" if ok else "FAILED"))
     return 0 if ok else 1
 
@@ -307,6 +328,9 @@ def _load_campaign_spec(args: argparse.Namespace) -> CampaignSpec:
     if args.scheme is not None:
         spec.schemes = [name.strip() for name in args.scheme.split(",")
                         if name.strip()]
+    engine = _cli_engine(args)
+    if engine is not None:
+        spec.engine = engine
     spec.validate()
     return spec
 
@@ -879,6 +903,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_engine_options(target, what="CPU executions"):
+        target.add_argument(
+            "--engine", default=None, choices=["legacy", "fast", "compiled"],
+            help="execution engine for %s: the per-instruction legacy loop, "
+                 "the fused fast path (default) or the superblock trace "
+                 "compiler" % what,
+        )
+        target.add_argument(
+            "--legacy-loop", action="store_true",
+            help="deprecated alias for --engine legacy",
+        )
+
     subparsers.add_parser("list", help="list workloads and attack scenarios")
     subparsers.add_parser("schemes", help="list the registered attestation schemes")
 
@@ -892,9 +928,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--inputs", type=int, nargs="*", default=None,
                          help="override the workload's default input values")
         if name in ("run", "attest"):
-            sub.add_argument("--legacy-loop", action="store_true",
-                             help="force the legacy per-instruction interpreter "
-                                  "loop instead of the fused fast path")
+            add_engine_options(sub, what="the workload execution")
         if name in ("attest", "protocol"):
             sub.add_argument("--scheme", default="lofat", choices=scheme_names(),
                              help="attestation scheme (default: lofat)")
@@ -957,11 +991,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="override the spec's attestation schemes (comma-separated, "
                  "e.g. lofat,cflat,static)",
         )
-        target.add_argument(
-            "--legacy-loop", action="store_true",
-            help="run prover and verifier executions on the legacy "
-                 "per-instruction loop instead of the fused fast path",
-        )
+        add_engine_options(target, what="prover and verifier executions")
         if full:
             target.add_argument(
                 "--database", default=None, metavar="FILE",
@@ -1068,8 +1098,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="execute the compiled program")
     compile_cmd.add_argument("--inputs", type=int, nargs="*", default=None,
                              help="input values for --run")
-    compile_cmd.add_argument("--legacy-loop", action="store_true",
-                             help="run on the legacy per-instruction loop")
+    add_engine_options(compile_cmd, what="--run executions")
 
     analyze = subparsers.add_parser(
         "analyze",
@@ -1118,10 +1147,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute every generated workload and compare its output "
              "against the family's Python reference model",
     )
-    workloads_cmd.add_argument(
-        "--legacy-loop", action="store_true",
-        help="run --check executions on the legacy per-instruction loop",
-    )
+    add_engine_options(workloads_cmd, what="--check executions")
 
     serve = subparsers.add_parser(
         "serve",
@@ -1143,9 +1169,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: 4)")
     serve.add_argument("--allow-shutdown", action="store_true",
                        help="honour the wire SHUTDOWN frame (CI smoke runs)")
-    serve.add_argument("--legacy-loop", action="store_true",
-                       help="compute references on the legacy "
-                            "per-instruction loop")
+    add_engine_options(serve, what="reference computations")
 
     attest_remote = subparsers.add_parser(
         "attest-remote",
@@ -1182,9 +1206,7 @@ def build_parser() -> argparse.ArgumentParser:
     attest_remote.add_argument("--shutdown", action="store_true",
                                help="send a SHUTDOWN frame after the run "
                                     "(server must allow it)")
-    attest_remote.add_argument("--legacy-loop", action="store_true",
-                               help="run live prover executions on the "
-                                    "legacy per-instruction loop")
+    add_engine_options(attest_remote, what="live prover executions")
     return parser
 
 

@@ -80,10 +80,30 @@ class CpuConfig:
     #: Number of control-flow records buffered before a batch is flushed to
     #: the attached monitors on the fast path.
     monitor_batch_size: int = 256
+    #: Execution engine: ``"legacy"`` (per-instruction :meth:`Cpu.step`
+    #: loop), ``"fast"`` (fused interpreter, :meth:`Cpu.run_fast`) or
+    #: ``"compiled"`` (superblock trace compilation,
+    #: :meth:`Cpu.run_compiled`).  ``None`` resolves from :attr:`fast_path`
+    #: for backward compatibility.  The compiled engine transparently falls
+    #: back to ``run_fast`` when the program or run shape is ineligible
+    #: (unresolved indirect jumps, collected traces, pre-hooks).
+    engine: Optional[str] = None
     #: Clock frequency of the core in MHz (Pulpino/LO-FAT run at 80 MHz on
     #: the Zedboard prototype); used only to convert cycles to wall time in
     #: reports.
     clock_mhz: float = 80.0
+
+    def resolved_engine(self) -> str:
+        """The effective engine name; validates :attr:`engine`."""
+        engine = self.engine
+        if engine is None:
+            return "fast" if self.fast_path else "legacy"
+        if engine not in ("legacy", "fast", "compiled"):
+            raise ValueError(
+                "unknown execution engine %r (expected legacy, fast or"
+                " compiled)" % (engine,)
+            )
+        return engine
 
 
 @dataclass
@@ -143,10 +163,18 @@ class Cpu:
         self.cycle = 0
         self.retired = 0
         self.halted = False
+        #: The engine that actually ran (set by :meth:`run`): "legacy",
+        #: "fast" or "compiled".  A compiled run that delegates its tail to
+        #: ``run_fast`` still reports "compiled".
+        self.engine_used: Optional[str] = None
         self._monitors: List[Monitor] = []
         #: Batched observers resolved from the attached monitors (None for a
         #: monitor that only supports per-record delivery).
         self._batch_monitors: List[Optional[Callable]] = []
+        #: Per-block observers (``observe_block(records, chunk, pairs)``)
+        #: used by the compiled engine to absorb a block's precomputed
+        #: hash chunk in one sponge update.
+        self._block_monitors: List[Optional[Callable]] = []
         #: End-of-run hooks (``finish_run(instructions, cycle)``) used by the
         #: fast path to sync final counters to batch monitors.
         self._finish_monitors: List[Callable] = []
@@ -194,6 +222,7 @@ class Cpu:
         # itself (the LO-FAT engine is directly callable).
         owner = getattr(monitor, "__self__", monitor)
         self._batch_monitors.append(getattr(owner, "observe_batch", None))
+        self._block_monitors.append(getattr(owner, "observe_block", None))
         finish = getattr(owner, "finish_run", None)
         if finish is not None:
             self._finish_monitors.append(finish)
@@ -214,13 +243,29 @@ class Cpu:
     def run(self) -> ExecutionResult:
         """Run the program to completion and return the execution result.
 
-        Dispatches to the fused fast path (:meth:`run_fast`) when the
-        configuration allows it and every attached monitor supports batched
-        observation; otherwise falls back to the legacy per-instruction
-        :meth:`step` loop.  Both paths are architecturally identical.
+        Dispatches by :meth:`CpuConfig.resolved_engine`: the compiled
+        engine (:meth:`run_compiled`) when requested and eligible, else the
+        fused fast path (:meth:`run_fast`) when every attached monitor
+        supports batched observation, else the legacy per-instruction
+        :meth:`step` loop.  All paths are architecturally identical.
         """
-        if self.config.fast_path and all(self._batch_monitors):
+        engine = self.config.resolved_engine()
+        if engine != "legacy" and all(self._batch_monitors):
+            if (
+                engine == "compiled"
+                and not self._pre_hooks
+                and not self.config.collect_trace
+            ):
+                # Lazy import: repro.cpu.compile imports this module.
+                from repro.cpu.compile import COMPILE_CACHE
+
+                plan = COMPILE_CACHE.plan_for(self.program, self.config)
+                if plan is not None:
+                    self.engine_used = "compiled"
+                    return self.run_compiled(plan)
+            self.engine_used = self.engine_used or "fast"
             return self.run_fast()
+        self.engine_used = "legacy"
         while not self.halted:
             self.step()
         return self._result()
@@ -364,6 +409,207 @@ class Cpu:
             self.step(_skip_hooks=True)
             while not self.halted:
                 self.step()
+        return self._result()
+
+    def run_compiled(self, plan) -> ExecutionResult:
+        """Inter-block trampoline over compiled superblock step functions.
+
+        The third engine (see :mod:`repro.cpu.compile`): each iteration
+        looks up the compiled block headed at ``pc`` and executes the whole
+        block with a single call -- no per-instruction dispatch.  Cycle and
+        retirement deltas come back as compile-time constants; control-flow
+        trace records are materialized per edge from the block's static
+        templates so downstream traces and measurements stay byte-identical
+        to the other engines.  Monitors exposing ``observe_block`` absorb
+        each block's chain-internal jumps from one precomputed chunk; the
+        block terminator (and everything for batch-only monitors) flows
+        through the same ``observe_batch`` batching as :meth:`run_fast`.
+
+        Runs that the trampoline cannot finish -- a transfer to an address
+        outside the compiled plan, or a block whose worst-case retirement
+        would cross the fuel limit -- delegate the remainder of the run to
+        :meth:`run_fast` with identical semantics.
+        """
+        config = self.config
+        blocks_get = plan.blocks.get
+        compile_block_at = plan.compile_block_at
+        batch_monitors = self._batch_monitors
+        block_monitors = self._block_monitors
+        use_blocks = bool(block_monitors) and all(block_monitors)
+        fuel = config.max_instructions
+        flush_at = max(1, config.monitor_batch_size)
+        make_record = TraceRecord
+
+        pc = self.pc
+        cycle = self.cycle
+        retired = self.retired
+        start_retired = retired
+        cf_events = 0
+        taken_cf_events = 0
+        by_kind: Dict[str, int] = {}
+        batch: List[TraceRecord] = []
+        x = self.registers._regs
+        rf = self.registers
+        load = self.memory.load
+        store = self.memory.store
+        direct_jump_kind = BranchKind.DIRECT_JUMP.value
+        buf = mv2 = mv4 = None
+        if plan.uses_data_buffer:
+            region = self.memory.region_buffer("data")
+            if (region is None or region[0] != plan.data_base
+                    or region[1] != plan.data_size):
+                # Defensive: the generated guards bake the data-region
+                # bounds in; without a matching live buffer the plan
+                # cannot run (unreachable for CPUs built the normal way).
+                self.engine_used = "fast"
+                return self.run_fast()
+            buf = region[2]
+            view = memoryview(buf)
+            mv2 = view.cast("H")
+            mv4 = view.cast("I")
+        #: Set when the remainder of the run must finish on ``run_fast``
+        #: (stray pc outside the plan, or fuel check too close to the limit
+        #: for a whole-block step).
+        delegated = False
+        try:
+            while not self.halted:
+                entry = blocks_get(pc)
+                if entry is None:
+                    entry = compile_block_at(pc)
+                    if entry is None:
+                        delegated = True
+                        break
+                (fn, size, templates, n_internal, term_cf, term_template,
+                 cf_total, static_chunk, static_pairs,
+                 kind_items) = entry.packed
+                if retired + size > fuel:
+                    # A whole-block step could cross the fuel limit;
+                    # run_fast raises OutOfFuelError at the exact
+                    # instruction, identically to the legacy loop.
+                    delegated = True
+                    break
+                next_pc, rdelta, cdelta, taken, cf_seen = fn(
+                    self, x, rf, load, store, buf, mv2, mv4)
+                base_retired = retired
+                base_cycle = cycle
+                cycle += cdelta
+                retired += rdelta
+                # Streaming summary counters (the compiled engine never
+                # runs with a collected trace), then record delivery.
+                if cf_seen:
+                    if cf_seen == cf_total:
+                        cf_events += cf_total
+                        taken_cf_events += n_internal + (
+                            1 if term_cf and taken else 0)
+                        for kind_name, count in kind_items:
+                            by_kind[kind_name] = by_kind.get(kind_name, 0) + count
+                        if not batch_monitors:
+                            pc = next_pc
+                            continue
+                        if n_internal:
+                            records = [
+                                make_record(
+                                    base_retired + roff, base_cycle + coff,
+                                    tpc, word, instruction, tnext, kind, True,
+                                )
+                                for roff, coff, tpc, word, instruction,
+                                tnext, kind in templates
+                            ]
+                            if term_cf:
+                                tpc, word, instruction, kind = term_template
+                                records.append(make_record(
+                                    retired - 1, cycle, tpc, word,
+                                    instruction, next_pc, kind, taken,
+                                ))
+                            if use_blocks:
+                                # Per-block absorb: flush any pending batch
+                                # first so the monitors see records in
+                                # stream order, then hand over the
+                                # precomputed chunk.
+                                if batch:
+                                    flush = batch
+                                    batch = []
+                                    for deliver in batch_monitors:
+                                        deliver(flush)
+                                for observe_block in block_monitors:
+                                    observe_block(
+                                        records, static_chunk, static_pairs)
+                            else:
+                                batch.extend(records)
+                                if len(batch) >= flush_at:
+                                    flush = batch
+                                    batch = []
+                                    for deliver in batch_monitors:
+                                        deliver(flush)
+                        elif term_cf:
+                            tpc, word, instruction, kind = term_template
+                            batch.append(make_record(
+                                retired - 1, cycle, tpc, word, instruction,
+                                next_pc, kind, taken,
+                            ))
+                            if len(batch) >= flush_at:
+                                flush = batch
+                                batch = []
+                                for deliver in batch_monitors:
+                                    deliver(flush)
+                    else:
+                        # Early ecall/ebreak halt: only the first cf_seen
+                        # internal jumps fired, all taken direct jumps.
+                        cf_events += cf_seen
+                        taken_cf_events += cf_seen
+                        by_kind[direct_jump_kind] = by_kind.get(
+                            direct_jump_kind, 0) + cf_seen
+                        if batch_monitors:
+                            batch.extend(
+                                make_record(
+                                    base_retired + roff, base_cycle + coff,
+                                    tpc, word, instruction, tnext, kind, True,
+                                )
+                                for roff, coff, tpc, word, instruction,
+                                tnext, kind in templates[:cf_seen]
+                            )
+                            if len(batch) >= flush_at:
+                                flush = batch
+                                batch = []
+                                for deliver in batch_monitors:
+                                    deliver(flush)
+                pc = next_pc
+        finally:
+            self.pc = pc
+            self.cycle = cycle
+            self.retired = retired
+            if not delegated:
+                if batch:
+                    flush = batch
+                    batch = []
+                    for deliver in batch_monitors:
+                        deliver(flush)
+                for finish in self._finish_monitors:
+                    finish(retired, cycle)
+                self.trace.absorb_counts(
+                    instructions=retired - start_retired,
+                    cycles=cycle,
+                    control_flow_events=cf_events,
+                    taken_control_flow_events=taken_cf_events,
+                    by_kind=by_kind,
+                )
+        if delegated:
+            # Flush what the compiled portion produced, account for it, and
+            # finish the run on the fused interpreter (which calls the
+            # finish monitors and absorbs its own portion of the counters).
+            if batch:
+                flush = batch
+                batch = []
+                for deliver in batch_monitors:
+                    deliver(flush)
+            self.trace.absorb_counts(
+                instructions=retired - start_retired,
+                cycles=cycle,
+                control_flow_events=cf_events,
+                taken_control_flow_events=taken_cf_events,
+                by_kind=by_kind,
+            )
+            return self.run_fast()
         return self._result()
 
     def _result(self) -> ExecutionResult:

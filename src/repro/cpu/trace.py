@@ -233,6 +233,14 @@ class ControlFlowTrace:
             if last_cycle > self._cycles:
                 self._cycles = last_cycle
 
+    def observe_block(self, records, chunk, pairs) -> None:
+        """Per-block capture hook (compiled engine).
+
+        A capture only needs the records themselves; the precomputed hash
+        chunk is for measurement sessions, so delegate to the batched hook.
+        """
+        self.observe_batch(records)
+
     def finish_run(self, instructions: int, cycle: int) -> None:
         """End-of-run sync from the fast path (totals incl. straight-line tail)."""
         if instructions > self._instructions:

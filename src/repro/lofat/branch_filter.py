@@ -95,6 +95,7 @@ class BranchFilter:
         loop_monitor: LoopMonitor,
         hash_non_loop: Callable[[TraceRecord], None],
         hash_non_loop_run: Optional[Callable[[Sequence[TraceRecord]], None]] = None,
+        hash_non_loop_chunk: Optional[Callable] = None,
         record_events: bool = False,
     ) -> None:
         self.config = config
@@ -105,6 +106,11 @@ class BranchFilter:
         #: same order).  When absent, batched observation falls back to the
         #: per-record callback.
         self.hash_non_loop_run = hash_non_loop_run
+        #: Optional precomputed-chunk variant used by per-block observation
+        #: (compiled engine): ``(chunk, pairs, records)`` with the pair bytes
+        #: already serialized at block-compile time.  Falls back to
+        #: :attr:`hash_non_loop_run` / :attr:`hash_non_loop` when absent.
+        self.hash_non_loop_chunk = hash_non_loop_chunk
         self.stats = FilterStats()
         self.events: List[FilterEvent] = []
         self._record_events = record_events
@@ -257,6 +263,47 @@ class BranchFilter:
             self._linear_start = record.next_pc
         if pending:
             self._flush_direct_run(pending)
+
+    def observe_block(self, records: Sequence[TraceRecord], chunk, pairs) -> None:
+        """Process one compiled block's control-flow records.
+
+        ``records[:len(pairs)]`` are the block's chain-internal jumps --
+        by construction *forward, taken, non-linking direct jumps*, whose
+        pre-masked (Src, Dest) pairs and concatenated bytes the block
+        compiler produced once at compile time -- and the remainder is the
+        block terminator (dynamic outcome, at most one record).
+
+        The internal jumps can take the precomputed-chunk shortcut only
+        while no loop is active: a forward direct jump is never a back edge
+        and never changes the call depth, so outside loops each one is a
+        plain directly-hashed non-loop branch and the whole run absorbs as
+        one chunk.  Inside a loop (or when diagnostics record per-event
+        streams) the records flow through :meth:`observe_batch`, preserving
+        the loop-path and loop-exit semantics instruction for instruction.
+        """
+        n = len(pairs)
+        if (
+            n == 0
+            or self._record_events
+            or self.loop_monitor.active_loops
+            or len(records) < n
+        ):
+            self.observe_batch(records)
+            return
+        internal = records[:n]
+        stats = self.stats
+        stats.instructions_observed = internal[-1].index + 1
+        stats.control_flow_instructions += n
+        stats.non_loop_branches += n
+        self.internal_latency_cycles += n * self.config.branch_tracking_latency
+        self._linear_start = internal[-1].next_pc
+        if self.hash_non_loop_chunk is not None:
+            self.hash_non_loop_chunk(chunk, pairs, internal)
+        else:
+            self._flush_direct_run(internal)
+        remainder = records[n:]
+        if remainder:
+            self.observe_batch(remainder)
 
     def sync_straight_line(self, next_pc: int, cycle: int) -> None:
         """Apply loop-exit checks for an unobserved straight-line run.

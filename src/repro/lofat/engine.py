@@ -73,6 +73,7 @@ class LoFatEngine:
             loop_monitor=self.loop_monitor,
             hash_non_loop=self._hash_non_loop_branch,
             hash_non_loop_run=self._hash_non_loop_run,
+            hash_non_loop_chunk=self._hash_non_loop_chunk,
             record_events=record_filter_events,
         )
         self._last_cycle = 0
@@ -102,6 +103,12 @@ class LoFatEngine:
             arrivals=[record.cycle for record in records],
         )
 
+    def _hash_non_loop_chunk(self, chunk, pairs, records) -> None:
+        """Hash a compiled block's precomputed pair chunk in one call."""
+        self.hash_engine.absorb_chunk(
+            chunk, pairs, arrivals=[record.cycle for record in records],
+        )
+
     # -------------------------------------------------------------- input
     def observe(self, record: TraceRecord) -> None:
         """Observe one retired instruction (attach this to the CPU monitor)."""
@@ -127,6 +134,21 @@ class LoFatEngine:
             return
         self._last_cycle = records[-1].cycle
         self.branch_filter.observe_batch(records)
+
+    def observe_block(self, records: Sequence[TraceRecord], chunk, pairs) -> None:
+        """Observe one compiled block's control-flow records (compiled engine).
+
+        ``records[:len(pairs)]`` are the block's chain-internal forward
+        jumps with their pre-serialized hash chunk; the remainder is the
+        terminator.  Measurement bytes and metadata are identical to
+        :meth:`observe_batch` over the same records.
+        """
+        if self._finalized is not None:
+            raise RuntimeError("LO-FAT engine already finalized")
+        if not records:
+            return
+        self._last_cycle = records[-1].cycle
+        self.branch_filter.observe_block(records, chunk, pairs)
 
     def sync_straight_line(self, next_pc: int, cycle: int) -> None:
         """Close loops left by an unobserved straight-line run (see

@@ -126,6 +126,32 @@ class HashEngine:
             for arrival in arrivals:
                 advance(arrival)
 
+    def absorb_chunk(
+        self,
+        chunk: bytes,
+        pairs: Sequence[Tuple[int, int]],
+        arrivals: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Absorb a precomputed pair run (compiled-engine per-block path).
+
+        ``chunk`` must be exactly the concatenated little-endian 4+4 byte
+        encoding of ``pairs``, with both addresses already masked to 32
+        bits -- the block compiler builds both once at compile time, so the
+        hot path neither masks nor re-serializes anything.  Byte-for-byte
+        equivalent to :meth:`absorb_run` over the same pairs.
+        """
+        if self._finalized is not None:
+            raise RuntimeError("hash engine already finalized")
+        if not pairs:
+            return
+        self._hasher.update(chunk)
+        self._absorbed.extend(pairs)
+        self.stats.pairs_absorbed += len(pairs)
+        if arrivals is not None:
+            advance = self._advance_cycle_model
+            for arrival in arrivals:
+                advance(arrival)
+
     def absorb_bytes(self, data: bytes) -> None:
         """Absorb raw bytes (used to append the loop metadata to the digest)."""
         if self._finalized is not None:

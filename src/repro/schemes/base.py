@@ -172,6 +172,20 @@ class MeasurementSession(abc.ABC):
         nothing; sessions tracking per-instruction counters override it.
         """
 
+    def observe_block(self, records, chunk, pairs) -> None:
+        """Per-block delivery from the compiled engine (optional override).
+
+        ``records[:len(pairs)]`` are a compiled block's chain-internal
+        forward jumps; ``chunk`` is their precomputed little-endian
+        (Src, Dest) byte serialization and ``pairs`` the matching masked
+        address pairs.  Any trailing records carry the block terminator.
+        The default ignores the precomputed bytes and delegates to
+        ``observe_batch`` (the measurement is defined over the records
+        alone); sessions that hash the pair stream override this to absorb
+        ``chunk`` in one update.
+        """
+        self.observe_batch(records)  # type: ignore[attr-defined]
+
     # Allow the session object itself to be used as the monitor callback.
     def __call__(self, record) -> None:
         self.observe(record)

@@ -209,6 +209,25 @@ class CFlatSession(MeasurementSession):
         self._events += events
         self._loop_events += loop_events
 
+    def observe_block(self, records, chunk, pairs) -> None:
+        """Per-block delivery from the compiled engine.
+
+        The chain-internal jumps arrive with their pair bytes already
+        serialized (and masked) at block-compile time: absorb the chunk
+        directly.  Internal jumps are forward by construction, so none is a
+        loop event; the terminator record(s) go through the batched path.
+        """
+        if self._finalized is not None:
+            raise RuntimeError("C-FLAT session already finalized")
+        n = len(pairs)
+        if n and len(records) >= n:
+            self._last_cycle = records[n - 1].cycle
+            self._hasher.update(chunk)
+            self._events += n
+            self.observe_batch(records[n:])
+        else:
+            self.observe_batch(records)
+
     def finish_run(self, instructions, cycle) -> None:
         # Keeps the reported ``attested_cycles`` exact on the fast path: the
         # last *instruction* cycle, not the last control-flow cycle.

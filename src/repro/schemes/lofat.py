@@ -34,6 +34,9 @@ class LoFatSession(MeasurementSession):
     def observe_batch(self, records) -> None:
         self.engine.observe_batch(records)
 
+    def observe_block(self, records, chunk, pairs) -> None:
+        self.engine.observe_block(records, chunk, pairs)
+
     def sync_straight_line(self, next_pc, cycle) -> None:
         self.engine.sync_straight_line(next_pc, cycle)
 

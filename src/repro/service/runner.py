@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -162,6 +162,9 @@ class CampaignResult:
     #: Whether prover and verifier executions used the fused fast-path
     #: interpreter (the opt-out :attr:`repro.cpu.core.CpuConfig.fast_path`).
     fast_path: bool = True
+    #: The resolved execution engine of the prover-side simulations
+    #: ("legacy", "fast" or "compiled").
+    engine: str = "fast"
     #: Report-production pipeline: "capture" (two-stage, the default) or
     #: "live" (fused capture+attest per job).
     pipeline: str = "capture"
@@ -223,6 +226,7 @@ class CampaignResult:
             "verify_mode": self.verify_mode,
             "workers": self.workers,
             "fast_path": self.fast_path,
+            "engine": self.engine,
             "pipeline": self.pipeline,
             "jobs": len(self.results),
             "ok": self.ok,
@@ -286,10 +290,11 @@ class CampaignRunner:
                 "unknown pipeline %r (expected 'capture' or 'live')" % pipeline
             )
         jobs = spec.expand()
+        cpu_config = self._effective_cpu_config(spec)
         started_total = time.perf_counter()
         database_counters = self.database.counters()
 
-        verifiers, programs = self._provision(jobs)
+        verifiers, programs = self._provision(jobs, cpu_config)
         payloads = [
             (job, verifiers[(job.scheme, job.config_name)]
                   .challenge(job.workload, job.inputs, scheme=job.scheme).nonce)
@@ -301,17 +306,17 @@ class CampaignRunner:
         reference_captures: Dict[str, object] = {}
         started_prover = time.perf_counter()
         if pipeline == "live":
-            responses = self._execute_provers(payloads, workers)
+            responses = self._execute_provers(payloads, workers, cpu_config)
         else:
             (responses, capture_seconds, attest_seconds,
              capture_stats, reference_captures) = self._run_two_stage(
-                spec, jobs, payloads, workers)
+                spec, jobs, payloads, workers, cpu_config)
         prover_seconds = time.perf_counter() - started_prover
 
         started_verify = time.perf_counter()
         results = [
             self._verify(spec, job, response, verifiers, programs,
-                         reference_captures)
+                         reference_captures, cpu_config)
             for job, response in zip(jobs, responses)
         ]
         verify_seconds = time.perf_counter() - started_verify
@@ -330,7 +335,8 @@ class CampaignRunner:
             spec_name=spec.name,
             verify_mode=spec.verify_mode,
             workers=max(1, workers),
-            fast_path=(self.cpu_config or CpuConfig()).fast_path,
+            fast_path=(cpu_config or CpuConfig()).fast_path,
+            engine=(cpu_config or CpuConfig()).resolved_engine(),
             pipeline=pipeline,
             results=results,
             prover_seconds=prover_seconds,
@@ -354,12 +360,25 @@ class CampaignRunner:
         jobs = spec.expand()
         signatures, ref_signatures = self._plan_signatures(spec, jobs)
         started = time.perf_counter()
-        stats = self._capture_unique(jobs, signatures, ref_signatures, workers)
+        stats = self._capture_unique(
+            jobs, signatures, ref_signatures, workers,
+            self._effective_cpu_config(spec))
         stats["capture_seconds"] = time.perf_counter() - started
         stats["store"] = self.trace_store.stats()
         return stats
 
     # ------------------------------------------------------------ plumbing
+    def _effective_cpu_config(self, spec: CampaignSpec) -> Optional[CpuConfig]:
+        """The runner's CPU configuration with the spec's engine applied.
+
+        The engine never participates in execution signatures or capture
+        digests (it cannot change the simulated machine), so two campaigns
+        differing only in engine share captures and measurements.
+        """
+        if spec.engine is None:
+            return self.cpu_config
+        return replace(self.cpu_config or CpuConfig(), engine=spec.engine)
+
     def _plan_signatures(
         self, spec: CampaignSpec, jobs: Sequence[CampaignJob]
     ) -> Tuple[List[str], List[Optional[str]]]:
@@ -404,6 +423,7 @@ class CampaignRunner:
         signatures: Sequence[str],
         ref_signatures: Sequence[Optional[str]],
         workers: int,
+        cpu_config: Optional[CpuConfig] = None,
     ) -> dict:
         """Stage 1: simulate every signature the campaign needs exactly once."""
         plan: List[tuple] = []
@@ -422,7 +442,7 @@ class CampaignRunner:
                 planned.add(sig)
                 plan.append((sig, job.workload, job.inputs, attack))
 
-        responses = self._execute_captures(plan, workers)
+        responses = self._execute_captures(plan, workers, cpu_config)
         for response in responses:
             self.trace_store.put_bytes(
                 response.signature,
@@ -452,13 +472,14 @@ class CampaignRunner:
         jobs: Sequence[CampaignJob],
         payloads: Sequence[tuple],
         workers: int,
+        cpu_config: Optional[CpuConfig] = None,
     ):
         """Capture unique executions, then attest every job from the store."""
         signatures, ref_signatures = self._plan_signatures(spec, jobs)
 
         started_capture = time.perf_counter()
         capture_stats = self._capture_unique(
-            jobs, signatures, ref_signatures, workers)
+            jobs, signatures, ref_signatures, workers, cpu_config)
         capture_seconds = time.perf_counter() - started_capture
 
         started_attest = time.perf_counter()
@@ -468,7 +489,7 @@ class CampaignRunner:
             if capture is not None and not capture.replayable:
                 capture = None  # live fallback in the worker
             attest_payloads.append((job, nonce, capture))
-        responses = self._execute_attests(attest_payloads, workers)
+        responses = self._execute_attests(attest_payloads, workers, cpu_config)
         attest_seconds = time.perf_counter() - started_attest
 
         capture_stats["replayed_jobs"] = sum(1 for r in responses if r.replayed)
@@ -484,7 +505,9 @@ class CampaignRunner:
                 reference_captures)
 
     def _provision(
-        self, jobs: Sequence[CampaignJob]
+        self,
+        jobs: Sequence[CampaignJob],
+        cpu_config: Optional[CpuConfig] = None,
     ) -> Tuple[Dict[Tuple[str, str], Verifier], Dict[str, Program]]:
         """Build one verifier per (scheme, config variant) and register programs.
 
@@ -506,7 +529,7 @@ class CampaignRunner:
             key = (job.scheme, job.config_name)
             verifier = verifiers.get(key)
             if verifier is None:
-                verifier = Verifier(cpu_config=self.cpu_config)
+                verifier = Verifier(cpu_config=cpu_config or self.cpu_config)
                 verifier.configure_scheme(job.scheme, job.scheme_config())
                 verifier.register_device_key(self.device_id, verification_key)
                 verifiers[key] = verifier
@@ -515,28 +538,32 @@ class CampaignRunner:
         return verifiers, programs
 
     def _execute_provers(
-        self, payloads: Sequence[tuple], workers: int
+        self, payloads: Sequence[tuple], workers: int,
+        cpu_config: Optional[CpuConfig] = None,
     ) -> List[ProverResponse]:
         execute = partial(
             execute_prover_job,
             device_id=self.device_id,
-            cpu_config=self.cpu_config,
+            cpu_config=cpu_config or self.cpu_config,
         )
         return self._map(execute, payloads, workers)
 
     def _execute_captures(
-        self, payloads: Sequence[tuple], workers: int
+        self, payloads: Sequence[tuple], workers: int,
+        cpu_config: Optional[CpuConfig] = None,
     ) -> List[CaptureResponse]:
-        execute = partial(execute_capture_job, cpu_config=self.cpu_config)
+        execute = partial(
+            execute_capture_job, cpu_config=cpu_config or self.cpu_config)
         return self._map(execute, payloads, workers)
 
     def _execute_attests(
-        self, payloads: Sequence[tuple], workers: int
+        self, payloads: Sequence[tuple], workers: int,
+        cpu_config: Optional[CpuConfig] = None,
     ) -> List[ProverResponse]:
         execute = partial(
             execute_attest_job,
             device_id=self.device_id,
-            cpu_config=self.cpu_config,
+            cpu_config=cpu_config or self.cpu_config,
         )
         return self._map(execute, payloads, workers)
 
@@ -558,6 +585,7 @@ class CampaignRunner:
         verifiers: Dict[Tuple[str, str], Verifier],
         programs: Dict[str, Program],
         reference_captures: Optional[Dict[str, object]] = None,
+        cpu_config: Optional[CpuConfig] = None,
     ) -> JobResult:
         verifier = verifiers[(job.scheme, job.config_name)]
         cache_hit: Optional[bool] = None
@@ -567,7 +595,7 @@ class CampaignRunner:
                 programs[job.workload],
                 job.inputs,
                 job.scheme_config(),
-                cpu_config=self.cpu_config,
+                cpu_config=cpu_config or self.cpu_config,
                 scheme=job.scheme,
                 capture=capture,
                 config_digest=job.scheme_config_digest(),

@@ -41,12 +41,13 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.cpu.tracefile import dumps_trace, loads_trace, trace_digest
 from repro.service.fsutil import atomic_write_text
 
-#: CpuConfig fields that do not change the captured execution: the fast path
-#: is architecturally identical to the legacy loop (pinned by
-#: tests/test_fastpath_equivalence.py), batching only affects monitor
-#: delivery granularity, and collect_trace is forced off during capture.
+#: CpuConfig fields that do not change the captured execution: all three
+#: execution engines (``engine``/``fast_path``) are architecturally
+#: identical (pinned by tests/test_fastpath_equivalence.py), batching only
+#: affects monitor delivery granularity, and collect_trace is forced off
+#: during capture.
 _CPU_CONFIG_IGNORED_FIELDS = frozenset(
-    {"collect_trace", "fast_path", "monitor_batch_size"}
+    {"collect_trace", "fast_path", "monitor_batch_size", "engine"}
 )
 
 #: Process-wide cache of deserialised traces, keyed by content digest.

@@ -20,6 +20,60 @@ class TestParser:
         assert args.inputs is None
 
 
+class TestEngineFlags:
+    @pytest.mark.parametrize("command", [
+        ["run", "crc32"],
+        ["attest", "crc32"],
+        ["campaign"],
+        ["serve"],
+        ["attest-remote"],
+        ["workloads"],
+    ])
+    def test_engine_flag_parses_everywhere(self, command):
+        args = build_parser().parse_args(command + ["--engine", "compiled"])
+        assert args.engine == "compiled"
+
+    def test_engine_defaults_to_none(self):
+        args = build_parser().parse_args(["run", "crc32"])
+        assert args.engine is None
+        assert args.legacy_loop is False
+
+    def test_unknown_engine_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["run", "crc32", "--engine", "turbo"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_legacy_loop_is_deprecated_alias(self):
+        from repro.cli import _cpu_config
+
+        args = build_parser().parse_args(["run", "crc32", "--legacy-loop"])
+        config = _cpu_config(args)
+        assert config.resolved_engine() == "legacy"
+        assert config.fast_path is False
+
+    def test_explicit_engine_wins_over_alias(self):
+        from repro.cli import _cpu_config
+
+        args = build_parser().parse_args(
+            ["run", "crc32", "--legacy-loop", "--engine", "compiled"])
+        assert _cpu_config(args).resolved_engine() == "compiled"
+
+    def test_run_with_compiled_engine(self, capsys):
+        assert main(["run", "figure4_loop", "--engine", "compiled"]) == 0
+        out = capsys.readouterr().out
+        assert "output" in out
+
+    def test_attest_engines_agree(self, capsys):
+        measurements = []
+        for engine in ("legacy", "fast", "compiled"):
+            assert main(["attest", "crc32", "--engine", engine]) == 0
+            out = capsys.readouterr().out
+            measurements.append(next(
+                line for line in out.splitlines() if "measurement A" in line))
+        assert measurements[0] == measurements[1] == measurements[2]
+
+
 class TestCommands:
     def test_list(self, capsys):
         assert main(["list"]) == 0

@@ -1,0 +1,160 @@
+"""Compiled-program cache lifecycle: bounds, single-flight, declines.
+
+The equivalence of the compiled engine itself is pinned in
+``test_fastpath_equivalence.py``; this module covers the cache that makes
+it cheap: plans are built once per (digest, cost key), concurrent builders
+are single-flighted, declined programs are remembered as None, and the
+store stays bounded under the same clear-on-full discipline as the decode
+cache.
+"""
+
+import threading
+
+import pytest
+
+from repro.cpu import compile as compile_mod
+from repro.cpu.compile import COMPILE_CACHE, CompiledProgramCache
+from repro.cpu.core import Cpu, CpuConfig
+from repro.workloads import get_workload
+
+
+def _config(**overrides):
+    return CpuConfig(collect_trace=False, **overrides)
+
+
+@pytest.fixture
+def cache():
+    return CompiledProgramCache(max_programs=4)
+
+
+class TestPlanReuse:
+    def test_same_key_compiles_once(self, cache):
+        program = get_workload("figure4_loop").build()
+        first = cache.plan_for(program, _config())
+        second = cache.plan_for(program, _config())
+        assert first is not None
+        assert second is first
+        assert cache.compiles == 1
+
+    def test_cost_key_separates_plans(self, cache):
+        """Cycle costs are baked into the generated code as constants, so
+        differing cost models must never share a plan."""
+        program = get_workload("figure4_loop").build()
+        base = cache.plan_for(program, _config())
+        slow = cache.plan_for(program, _config(taken_branch_penalty=7))
+        assert slow is not base
+        assert cache.compiles == 2
+        assert cache.cached_programs == 2
+
+    def test_declined_program_cached_as_none(self, cache):
+        """dispatcher's unresolved indirect declines compilation; the
+        decline is cached so the interval analysis runs once, not per run."""
+        program = get_workload("dispatcher").build()
+        assert cache.plan_for(program, _config()) is None
+        assert cache.compiles == 1
+        assert cache.plan_for(program, _config()) is None
+        assert cache.compiles == 1  # served from the cache, not re-analyzed
+
+    def test_distinct_digests_get_distinct_plans(self, cache):
+        loop = get_workload("figure4_loop").build()
+        pump = get_workload("syringe_pump").build()
+        assert cache.plan_for(loop, _config()) is not cache.plan_for(
+            pump, _config())
+        assert cache.cached_programs == 2
+
+
+class TestCacheBound:
+    def test_clear_on_full_keeps_store_bounded(self, cache):
+        program = get_workload("figure4_loop").build()
+        for penalty in range(cache.max_programs):
+            cache.plan_for(program, _config(taken_branch_penalty=penalty))
+        assert cache.cached_programs == cache.max_programs
+        cache.plan_for(program, _config(taken_branch_penalty=99))
+        # The insert that would overflow clears the store first.
+        assert cache.cached_programs == 1
+        assert cache.compiles == cache.max_programs + 1
+
+    def test_clear_resets_plans_but_not_counter(self, cache):
+        program = get_workload("figure4_loop").build()
+        cache.plan_for(program, _config())
+        cache.clear()
+        assert cache.cached_programs == 0
+        cache.plan_for(program, _config())
+        assert cache.compiles == 2
+
+
+class TestSingleFlight:
+    def test_concurrent_requests_compile_once(self, cache, monkeypatch):
+        """N threads racing on one digest produce one build: the first
+        becomes the builder, the rest wait on its event and read the
+        shared plan."""
+        program = get_workload("syringe_pump").build()
+        real_build = compile_mod._build_plan
+        entered = threading.Event()
+        release = threading.Event()
+        builds = []
+
+        def slow_build(prog, costs):
+            builds.append(threading.get_ident())
+            entered.set()
+            release.wait(timeout=10)
+            return real_build(prog, costs)
+
+        monkeypatch.setattr(compile_mod, "_build_plan", slow_build)
+
+        plans = [None] * 6
+        def worker(slot):
+            plans[slot] = cache.plan_for(program, _config())
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(len(plans))]
+        for thread in threads:
+            thread.start()
+        assert entered.wait(timeout=10)  # one builder is inside _build_plan
+        release.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not any(thread.is_alive() for thread in threads)
+
+        assert len(builds) == 1
+        assert cache.compiles == 1
+        assert all(plan is plans[0] and plan is not None for plan in plans)
+
+    def test_failed_build_releases_waiters(self, cache, monkeypatch):
+        """A builder that raises must wake waiters and leave no stale
+        in-flight entry, so the next request retries the build."""
+        program = get_workload("figure4_loop").build()
+
+        calls = []
+
+        def exploding_build(prog, costs):
+            calls.append(1)
+            raise RuntimeError("synthetic compile failure")
+
+        monkeypatch.setattr(compile_mod, "_build_plan", exploding_build)
+        with pytest.raises(RuntimeError, match="synthetic compile failure"):
+            cache.plan_for(program, _config())
+        assert not cache._inflight  # no stale event left behind
+
+        monkeypatch.undo()
+        plan = cache.plan_for(program, _config())
+        assert plan is not None
+        assert len(calls) == 1
+
+
+class TestProcessWideCache:
+    def test_run_populates_shared_cache(self):
+        workload = get_workload("figure4_loop")
+        program = workload.build()
+        config = CpuConfig(engine="compiled", collect_trace=False)
+        key = (program.digest, CompiledProgramCache.cost_key(config))
+        COMPILE_CACHE._plans.pop(key, None)
+        before = COMPILE_CACHE.compiles
+        cpu = Cpu(program, inputs=list(workload.inputs), config=config)
+        cpu.run()
+        assert cpu.engine_used == "compiled"
+        assert key in COMPILE_CACHE._plans
+        assert COMPILE_CACHE.compiles == before + 1
+        # A second run on the same digest reuses the plan.
+        Cpu(program, inputs=list(workload.inputs), config=config).run()
+        assert COMPILE_CACHE.compiles == before + 1

@@ -1,12 +1,14 @@
-"""Fast-path pipeline equivalence: the fused loop must change nothing.
+"""Execution-engine equivalence: fast and compiled must change nothing.
 
-The fused fetch/decode/dispatch interpreter (:meth:`repro.cpu.core.Cpu.run_fast`)
-and the batched observation path through the LO-FAT engine are pure
-performance work.  These tests pin down, across every attestation scheme and
-a spread of workloads (including the loop-heavy ones, where the batched
-absorb and the range-based loop-exit check actually diverge in code path),
-that the fast path produces byte-identical measurements, metadata,
-architectural results and verifier verdicts.
+The fused fetch/decode/dispatch interpreter (:meth:`repro.cpu.core.Cpu.run_fast`),
+the superblock trace compiler (:meth:`repro.cpu.core.Cpu.run_compiled` over
+:mod:`repro.cpu.compile` plans) and the batched observation path through the
+LO-FAT engine are pure performance work.  These tests pin down, across every
+attestation scheme and a spread of workloads (including the loop-heavy ones,
+where the batched absorb and the range-based loop-exit check actually
+diverge in code path), that both accelerated engines produce byte-identical
+measurements, metadata, architectural results and verifier verdicts -- and
+that ineligible programs decline cleanly to :meth:`run_fast`.
 """
 
 import pytest
@@ -14,7 +16,7 @@ import pytest
 from repro.attestation import Prover, Verifier
 from repro.cpu.core import Cpu, CpuConfig
 from repro.schemes import get_scheme, scheme_names
-from repro.workloads import all_workloads, get_workload
+from repro.workloads import get_workload
 
 #: At least five workloads, biased toward loop-heavy/nested control flow.
 WORKLOAD_NAMES = [
@@ -28,6 +30,19 @@ WORKLOAD_NAMES = [
 ]
 
 SCHEMES = scheme_names()
+
+ENGINES = ("legacy", "fast", "compiled")
+
+
+def _fingerprint(scheme_name, program, inputs, engine):
+    """Everything an engine is allowed to influence exactly nothing of."""
+    scheme = get_scheme(scheme_name)
+    config = CpuConfig(engine=engine, collect_trace=False)
+    result, measured = scheme.measure_execution(
+        program, list(inputs), cpu_config=config)
+    return (measured.measurement, measured.metadata.to_bytes(),
+            result.output, result.exit_code, result.instructions,
+            result.cycles, result.registers)
 
 
 def _measure(scheme_name, workload, fast, collect=False):
@@ -268,3 +283,161 @@ class TestFastPathFallback:
         result = cpu.run()
         assert len(fired) == result.instructions
         assert fired[0] == (program.entry, 0)
+
+
+class TestCompiledEquivalence:
+    """legacy == fast == compiled, byte for byte, across program sources.
+
+    The lofat *internal* cycle-model stats (``last_absorb_cycle``) are
+    compared fast-vs-compiled only: batched observation's cycle bookkeeping
+    is documented to be coarser than the legacy per-pair path (see
+    ``LoFatEngine.observe_batch``), and the compiled engine must match the
+    fast path it is replacing, not re-litigate that known coarseness.
+    """
+
+    @pytest.mark.parametrize("workload_name", WORKLOAD_NAMES)
+    @pytest.mark.parametrize("scheme_name", SCHEMES)
+    def test_registry_three_way(self, scheme_name, workload_name):
+        workload = get_workload(workload_name)
+        program = workload.build()
+        prints = {engine: _fingerprint(scheme_name, program,
+                                       workload.inputs, engine)
+                  for engine in ENGINES}
+        assert prints["compiled"] == prints["fast"] == prints["legacy"]
+
+    def test_lang_corpus_three_way(self):
+        """Every golden lang-corpus program measures identically."""
+        from repro.isa.assembler import assemble
+        from repro.lang.corpus import build_corpus
+
+        checked = 0
+        for entry in build_corpus():
+            program = assemble(entry.assembly)
+            prints = {engine: _fingerprint("lofat", program,
+                                           entry.inputs, engine)
+                      for engine in ENGINES}
+            assert (prints["compiled"] == prints["fast"]
+                    == prints["legacy"]), entry.name
+            checked += 1
+        assert checked >= 5
+
+    def test_family_matrix_three_way(self):
+        """Every seeded compiled-family member measures identically."""
+        from repro.lang.families import family_names, generate_family
+
+        checked = 0
+        for family in family_names():
+            for workload in generate_family(family, seed=20260808):
+                program = workload.build()
+                prints = {engine: _fingerprint("lofat", program,
+                                               workload.inputs, engine)
+                          for engine in ENGINES}
+                assert (prints["compiled"] == prints["fast"]
+                        == prints["legacy"]), workload.name
+                checked += 1
+        assert checked >= 20
+
+    @pytest.mark.parametrize("workload_name", WORKLOAD_NAMES)
+    def test_lofat_stats_identical_fast_vs_compiled(self, workload_name):
+        """The compiled engine matches run_fast on *every* stat, including
+        the cycle-model bookkeeping excluded from the legacy comparison."""
+        workload = get_workload(workload_name)
+        program = workload.build()
+        scheme = get_scheme("lofat")
+        stats = {}
+        for engine in ("fast", "compiled"):
+            _, measured = scheme.measure_execution(
+                program, list(workload.inputs),
+                cpu_config=CpuConfig(engine=engine, collect_trace=False))
+            stats[engine] = measured.stats
+        assert stats["compiled"] == stats["fast"]
+
+    @pytest.mark.parametrize("scheme_name", SCHEMES)
+    def test_compiled_prover_accepted_by_legacy_verifier(self, scheme_name):
+        """Reports measured on the compiled engine verify against a legacy
+        replay and vice versa: the wire format is engine-agnostic."""
+        workload = get_workload("syringe_pump")
+        program = workload.build()
+        for prover_engine, verifier_engine in (("compiled", "legacy"),
+                                               ("legacy", "compiled")):
+            prover = Prover(
+                {workload.name: program},
+                cpu_config=CpuConfig(engine=prover_engine,
+                                     collect_trace=False),
+            )
+            verifier = Verifier(
+                cpu_config=CpuConfig(engine=verifier_engine,
+                                     collect_trace=False),
+            )
+            verifier.register_program(workload.name, program)
+            verifier.register_device_key(
+                "prover-0", prover.keystore.export_for_verifier())
+            challenge = verifier.challenge(
+                workload.name, list(workload.inputs), scheme=scheme_name)
+            report = prover.attest(challenge)
+            verdict = verifier.verify(report)
+            assert verdict.accepted, (
+                scheme_name, prover_engine, verdict.reason)
+
+
+class TestCompiledFallback:
+    """Ineligible programs and configurations decline to run_fast."""
+
+    def test_eligible_workload_actually_compiles(self):
+        workload = get_workload("figure4_loop")
+        cpu = Cpu(workload.build(), inputs=list(workload.inputs),
+                  config=CpuConfig(engine="compiled", collect_trace=False))
+        cpu.run()
+        assert cpu.engine_used == "compiled"
+
+    def test_unresolved_indirect_declines_to_fast(self):
+        """dispatcher's input-dependent jalr has no statically resolved
+        target, so the compiler declines the whole program and run()
+        records the fast path -- while staying architecturally identical."""
+        workload = get_workload("dispatcher")
+        program = workload.build()
+        cpu = Cpu(program, inputs=list(workload.inputs),
+                  config=CpuConfig(engine="compiled", collect_trace=False))
+        result = cpu.run()
+        assert cpu.engine_used == "fast"
+        reference = Cpu(program, inputs=list(workload.inputs),
+                        config=CpuConfig(engine="legacy")).run()
+        assert result.output == reference.output
+        assert result.cycles == reference.cycles
+        assert result.registers == reference.registers
+
+    def test_pre_hook_forces_per_record_engine(self):
+        """Attack-style hooks must observe every instruction: a pre-hook
+        keeps the compiled engine off even when explicitly requested."""
+        workload = get_workload("figure4_loop")
+        cpu = Cpu(workload.build(), inputs=list(workload.inputs),
+                  config=CpuConfig(engine="compiled", collect_trace=False))
+        cpu.add_pre_instruction_hook(lambda c, pc, retired: None)
+        cpu.run()
+        assert cpu.engine_used == "fast"
+
+    def test_collect_trace_forces_per_record_engine(self):
+        """Trace collection needs per-record delivery, so the compiled
+        engine declines and the collected trace stays legacy-identical."""
+        workload = get_workload("figure4_loop")
+        program = workload.build()
+        cpu = Cpu(program, inputs=list(workload.inputs),
+                  config=CpuConfig(engine="compiled", collect_trace=True))
+        result = cpu.run()
+        assert cpu.engine_used == "fast"
+        legacy = Cpu(program, inputs=list(workload.inputs),
+                     config=CpuConfig(engine="legacy",
+                                      collect_trace=True)).run()
+        assert len(result.trace) == len(legacy.trace)
+        for lhs, rhs in zip(result.trace, legacy.trace):
+            assert (lhs.pc, lhs.next_pc, lhs.cycle, lhs.kind, lhs.taken) == \
+                   (rhs.pc, rhs.next_pc, rhs.cycle, rhs.kind, rhs.taken)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            CpuConfig(engine="turbo").resolved_engine()
+
+    def test_engine_default_resolution(self):
+        assert CpuConfig().resolved_engine() == "fast"
+        assert CpuConfig(fast_path=False).resolved_engine() == "legacy"
+        assert CpuConfig(engine="compiled").resolved_engine() == "compiled"
