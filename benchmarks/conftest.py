@@ -4,23 +4,48 @@ Every benchmark regenerates one table/figure-equivalent of the paper's
 evaluation (see DESIGN.md section 4 and EXPERIMENTS.md).  Each experiment
 writes its rows both to stdout and to ``benchmarks/results/<experiment>.txt``
 so the regenerated numbers survive pytest's output capturing.
+
+Experiments that pass ``metrics=`` additionally persist a machine-readable
+``benchmarks/results/BENCH_<experiment>.json`` -- the input of
+``scripts/bench_gate.py``, the CI benchmark-regression gate.  Metrics are
+scalar, and by the gate's convention *higher is better* (speedups, rates);
+name them accordingly.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from typing import Dict, Optional
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
-def emit_report(experiment_id: str, text: str) -> str:
-    """Print an experiment report and persist it under benchmarks/results/."""
+def emit_report(
+    experiment_id: str,
+    text: str,
+    metrics: Optional[Dict[str, float]] = None,
+) -> str:
+    """Print an experiment report and persist it under benchmarks/results/.
+
+    ``metrics`` (name -> scalar, higher-is-better) are written alongside as
+    ``BENCH_<experiment_id>.json`` for the benchmark-regression gate.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, "%s.txt" % experiment_id)
     with open(path, "w") as handle:
         handle.write(text + "\n")
+    if metrics is not None:
+        document = {
+            "experiment": experiment_id,
+            "metrics": {name: float(value) for name, value in metrics.items()},
+        }
+        json_path = os.path.join(RESULTS_DIR, "BENCH_%s.json" % experiment_id)
+        with open(json_path, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     print("\n" + text)
     return path
 

@@ -99,7 +99,13 @@ def test_e13_capture_once_verify_many_speedup(benchmark, report_writer):
         title="E13: capture-once/verify-many vs capture-per-job "
               "(e11 scheme matrix)",
     )
-    report_writer("e13_capture_replay", table)
+    report_writer(
+        "e13_capture_replay", table,
+        metrics={
+            "speedup_rounds_%d" % ROUNDS: speedups[ROUNDS],
+            "speedup_cold": speedups[1],
+        },
+    )
 
     # The acceptance bar: >= 3x on the multi-round scheme-matrix sweep.
     assert speedups[ROUNDS] >= TARGET_SPEEDUP, rows

@@ -158,7 +158,8 @@ def test_e16_policy_prescreen_vs_replay_rejection(benchmark, report_writer):
               "%d rounds each)"
               % (WORKLOAD, len(analysis.policy.loop_bounds), ROUNDS),
     )
-    report_writer("e16_policy_screen", table)
+    report_writer("e16_policy_screen", table,
+                  metrics={"prescreen_speedup": speedup})
 
     assert speedup >= 5.0, (
         "policy pre-screen rejection should be >=5x cheaper than golden "

@@ -160,7 +160,8 @@ def test_e17_compiled_speedup(benchmark, report_writer):
               "(Cpu.run wall time, warm cache, best of %d; e2e_speedup = "
               "full lofat measurement)" % REPEATS,
     )
-    report_writer("e17_compiled", table)
+    report_writer("e17_compiled", table,
+                  metrics={"geomean_speedup": geomean})
 
     # The acceptance bar: >= 2x geometric-mean engine speedup over the
     # matrix with a warm plan cache (declined workloads included).

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""CI benchmark-regression gate over the machine-readable benchmark results.
+
+The experiment benchmarks (``benchmarks/test_bench_e*.py``) emit, next to
+each human-readable table, a ``benchmarks/results/BENCH_<experiment>.json``
+with the experiment's tracked scalar metrics (speedups, rates -- by
+convention *higher is better*).  This script compares those against the
+checked-in baseline, ``benchmarks/baseline.json``, and fails when any
+tracked metric regresses by more than the threshold (default 30%).
+
+Usage, after running the benchmarks::
+
+    python scripts/bench_gate.py              # gate: exit 1 on regression
+    python scripts/bench_gate.py --refresh    # rewrite the baseline from
+                                              # the current results
+
+The baseline is intentionally loose (a 30% band around best-of-N
+measurements) so it trips on real regressions -- an accidentally disabled
+fast path, a quadratic slip in the verifier -- not on runner noise.
+Metrics present in the results but absent from the baseline are reported
+and pass (new experiments land before their baseline); metrics present in
+the baseline but missing from the results fail, so a silently skipped
+benchmark cannot hide a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Dict
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_DIR = os.path.join(REPO_ROOT, "benchmarks", "results")
+BASELINE_PATH = os.path.join(REPO_ROOT, "benchmarks", "baseline.json")
+
+#: A metric fails when it drops below (1 - threshold) * baseline.
+DEFAULT_THRESHOLD = 0.30
+
+
+def load_results(results_dir: str) -> Dict[str, Dict[str, float]]:
+    """Read every BENCH_*.json into {experiment: {metric: value}}."""
+    results: Dict[str, Dict[str, float]] = {}
+    for path in sorted(glob.glob(os.path.join(results_dir, "BENCH_*.json"))):
+        with open(path) as handle:
+            document = json.load(handle)
+        experiment = document["experiment"]
+        results[experiment] = {
+            name: float(value)
+            for name, value in document["metrics"].items()
+        }
+    return results
+
+
+def load_baseline(baseline_path: str) -> Dict[str, Dict[str, float]]:
+    with open(baseline_path) as handle:
+        document = json.load(handle)
+    return {
+        experiment: {name: float(value) for name, value in metrics.items()}
+        for experiment, metrics in document["experiments"].items()
+    }
+
+
+def write_baseline(baseline_path: str,
+                   results: Dict[str, Dict[str, float]]) -> None:
+    document = {
+        "comment": "Benchmark-regression baseline; refresh with "
+                   "`python scripts/bench_gate.py --refresh` after running "
+                   "the benchmarks.",
+        "experiments": {
+            experiment: {name: round(value, 4)
+                         for name, value in sorted(metrics.items())}
+            for experiment, metrics in sorted(results.items())
+        },
+    }
+    with open(baseline_path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def gate(results: Dict[str, Dict[str, float]],
+         baseline: Dict[str, Dict[str, float]],
+         threshold: float = DEFAULT_THRESHOLD) -> int:
+    """Compare results to baseline; print a verdict line per metric.
+
+    Returns the number of failures (regressions + missing metrics).
+    """
+    failures = 0
+    for experiment in sorted(baseline):
+        for name, reference in sorted(baseline[experiment].items()):
+            measured = results.get(experiment, {}).get(name)
+            label = "%s/%s" % (experiment, name)
+            if measured is None:
+                print("FAIL %-44s missing (baseline %.3f) -- benchmark "
+                      "did not run?" % (label, reference))
+                failures += 1
+                continue
+            floor = (1.0 - threshold) * reference
+            ratio = measured / reference if reference else float("inf")
+            if measured < floor:
+                print("FAIL %-44s %.3f < %.3f (%.0f%% of baseline %.3f)"
+                      % (label, measured, floor, 100 * ratio, reference))
+                failures += 1
+            else:
+                print("ok   %-44s %.3f (%.0f%% of baseline %.3f)"
+                      % (label, measured, 100 * ratio, reference))
+    for experiment in sorted(results):
+        for name in sorted(results[experiment]):
+            if name not in baseline.get(experiment, {}):
+                print("new  %s/%s %.3f (not in baseline; refresh to track)"
+                      % (experiment, name, results[experiment][name]))
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail CI when a tracked benchmark metric regresses "
+                    "beyond the threshold against benchmarks/baseline.json.")
+    parser.add_argument(
+        "--results-dir", default=RESULTS_DIR,
+        help="directory holding BENCH_*.json (default: benchmarks/results)")
+    parser.add_argument(
+        "--baseline", default=BASELINE_PATH,
+        help="baseline JSON path (default: benchmarks/baseline.json)")
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="allowed fractional drop before failing (default: 0.30)")
+    parser.add_argument(
+        "--refresh", action="store_true",
+        help="rewrite the baseline from the current results and exit")
+    args = parser.parse_args(argv)
+
+    results = load_results(args.results_dir)
+    if not results:
+        print("error: no BENCH_*.json under %s -- run the benchmarks first"
+              % args.results_dir)
+        return 2
+
+    if args.refresh:
+        write_baseline(args.baseline, results)
+        count = sum(len(metrics) for metrics in results.values())
+        print("baseline refreshed: %d metrics across %d experiments -> %s"
+              % (count, len(results), os.path.relpath(args.baseline)))
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print("error: baseline %s missing -- create it with "
+              "`python scripts/bench_gate.py --refresh`" % args.baseline)
+        return 2
+
+    baseline = load_baseline(args.baseline)
+    failures = gate(results, baseline, args.threshold)
+    if failures:
+        print("\nbench gate: %d metric(s) regressed beyond %.0f%%; if the "
+              "change is intentional, refresh the baseline with "
+              "`python scripts/bench_gate.py --refresh`"
+              % (failures, 100 * args.threshold))
+        return 1
+    print("\nbench gate: all tracked metrics within %.0f%% of baseline"
+          % (100 * args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -772,9 +772,68 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    """``repro serve --workers N``: the multi-process verifier fleet."""
+    from repro.service.fleet import FleetError, FleetServer
+
+    fleet = FleetServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        dispatcher=args.dispatcher,
+        state_dir=args.state_dir,
+        database_path=args.database,
+        trace_dir=args.trace_dir,
+        cpu_config=_cpu_config(args),
+        allow_shutdown=args.allow_shutdown,
+        session_limit=args.session_limit,
+        ready_file=args.ready_file,
+    )
+    try:
+        fleet.start()
+    except (FleetError, OSError) as error:
+        print("error: cannot start fleet on %s:%d: %s"
+              % (args.host, args.port, error), file=sys.stderr)
+        fleet.stop()
+        return 2
+    # Same contract as the single-process line, plus the fleet shape; the
+    # E18 benchmark and CI parse the host:port.
+    print("fleet listening on %s:%d (%d workers, %s dispatch)"
+          % (fleet.host, fleet.port, fleet.workers, fleet.dispatcher),
+          flush=True)
+    try:
+        fleet.wait()
+    except KeyboardInterrupt:
+        pass
+    except FleetError as error:
+        print("error: %s" % error, file=sys.stderr)
+        fleet.stop()
+        return 1
+    summary = fleet.stop()
+    stats = summary.stats
+    print("fleet served %s connections, %s reports (%s accepted, "
+          "%s rejected, %s protocol errors); merged %d delta records "
+          "into %d database entries"
+          % (stats.get("connections", 0), stats.get("reports_verified", 0),
+             stats.get("accepted", 0), stats.get("rejected", 0),
+             stats.get("protocol_errors", 0), summary.delta_records,
+             summary.database_entries))
+    if not summary.clean:
+        print("error: worker exit codes %s" % summary.worker_exit_codes,
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the standing attestation verifier service until stopped."""
     from repro.service.server import AttestationServer
+
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
+    if args.workers > 1:
+        return _cmd_serve_fleet(args)
 
     try:
         database = None
@@ -795,6 +854,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cpu_config=_cpu_config(args),
         allow_shutdown=args.allow_shutdown,
         session_limit=args.session_limit,
+        ready_file=args.ready_file,
     )
 
     async def _serve() -> None:
@@ -884,6 +944,85 @@ def _cmd_attest_remote(args: argparse.Namespace) -> int:
           % (report.reports, report.accepted, report.rejected))
     print("prover side  : %d trace replays, %d live executions"
           % (report.replayed, report.executed))
+    for scheme, count in sorted(report.by_scheme.items()):
+        print("  %-8s %d reports" % (scheme, count))
+    print("elapsed      : %.3f s" % report.elapsed_seconds)
+    print("throughput   : %.1f reports/s" % report.reports_per_second)
+    if report.rejections:
+        for scheme, workload, reason in report.rejections[:10]:
+            print("rejected     : %s/%s (%s)" % (scheme, workload, reason),
+                  file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_fleet_load(args: argparse.Namespace) -> int:
+    """Drive the fleet load generator against a running verifier (fleet)."""
+    from repro.service.client import AttestationClient, RemoteAttestationError
+    from repro.service.loadgen import FleetLoadSpec, run_fleet_load
+
+    schemes = tuple(n.strip() for n in args.scheme.split(",") if n.strip())
+    workloads = tuple(n.strip() for n in args.workload.split(",") if n.strip())
+    if not schemes or not workloads:
+        print("error: --scheme and --workload need at least one name",
+              file=sys.stderr)
+        return 2
+    for name in schemes:
+        if name not in scheme_names():
+            print("error: unknown scheme %r" % name, file=sys.stderr)
+            return 2
+
+    spec = FleetLoadSpec(
+        devices=args.devices,
+        connections=args.connections,
+        processes=args.processes,
+        reports=args.reports,
+        schemes=schemes,
+        workloads=workloads,
+        seed=args.seed,
+        session_rounds=args.session_rounds,
+        storms=args.storms,
+        stale_fraction=args.stale,
+        duplicate_fraction=args.duplicate,
+        pace_seconds=args.pace_ms / 1000.0,
+    )
+    try:
+        spec.validate()
+    except ValueError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+
+    try:
+        report = run_fleet_load(
+            args.host, args.port, spec=spec,
+            trace_dir=args.trace_dir, cpu_config=_cpu_config(args),
+        )
+        if args.shutdown:
+            async def _shutdown() -> None:
+                client = AttestationClient(args.host, args.port, "fleet-admin")
+                await client.connect()
+                await client.shutdown_server()
+            asyncio.run(_shutdown())
+    except (ConnectionError, OSError) as error:
+        print("error: cannot reach server at %s:%d: %s"
+              % (args.host, args.port, error), file=sys.stderr)
+        return 2
+    except RemoteAttestationError as error:
+        print("error: server rejected the session: %s" % error,
+              file=sys.stderr)
+        return 2
+
+    print("device pool  : %d modeled, %d distinct attested"
+          % (report.devices, report.distinct_devices))
+    print("clients      : %d processes x %d connections"
+          % (max(1, report.processes), report.connections))
+    print("sessions     : %d (%d reconnects, %d storms)"
+          % (report.sessions, report.reconnects, report.storms_completed))
+    print("reports      : %d benign (%d accepted, %d unexpectedly rejected)"
+          % (report.reports, report.accepted, report.rejected_unexpected))
+    print("stale        : %d injected, %d rejected"
+          % (report.stale_injected, report.stale_rejected))
+    print("duplicate    : %d injected, %d rejected"
+          % (report.duplicate_injected, report.duplicate_rejected))
     for scheme, count in sorted(report.by_scheme.items()):
         print("  %-8s %d reports" % (scheme, count))
     print("elapsed      : %.3f s" % report.elapsed_seconds)
@@ -1169,6 +1308,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: 4)")
     serve.add_argument("--allow-shutdown", action="store_true",
                        help="honour the wire SHUTDOWN frame (CI smoke runs)")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="verifier worker processes; >1 runs the "
+                            "multi-process fleet with a shared database "
+                            "snapshot + per-worker delta logs (default: 1)")
+    serve.add_argument("--dispatcher", default="auto",
+                       choices=["auto", "reuseport", "handoff"],
+                       help="fleet connection dispatch: kernel SO_REUSEPORT "
+                            "balancing or pre-fork socket handoff "
+                            "(default: auto)")
+    serve.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="fleet state directory (ready flags, delta "
+                            "logs, worker stats; default: a temp dir)")
+    serve.add_argument("--ready-file", default=None, metavar="FILE",
+                       help="atomically write 'host:port' here once the "
+                            "server (or every fleet worker) is accepting -- "
+                            "a deterministic readiness signal for scripts")
     add_engine_options(serve, what="reference computations")
 
     attest_remote = subparsers.add_parser(
@@ -1207,6 +1362,69 @@ def build_parser() -> argparse.ArgumentParser:
                                help="send a SHUTDOWN frame after the run "
                                     "(server must allow it)")
     add_engine_options(attest_remote, what="live prover executions")
+
+    fleet_load = subparsers.add_parser(
+        "fleet-load",
+        help="generate realistic fleet traffic (churn, heavy-tailed rates, "
+             "reconnect storms, stale/duplicate reports) against a server",
+    )
+    fleet_load.add_argument("--host", default="127.0.0.1",
+                            help="server address (default: 127.0.0.1)")
+    fleet_load.add_argument("--port", type=int, default=4711,
+                            help="server port (default: 4711)")
+    fleet_load.add_argument("--devices", type=int, default=1_000_000,
+                            metavar="N",
+                            help="modeled device population; identities are "
+                                 "drawn heavy-tailed from it "
+                                 "(default: 1000000)")
+    fleet_load.add_argument("--connections", type=int, default=8, metavar="N",
+                            help="concurrent device connections "
+                                 "(default: 8)")
+    fleet_load.add_argument("--processes", type=int, default=1, metavar="N",
+                            help="client OS processes driving the "
+                                 "connections (default: 1)")
+    fleet_load.add_argument("--reports", type=int, default=200, metavar="N",
+                            help="benign reports to submit in total "
+                                 "(default: 200)")
+    fleet_load.add_argument("--scheme", default="lofat", metavar="NAMES",
+                            help="comma-separated scheme names "
+                                 "(default: lofat)")
+    fleet_load.add_argument("--workload", default="syringe_pump",
+                            metavar="NAMES",
+                            help="comma-separated workloads "
+                                 "(default: syringe_pump)")
+    fleet_load.add_argument("--session-rounds", type=int, default=4,
+                            metavar="R",
+                            help="mean rounds per connection before the "
+                                 "device churns (default: 4)")
+    fleet_load.add_argument("--storms", type=int, default=0, metavar="N",
+                            help="synchronized reconnect storms during the "
+                                 "run (default: 0)")
+    fleet_load.add_argument("--stale", type=float, default=0.0, metavar="P",
+                            help="per-session probability of submitting a "
+                                 "stale report on a fresh connection; every "
+                                 "one must be rejected (default: 0)")
+    fleet_load.add_argument("--duplicate", type=float, default=0.0,
+                            metavar="P",
+                            help="per-round probability of re-submitting "
+                                 "the same signed report; every duplicate "
+                                 "must be rejected (default: 0)")
+    fleet_load.add_argument("--seed", type=int,
+                            default=int(os.environ.get("REPRO_SEED",
+                                                       "20170618")),
+                            help="deterministic traffic seed "
+                                 "(default: $REPRO_SEED or 20170618)")
+    fleet_load.add_argument("--trace-dir", default=None, metavar="DIR",
+                            help="replay stored captures instead of "
+                                 "re-simulating prover executions")
+    fleet_load.add_argument("--pace-ms", type=float, default=0.0,
+                            metavar="MS",
+                            help="simulated device latency per round "
+                                 "(default 0 = unpaced wire throughput)")
+    fleet_load.add_argument("--shutdown", action="store_true",
+                            help="send a SHUTDOWN frame after the run "
+                                 "(server must allow it)")
+    add_engine_options(fleet_load, what="live prover executions")
     return parser
 
 
@@ -1228,6 +1446,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "serve": _cmd_serve,
     "attest-remote": _cmd_attest_remote,
+    "fleet-load": _cmd_fleet_load,
 }
 
 

@@ -32,6 +32,21 @@ artifacts keyed by program digest, so verifier processes loading a shared
 database also pick up the statically proven loop bounds and enforce them
 without re-running the dataflow passes.
 
+The fleet deployment (:mod:`repro.service.fleet`) splits the database the
+way a read-mostly production store is split:
+
+* a **shared snapshot** -- a fully populated ``MeasurementDatabase`` loaded
+  once in the parent and inherited read-only by every worker process
+  (copy-on-write under ``fork``; loaded from the saved file under spawn).
+  Pass it as the ``snapshot`` argument: lookups fall through to it, writes
+  never touch it, so warm verifies cross no lock and no process boundary.
+* a per-worker **append-only delta log** (:class:`DeltaLog`): every write a
+  worker makes on top of the snapshot is also appended, one JSON line per
+  record, to a file only that worker writes.  On drain the parent replays
+  every worker's log into the base database (:meth:`merge_delta_log`) and
+  saves -- the merged file is byte-identical to what a single-process
+  server computing the same references would have saved.
+
 The database stores only public reference values -- the expected measurement
 and metadata for known inputs, and statically derivable program facts -- so
 persisting or sharing it does not weaken the protocol (freshness still comes
@@ -41,7 +56,7 @@ from the per-challenge nonce).
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.dataflow.policy import StaticPolicy
 from repro.isa.assembler import Program
@@ -65,6 +80,70 @@ def config_digest(config: Optional[LoFatConfig] = None) -> str:
     return get_scheme("lofat").config_digest(config)
 
 
+class DeltaLog:
+    """Append-only JSONL log of writes made on top of a database snapshot.
+
+    One record per line, flushed per append, so the log on disk is always a
+    complete prefix of the writes plus at most one truncated trailing line
+    (the crash case).  :func:`iter_delta_records` tolerates exactly that: it
+    yields every complete record and ignores a partial final line, but a
+    malformed line *followed by more data* is corruption and raises.
+
+    A log is single-writer by construction -- each fleet worker owns its own
+    file -- which is what makes appends lock-free.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.records_written = 0
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def append(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        self.records_written += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "DeltaLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def iter_delta_records(path: str) -> Iterator[dict]:
+    """Yield the complete records of a delta log, tolerating a torn tail.
+
+    A line that fails to parse is accepted (skipped) only when it is the
+    final non-empty line of the file -- the signature of a writer killed
+    mid-append.  Anywhere else it means the file was corrupted and the
+    merge must not silently continue.
+    """
+    with open(path, encoding="utf-8") as handle:
+        lines: List[str] = handle.read().splitlines()
+    while lines and not lines[-1].strip():
+        lines.pop()
+    for index, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except ValueError:
+            if index == len(lines) - 1:
+                return
+            raise ValueError(
+                "corrupt delta log %s: unparsable line %d is not the tail"
+                % (path, index + 1)
+            )
+        if not isinstance(record, dict):
+            raise ValueError(
+                "corrupt delta log %s: line %d is not an object"
+                % (path, index + 1)
+            )
+        yield record
+
+
 class MeasurementDatabase:
     """Cache of expected measurements, keyed by (scheme, digest, inputs, config).
 
@@ -73,14 +152,111 @@ class MeasurementDatabase:
     the scheme's own ``reference_measurement`` (streaming, no trace
     accumulation) and stores it.  Hit/miss counters feed the campaign
     reports and the E10 benchmark's cache-speedup measurement.
+
+    ``snapshot`` layers this database over a read-mostly base: lookups fall
+    through to the snapshot on a local miss, writes stay local (and are
+    mirrored to an attached :class:`DeltaLog`), and the snapshot itself is
+    never mutated.  That is the fleet-worker configuration -- see the module
+    docstring for the lifecycle.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, snapshot: Optional["MeasurementDatabase"] = None) -> None:
         self._entries: Dict[DatabaseKey, Tuple[bytes, bytes]] = {}
         self._trace_entries: Dict[TraceKey, Tuple[bytes, bytes]] = {}
         self._policy_entries: Dict[str, StaticPolicy] = {}
+        self._snapshot = snapshot
+        self._delta_log: Optional[DeltaLog] = None
         self.hits = 0
         self.misses = 0
+
+    # ------------------------------------------------------- snapshot/delta
+    @property
+    def snapshot(self) -> Optional["MeasurementDatabase"]:
+        return self._snapshot
+
+    def attach_delta_log(self, log: DeltaLog) -> None:
+        """Mirror every subsequent write into ``log`` (fleet workers)."""
+        self._delta_log = log
+
+    def _get_entry(self, key: DatabaseKey) -> Optional[Tuple[bytes, bytes]]:
+        entry = self._entries.get(key)
+        if entry is None and self._snapshot is not None:
+            entry = self._snapshot._entries.get(key)
+        return entry
+
+    def _get_trace_entry(self, key: TraceKey) -> Optional[Tuple[bytes, bytes]]:
+        entry = self._trace_entries.get(key)
+        if entry is None and self._snapshot is not None:
+            entry = self._snapshot._trace_entries.get(key)
+        return entry
+
+    def _store_entry(self, key: DatabaseKey, entry: Tuple[bytes, bytes]) -> None:
+        self._entries[key] = entry
+        if self._delta_log is not None:
+            self._delta_log.append({
+                "kind": "entry",
+                "scheme": key[0],
+                "program_digest": key[1],
+                "inputs": list(key[2]),
+                "config_digest": key[3],
+                "measurement": entry[0].hex(),
+                "metadata": entry[1].hex(),
+            })
+
+    def _store_trace_entry(self, key: TraceKey, entry: Tuple[bytes, bytes]) -> None:
+        self._trace_entries[key] = entry
+        if self._delta_log is not None:
+            self._delta_log.append({
+                "kind": "trace",
+                "scheme": key[0],
+                "trace_digest": key[1],
+                "config_digest": key[2],
+                "measurement": entry[0].hex(),
+                "metadata": entry[1].hex(),
+            })
+
+    def merge_delta_log(self, path: str) -> int:
+        """Replay a worker's delta log into this database; returns the count.
+
+        Records are applied in append order, so a later write to the same
+        key wins -- the same last-writer-wins semantics dict assignment
+        gives the single-process server.  Measurements are deterministic,
+        so overlapping records from different workers carry identical
+        values and the merge is order-independent across logs.
+        """
+        applied = 0
+        for record in iter_delta_records(path):
+            kind = record.get("kind")
+            if kind == "entry":
+                key = (
+                    str(record["scheme"]),
+                    str(record["program_digest"]),
+                    tuple(int(v) for v in record["inputs"]),
+                    str(record["config_digest"]),
+                )
+                self._entries[key] = (
+                    bytes.fromhex(record["measurement"]),
+                    bytes.fromhex(record["metadata"]),
+                )
+            elif kind == "trace":
+                trace_key = (
+                    str(record["scheme"]),
+                    str(record["trace_digest"]),
+                    str(record["config_digest"]),
+                )
+                self._trace_entries[trace_key] = (
+                    bytes.fromhex(record["measurement"]),
+                    bytes.fromhex(record["metadata"]),
+                )
+            elif kind == "policy":
+                policy = StaticPolicy.from_json(record["policy"])
+                self._policy_entries[policy.program_digest] = policy
+            else:
+                raise ValueError(
+                    "corrupt delta log %s: unknown record kind %r" % (path, kind)
+                )
+            applied += 1
+        return applied
 
     # ---------------------------------------------------------------- keys
     @staticmethod
@@ -133,7 +309,7 @@ class MeasurementDatabase:
         (an ``asdict`` + JSON + SHA3 pass) for callers that memoise it --
         the attestation server performs this lookup once per report.
         """
-        entry = self._entries.get(
+        entry = self._get_entry(
             self.key_for(program, inputs, config, scheme, config_digest))
         if entry is None:
             self.misses += 1
@@ -151,7 +327,7 @@ class MeasurementDatabase:
         scheme: str = "lofat",
     ) -> None:
         key = self.key_for(program, inputs, config, scheme)
-        self._entries[key] = (bytes(measurement), bytes(metadata_bytes))
+        self._store_entry(key, (bytes(measurement), bytes(metadata_bytes)))
 
     def lookup_trace(
         self,
@@ -165,7 +341,7 @@ class MeasurementDatabase:
         Counts hit/miss like :meth:`lookup`: trace-keyed lookups are part of
         the same cache accounting.
         """
-        entry = self._trace_entries.get(
+        entry = self._get_trace_entry(
             self.trace_key_for(scheme, trace_digest, config, config_digest)
         )
         if entry is None:
@@ -184,11 +360,13 @@ class MeasurementDatabase:
         config_digest: Optional[str] = None,
     ) -> None:
         key = self.trace_key_for(scheme, trace_digest, config, config_digest)
-        self._trace_entries[key] = (bytes(measurement), bytes(metadata_bytes))
+        self._store_trace_entry(key, (bytes(measurement), bytes(metadata_bytes)))
 
     def store_policy(self, policy: StaticPolicy) -> None:
         """Persist a StaticPolicy, keyed by its own program digest."""
         self._policy_entries[policy.program_digest] = policy
+        if self._delta_log is not None:
+            self._delta_log.append({"kind": "policy", "policy": policy.to_json()})
 
     def lookup_policy(self, program_digest: str) -> Optional[StaticPolicy]:
         """The stored StaticPolicy for a program digest, or None.
@@ -197,7 +375,10 @@ class MeasurementDatabase:
         measurement-reference reuse (the E10 cache-speedup benchmark), and
         policy lookups happen once per program registration, not per report.
         """
-        return self._policy_entries.get(program_digest)
+        policy = self._policy_entries.get(program_digest)
+        if policy is None and self._snapshot is not None:
+            policy = self._snapshot._policy_entries.get(program_digest)
+        return policy
 
     def lookup_or_compute(
         self,
@@ -222,7 +403,7 @@ class MeasurementDatabase:
         measurement is execution-independent (static) skip the run entirely.
         """
         key = self.key_for(program, inputs, config, scheme, config_digest)
-        entry = self._entries.get(key)
+        entry = self._get_entry(key)
         if entry is not None:
             self.hits += 1
             return entry[0], entry[1], True
@@ -230,12 +411,12 @@ class MeasurementDatabase:
         if capture is not None and capture.replayable:
             trace_key = self.trace_key_for(
                 scheme, capture.trace_digest, config, config_digest)
-            entry = self._trace_entries.get(trace_key)
+            entry = self._get_trace_entry(trace_key)
             if entry is not None:
                 # Served from the trace keyspace without any computation:
                 # that is a cache hit, just through the secondary key.
                 self.hits += 1
-                self._entries[key] = entry
+                self._store_entry(key, entry)
                 return entry[0], entry[1], True
             self.misses += 1
             measurement = backend.replay_measurement(
@@ -243,8 +424,8 @@ class MeasurementDatabase:
             )
             entry = (measurement.measurement,
                      measurement.metadata.to_bytes())
-            self._trace_entries[trace_key] = entry
-            self._entries[key] = entry
+            self._store_trace_entry(trace_key, entry)
+            self._store_entry(key, entry)
             return entry[0], entry[1], False
         self.misses += 1
         measurement = backend.reference_measurement(
@@ -254,7 +435,7 @@ class MeasurementDatabase:
             cpu_config=cpu_config,
         )
         entry = (measurement.measurement, measurement.metadata.to_bytes())
-        self._entries[key] = entry
+        self._store_entry(key, entry)
         return entry[0], entry[1], False
 
     # ------------------------------------------------------------ reporting
@@ -272,7 +453,7 @@ class MeasurementDatabase:
         return self.hits / total if total else 0.0
 
     def stats(self) -> dict:
-        return {
+        stats = {
             "entries": len(self._entries),
             "trace_entries": len(self._trace_entries),
             "policy_entries": len(self._policy_entries),
@@ -280,6 +461,12 @@ class MeasurementDatabase:
             "misses": self.misses,
             "hit_rate": self.hit_rate,
         }
+        if self._snapshot is not None:
+            stats["snapshot_entries"] = len(self._snapshot._entries)
+            stats["snapshot_trace_entries"] = len(self._snapshot._trace_entries)
+        if self._delta_log is not None:
+            stats["delta_records"] = self._delta_log.records_written
+        return stats
 
     def counters(self) -> Tuple[int, int]:
         """Snapshot of the lifetime (hits, misses) counters."""

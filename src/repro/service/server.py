@@ -58,6 +58,7 @@ from repro.schemes.registry import (
     scheme_names,
 )
 from repro.service.database import MeasurementDatabase
+from repro.service.fsutil import atomic_write_text
 from repro.service.tracestore import TraceStore, execution_signature
 from repro.workloads import get_workload
 
@@ -208,6 +209,14 @@ class AttestationServer:
             one was persisted there, derived from the program analysis
             otherwise), so infeasible reports are rejected with
             ``POLICY_VIOLATION`` before any reference is computed.
+        sock: an already-bound socket to serve on instead of binding
+            ``host:port``.  The fleet deployment uses this for both
+            dispatcher modes: a per-worker ``SO_REUSEPORT`` socket, or one
+            pre-fork listening socket every worker inherits and accepts on.
+        ready_file: when set, :meth:`start` atomically writes
+            ``"host:port\\n"`` here once the server is accepting -- the
+            deterministic readiness signal ``repro serve --ready-file``
+            exposes (CI polls the file instead of grepping logs).
     """
 
     def __init__(
@@ -221,9 +230,13 @@ class AttestationServer:
         session_limit: int = 4,
         max_frame_bytes: int = MAX_FRAME_BYTES,
         enforce_policies: bool = True,
+        sock=None,
+        ready_file: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
+        self._listen_sock = sock
+        self.ready_file = ready_file
         self.database = database if database is not None else MeasurementDatabase()
         self.trace_store = trace_store
         self.cpu_config = cpu_config or CpuConfig()
@@ -256,10 +269,17 @@ class AttestationServer:
     async def start(self) -> None:
         """Bind and start accepting connections (non-blocking)."""
         self._stopping = asyncio.Event()
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
-        )
+        if self._listen_sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=self._listen_sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.ready_file is not None:
+            atomic_write_text(self.ready_file, "%s:%d\n" % (self.host, self.port))
 
     async def stop(self) -> None:
         """Stop accepting and close the listening socket."""
@@ -277,6 +297,21 @@ class AttestationServer:
         assert self._stopping is not None
         await self._stopping.wait()
         await self.stop()
+
+    async def drain(self, timeout: float = 5.0) -> bool:
+        """Stop accepting, then wait for in-flight sessions to finish.
+
+        Returns True when every active connection completed inside
+        ``timeout``; False means stragglers were abandoned (their sockets
+        die with the process).  The fleet worker calls this on SIGTERM so a
+        drain never cuts a verification mid-report.
+        """
+        await self.stop()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while self.stats.active_connections > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        return self.stats.active_connections == 0
 
     # ---------------------------------------------------------- provisioning
     def _program(self, program_id: str):

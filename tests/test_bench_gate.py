@@ -1,0 +1,167 @@
+"""The CI benchmark-regression gate (scripts/bench_gate.py).
+
+The gate reads the machine-readable ``BENCH_<experiment>.json`` results
+the benchmarks emit (see ``benchmarks/conftest.py``) and compares them to
+the checked-in ``benchmarks/baseline.json``.  These tests load the script
+as a module and prove the contract on synthetic fixtures: a matching run
+passes, a 2x slowdown on one tracked metric fails, a silently missing
+benchmark fails, a new untracked metric passes, and ``--refresh`` writes
+a baseline the same results then pass against.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+SCRIPT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "scripts", "bench_gate.py")
+
+
+@pytest.fixture(scope="module")
+def bench_gate():
+    spec = importlib.util.spec_from_file_location("bench_gate", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write_results(directory, experiments):
+    os.makedirs(directory, exist_ok=True)
+    for experiment, metrics in experiments.items():
+        path = os.path.join(directory, "BENCH_%s.json" % experiment)
+        with open(path, "w") as handle:
+            json.dump({"experiment": experiment, "metrics": metrics}, handle)
+
+
+def _write_baseline(path, experiments):
+    with open(path, "w") as handle:
+        json.dump({"experiments": experiments}, handle)
+
+
+RESULTS = {
+    "e12_fastpath": {"speedup_lofat": 3.2, "speedup_cflat": 3.0},
+    "e18_fleet_scaling": {"scaling_1_to_4": 2.4},
+}
+
+
+def test_matching_run_passes(bench_gate, tmp_path, capsys):
+    results = str(tmp_path / "results")
+    baseline = str(tmp_path / "baseline.json")
+    _write_results(results, RESULTS)
+    _write_baseline(baseline, RESULTS)
+    rc = bench_gate.main(["--results-dir", results, "--baseline", baseline])
+    assert rc == 0
+    assert "all tracked metrics within" in capsys.readouterr().out
+
+
+def test_two_x_slowdown_fails(bench_gate, tmp_path, capsys):
+    """The acceptance fixture: a synthetic 2x regression must trip the gate."""
+    results = str(tmp_path / "results")
+    baseline = str(tmp_path / "baseline.json")
+    slowed = {
+        "e12_fastpath": {"speedup_lofat": 1.6, "speedup_cflat": 3.0},
+        "e18_fleet_scaling": {"scaling_1_to_4": 2.4},
+    }
+    _write_results(results, slowed)
+    _write_baseline(baseline, RESULTS)
+    rc = bench_gate.main(["--results-dir", results, "--baseline", baseline])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "FAIL e12_fastpath/speedup_lofat" in out
+    # The untouched metrics still report ok.
+    assert "ok   e12_fastpath/speedup_cflat" in out
+
+
+def test_within_threshold_drop_passes(bench_gate, tmp_path):
+    """A drop inside the 30% band is runner noise, not a regression."""
+    results = str(tmp_path / "results")
+    baseline = str(tmp_path / "baseline.json")
+    noisy = {
+        "e12_fastpath": {"speedup_lofat": 2.4, "speedup_cflat": 2.8},
+        "e18_fleet_scaling": {"scaling_1_to_4": 1.9},
+    }
+    _write_results(results, noisy)
+    _write_baseline(baseline, RESULTS)
+    assert bench_gate.main(
+        ["--results-dir", results, "--baseline", baseline]) == 0
+
+
+def test_missing_benchmark_fails(bench_gate, tmp_path, capsys):
+    """A benchmark that silently did not run cannot hide a regression."""
+    results = str(tmp_path / "results")
+    baseline = str(tmp_path / "baseline.json")
+    _write_results(results, {"e12_fastpath": RESULTS["e12_fastpath"]})
+    _write_baseline(baseline, RESULTS)
+    rc = bench_gate.main(["--results-dir", results, "--baseline", baseline])
+    assert rc == 1
+    assert "missing" in capsys.readouterr().out
+
+
+def test_new_metric_passes_until_tracked(bench_gate, tmp_path, capsys):
+    results = str(tmp_path / "results")
+    baseline = str(tmp_path / "baseline.json")
+    extended = {
+        "e12_fastpath": RESULTS["e12_fastpath"],
+        "e18_fleet_scaling": RESULTS["e18_fleet_scaling"],
+        "e19_future": {"speedup": 5.0},
+    }
+    _write_results(results, extended)
+    _write_baseline(baseline, RESULTS)
+    rc = bench_gate.main(["--results-dir", results, "--baseline", baseline])
+    assert rc == 0
+    assert "new  e19_future/speedup" in capsys.readouterr().out
+
+
+def test_refresh_writes_passing_baseline(bench_gate, tmp_path):
+    results = str(tmp_path / "results")
+    baseline = str(tmp_path / "baseline.json")
+    _write_results(results, RESULTS)
+    rc = bench_gate.main(
+        ["--results-dir", results, "--baseline", baseline, "--refresh"])
+    assert rc == 0
+    with open(baseline) as handle:
+        document = json.load(handle)
+    assert document["experiments"]["e18_fleet_scaling"] == {
+        "scaling_1_to_4": 2.4}
+    # The refreshed baseline immediately passes against the same results.
+    assert bench_gate.main(
+        ["--results-dir", results, "--baseline", baseline]) == 0
+
+
+def test_missing_baseline_is_a_setup_error(bench_gate, tmp_path, capsys):
+    results = str(tmp_path / "results")
+    _write_results(results, RESULTS)
+    rc = bench_gate.main(
+        ["--results-dir", results,
+         "--baseline", str(tmp_path / "absent.json")])
+    assert rc == 2
+    assert "--refresh" in capsys.readouterr().out
+
+
+def test_no_results_is_a_setup_error(bench_gate, tmp_path):
+    assert bench_gate.main(
+        ["--results-dir", str(tmp_path / "empty"),
+         "--baseline", str(tmp_path / "baseline.json")]) == 2
+
+
+def test_emit_report_writes_bench_json(tmp_path, monkeypatch):
+    """benchmarks/conftest.py writes the JSON the gate consumes."""
+    import importlib.util as iu
+    conftest_path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "benchmarks", "conftest.py")
+    spec = iu.spec_from_file_location("bench_conftest", conftest_path)
+    module = iu.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "RESULTS_DIR", str(tmp_path))
+    module.emit_report("e99_demo", "table", metrics={"speedup": 2.5})
+    with open(str(tmp_path / "BENCH_e99_demo.json")) as handle:
+        document = json.load(handle)
+    assert document == {"experiment": "e99_demo",
+                        "metrics": {"speedup": 2.5}}
+    assert os.path.exists(str(tmp_path / "e99_demo.txt"))

@@ -113,6 +113,62 @@ class TestBenignEquivalence:
         assert AttestationReport.from_bytes(blob).to_bytes() == blob
 
 
+class TestFleetEquivalence:
+    """A multi-worker fleet is wire-indistinguishable from one server.
+
+    The fleet PR's acceptance pin: whichever worker the dispatcher routes
+    the connection to, the VERDICT frame and the report payload are
+    byte-identical to what the single-process server produces.
+    """
+
+    @pytest.fixture(scope="class")
+    def fleet(self, tmp_path_factory):
+        from repro.service.fleet import FleetServer
+
+        fleet = FleetServer(
+            host="127.0.0.1", port=0, workers=2,
+            state_dir=str(tmp_path_factory.mktemp("fleet-state")))
+        fleet.start()
+        yield fleet
+        fleet.stop()
+
+    def over_the_fleet(self, fleet, workload_name, scheme):
+        """One round through the fleet front door; returns (report, frame)."""
+        async def go():
+            client = AttestationClient(
+                "127.0.0.1", fleet.port, "prover-0",
+                SimulatedProver(device_id="prover-0"))
+            await client.connect()
+            challenge = await client.request_challenge(
+                workload_name, None, scheme)
+            report = client.prover.respond(challenge)
+            from repro.attestation.framing import FrameType, write_frame
+            await write_frame(client._writer, FrameType.REPORT,
+                              report.to_bytes())
+            _, verdict_payload = await client._expect(FrameType.VERDICT)
+            await client.close()
+            return report, verdict_payload
+        return asyncio.run(go())
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_fleet_verdicts_are_byte_identical_to_single_process(
+            self, fleet, scheme):
+        single_report, single_payload = over_the_wire(WORKLOAD, scheme)
+        # Several rounds so the kernel's connection dispatch gets chances
+        # to land on both workers; every verdict must match regardless.
+        for _ in range(3):
+            fleet_report, fleet_payload = self.over_the_fleet(
+                fleet, WORKLOAD, scheme)
+            assert fleet_payload == single_payload
+            assert fleet_report.measurement == single_report.measurement
+            assert (fleet_report.metadata.to_bytes()
+                    == single_report.metadata.to_bytes())
+            assert fleet_report.payload == single_report.payload
+            document = json.loads(fleet_payload.decode("utf-8"))
+            assert document["accepted"] is True
+            assert document["reason"] == "accepted"
+
+
 class TestAttackedEquivalence:
     """Attacked executions keep their scheme-dependent verdicts remotely."""
 
